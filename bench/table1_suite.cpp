@@ -1,0 +1,23 @@
+// Regenerates Table 1: the benchmark suite inventory, with a quick
+// correctness pass (each benchmark's simulated checksum vs. its host
+// reference at 4 processors).
+#include <cstdio>
+
+#include "olden/bench/benchmark.hpp"
+
+int main() {
+  using namespace olden::bench;
+  std::printf("Table 1: Benchmark Descriptions\n");
+  std::printf("%-11s %-62s %-16s %s\n", "Benchmark", "Description",
+              "Problem Size", "verified");
+  for (const Benchmark* b : suite()) {
+    BenchConfig cfg;
+    cfg.nprocs = 4;
+    const BenchResult r = b->run(cfg);
+    const bool ok = r.checksum == b->reference_checksum(cfg);
+    std::printf("%-11s %-62s %-16s %s\n", b->name().c_str(),
+                b->description().c_str(), b->problem_size(true).c_str(),
+                ok ? "ok" : "MISMATCH");
+  }
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Regenerates Table 2: sequential time, speedups at 1..32 processors under
+// the heuristic's choices (local-knowledge coherence, as in the paper's
+// runs), and the migrate-only speedup at 32 processors.
+//
+// The paper's numbers are printed alongside for shape comparison — who
+// wins, by roughly what factor, where the M+C benchmarks beat migrate-only.
+// Absolute values differ (our substrate is a calibrated simulator and the
+// default problem sizes are scaled; pass --paper-size for the original
+// sizes).
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "olden/bench/benchmark.hpp"
+
+namespace {
+
+using namespace olden;
+using namespace olden::bench;
+
+struct PaperRow {
+  double seq;
+  double speedup[6];  // P = 1 2 4 8 16 32
+  double migrate_only32;  // < 0: not reported (M-only rows)
+};
+
+// Table 2 of the paper, verbatim.
+const std::map<std::string, PaperRow> kPaper = {
+    {"TreeAdd", {4.49, {0.73, 1.47, 2.93, 5.90, 11.81, 23.4}, -1}},
+    {"Power", {286.59, {0.96, 1.94, 3.81, 6.92, 14.85, 27.5}, -1}},
+    {"TSP", {43.35, {0.95, 1.92, 3.70, 6.70, 10.08, 15.8}, -1}},
+    {"MST", {9.81, {0.96, 1.36, 2.20, 3.43, 4.56, 5.14}, -1}},
+    {"Bisort", {31.41, {0.73, 1.35, 2.29, 3.52, 4.92, 6.33}, 6.13}},
+    {"Voronoi", {49.73, {0.75, 1.38, 2.41, 4.23, 6.88, 8.76}, 0.47}},
+    {"EM3D", {1.21, {0.86, 1.51, 2.69, 4.48, 6.72, 12.0}, 0.05}},
+    {"Barnes-Hut", {555.79, {0.74, 1.42, 3.00, 5.29, 8.13, 11.2}, 0.01}},
+    {"Perimeter", {2.47, {0.86, 1.70, 3.37, 6.09, 9.86, 14.1}, 2.96}},
+    {"Health", {34.19, {0.73, 1.47, 2.93, 5.72, 11.09, 16.42}, 16.52}},
+};
+
+double timed_seconds(const Benchmark& b, const BenchResult& r) {
+  return b.whole_program_timing() ? r.total_seconds() : r.kernel_seconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool paper_size = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--paper-size") == 0) paper_size = true;
+  }
+
+  std::printf(
+      "Table 2: speedups (measured | paper). Sequential seconds are "
+      "simulated 33 MHz-cycle time%s.\n",
+      paper_size ? "" : "; default (scaled) problem sizes");
+  std::printf(
+      "%-11s %-4s %9s | %41s | %s\n", "Benchmark", "Mech", "Seq(s)",
+      "speedup at P = 1     2     4     8    16    32", "Migrate-only(32)");
+
+  const ProcId kProcs[6] = {1, 2, 4, 8, 16, 32};
+  for (const Benchmark* b : suite()) {
+    BenchConfig base;
+    base.paper_size = paper_size;
+    base.sequential_baseline = true;
+    base.nprocs = 1;
+    const BenchResult seq = b->run(base);
+    const double seq_s = timed_seconds(*b, seq);
+
+    double sp[6];
+    std::string mech;
+    for (int i = 0; i < 6; ++i) {
+      BenchConfig cfg;
+      cfg.paper_size = paper_size;
+      cfg.nprocs = kProcs[i];
+      const BenchResult r = b->run(cfg);
+      sp[i] = seq_s / timed_seconds(*b, r);
+      if (kProcs[i] == 32) {
+        mech = r.stats.remote_cacheable() == 0 ? "M" : "M+C";
+      }
+    }
+    BenchConfig mo;
+    mo.paper_size = paper_size;
+    mo.nprocs = 32;
+    mo.migrate_only = true;
+    const BenchResult rmo = b->run(mo);
+    const double mo32 = seq_s / timed_seconds(*b, rmo);
+
+    const PaperRow& pr = kPaper.at(b->name());
+    std::printf("%-11s %-4s %8.2fs |", b->name().c_str(), mech.c_str(),
+                seq_s);
+    for (double v : sp) std::printf(" %5.2f", v);
+    std::printf(" |");
+    if (pr.migrate_only32 >= 0) {
+      std::printf(" %5.2f (paper %.2f)", mo32, pr.migrate_only32);
+    } else {
+      std::printf("   n/a (M row)");
+    }
+    std::printf("\n%-11s %-4s %8.2fs |", "  (paper)", "", pr.seq);
+    for (double v : pr.speedup) std::printf(" %5.2f", v);
+    std::printf(" |\n");
+  }
+  std::printf(
+      "\nShape checks: TreeAdd/Power scale best; MST degrades with P "
+      "(O(N*P) synchronizing migrations); M+C rows beat their migrate-only "
+      "column, dramatically for Voronoi/EM3D/Barnes-Hut; Health's M+C is "
+      "within noise of migrate-only (too few remote patients to pay for "
+      "caching).\n");
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Coherence lab: one workload under the three coherence schemes of
+// Appendix A, with enough shared read-mostly data that the schemes
+// actually diverge.
+//
+// The workload: a master table of configuration records (read by
+// everyone, written rarely) plus per-processor work queues. Each round,
+// workers migrate to their queue, read a handful of config records
+// through the software cache, and combine them with their local items;
+// every few rounds the coordinator rewrites a small part of the table.
+//
+//  * local knowledge  — every migration arrival flushes the whole cache,
+//    so even unchanged config lines are refetched each round;
+//  * eager release ("global") — only the rewritten lines are invalidated,
+//    at the writer's release: misses collapse;
+//  * bilateral — pays a timestamp check per suspect page instead of
+//    refetching, landing in between.
+//
+//   $ build/examples/coherence_lab
+#include <cstdio>
+#include <vector>
+
+#include "olden/olden.hpp"
+#include "olden/support/rng.hpp"
+
+using namespace olden;
+
+struct Config {
+  std::int64_t coeff;
+  std::int64_t version;
+};
+
+struct Item {
+  std::int64_t key;
+  GPtr<Item> next;
+};
+
+enum Site : SiteId { kCfg, kItemKey, kItemNext, kQueueHead, kInit, kNumSites };
+
+constexpr int kConfigs = 256;
+constexpr int kItemsPerProc = 64;
+constexpr int kRounds = 40;
+constexpr int kRewriteEvery = 8;
+
+struct Queue {
+  GPtr<Item> head;
+  GPtr<Queue> next;
+};
+
+Task<std::int64_t> worker(Machine& m, GPtr<Queue> q, GPtr<Config> cfgs,
+                          int round) {
+  std::int64_t acc = 0;
+  GPtr<Item> it = co_await rd(q, &Queue::head, kQueueHead);  // migrates
+  Rng pick(static_cast<std::uint64_t>(round) * 977 + q.addr().raw());
+  while (it) {
+    const auto key = co_await rd(it, &Item::key, kItemKey);
+    // Read a few config records through the cache.
+    for (int k = 0; k < 4; ++k) {
+      const auto c = cfgs.at(static_cast<std::uint32_t>(
+          pick.next_below(kConfigs)));
+      acc += key * co_await rd(c, &Config::coeff, kCfg);
+      m.work(25);
+    }
+    it = co_await rd(it, &Item::next, kItemNext);
+  }
+  co_return acc;
+}
+
+Task<std::int64_t> program(Machine& m) {
+  // Config table on processor 0; queues one per processor.
+  auto cfgs = m.alloc_array<Config>(0, kConfigs);
+  for (int i = 0; i < kConfigs; ++i) {
+    co_await wr(cfgs.at(static_cast<std::uint32_t>(i)), &Config::coeff,
+                std::int64_t{i % 7 + 1}, kInit);
+  }
+  std::vector<GPtr<Queue>> queues;
+  for (ProcId p = 0; p < m.nprocs(); ++p) {
+    GPtr<Item> chain;
+    for (int i = 0; i < kItemsPerProc; ++i) {
+      auto it = m.alloc<Item>(p);
+      co_await wr(it, &Item::key, std::int64_t{p * 100 + i}, kInit);
+      co_await wr(it, &Item::next, chain, kInit);
+      chain = it;
+    }
+    auto q = m.alloc<Queue>(0);
+    co_await wr(q, &Queue::head, chain, kInit);
+    queues.push_back(q);
+  }
+
+  std::int64_t total = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    if (round % kRewriteEvery == 0) {
+      // The coordinator rewrites 8 of the 256 records.
+      for (int i = 0; i < 8; ++i) {
+        const auto c = cfgs.at(static_cast<std::uint32_t>(
+            (round * 31 + i * 17) % kConfigs));
+        co_await wr(c, &Config::coeff, std::int64_t{round % 5 + 1}, kCfg);
+      }
+    }
+    std::vector<Future<std::int64_t>> fs;
+    for (const auto& q : queues) {
+      fs.push_back(co_await futurecall(worker(m, q, cfgs, round)));
+    }
+    for (auto& f : fs) total += co_await touch(f);
+  }
+  co_return total;
+}
+
+int main() {
+  std::printf("%-10s %12s %10s %12s %14s %12s\n", "scheme", "sim ms",
+              "misses", "ts checks", "invalidations", "result");
+  std::int64_t expected = 0;
+  bool first = true;
+  for (Coherence scheme : {Coherence::kLocalKnowledge,
+                           Coherence::kEagerGlobal, Coherence::kBilateral}) {
+    Machine m({.nprocs = 16, .scheme = scheme});
+    std::vector<Mechanism> table(kNumSites, Mechanism::kCache);
+    table[kQueueHead] = Mechanism::kMigrate;
+    table[kItemKey] = Mechanism::kMigrate;
+    table[kItemNext] = Mechanism::kMigrate;
+    table[kInit] = Mechanism::kMigrate;
+    m.set_site_mechanisms(table);
+    const std::int64_t r = run_program(m, program(m));
+    if (first) {
+      expected = r;
+      first = false;
+    } else if (r != expected) {
+      std::printf("COHERENCE BUG: results differ between schemes!\n");
+      return 1;
+    }
+    std::printf("%-10s %12.3f %10llu %12llu %14llu %12lld\n",
+                to_string(scheme), m.seconds() * 1e3,
+                static_cast<unsigned long long>(m.stats().cache_misses),
+                static_cast<unsigned long long>(m.stats().timestamp_checks),
+                static_cast<unsigned long long>(m.stats().lines_invalidated),
+                static_cast<long long>(r));
+  }
+  std::printf(
+      "\nAll three schemes compute the same result (release consistency\n"
+      "w.r.t. migration virtual locks — Appendix A); they differ only in\n"
+      "how much traffic keeping the caches honest costs.\n");
+  return 0;
+}

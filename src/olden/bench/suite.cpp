@@ -1,0 +1,22 @@
+#include "olden/bench/benchmark.hpp"
+
+namespace olden::bench {
+
+const std::vector<const Benchmark*>& suite() {
+  static const std::vector<const Benchmark*> all = {
+      &treeadd_benchmark(), &power_benchmark(),     &tsp_benchmark(),
+      &mst_benchmark(),     &bisort_benchmark(),    &voronoi_benchmark(),
+      &em3d_benchmark(),    &barnes_benchmark(),    &perimeter_benchmark(),
+      &health_benchmark(),
+  };
+  return all;
+}
+
+const Benchmark* find_benchmark(const std::string& name) {
+  for (const Benchmark* b : suite()) {
+    if (b->name() == name) return b;
+  }
+  return nullptr;
+}
+
+}  // namespace olden::bench

@@ -1,0 +1,108 @@
+// Cache-coherence support structures for the three schemes of Appendix A.
+//
+//  * Local knowledge  — no state beyond the caches themselves: the whole
+//    cache is invalidated on migration arrival; on procedure-return
+//    migrations only lines homed on processors the thread wrote.
+//  * Eager release ("global knowledge") — the compiler inserts write
+//    tracking; homes keep per-page sharer sets at page granularity and
+//    dirty bits at line granularity; at each migration the runtime pushes
+//    line-grain invalidations to every sharer of each dirtied page.
+//  * Bilateral — write tracking plus a per-page timestamp at the home,
+//    bumped when a migration leaves a processor that wrote the page; a
+//    migration arrival marks all cached pages suspect, and the first access
+//    to a suspect page does a timestamp-check round trip with the home.
+//
+// The protocol actions (who sends what, and what it costs) live in the
+// runtime machine; this header holds the bookkeeping state.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "olden/support/types.hpp"
+
+namespace olden {
+
+enum class Coherence {
+  kLocalKnowledge,
+  kEagerGlobal,
+  kBilateral,
+};
+
+[[nodiscard]] constexpr const char* to_string(Coherence c) {
+  switch (c) {
+    case Coherence::kLocalKnowledge: return "local";
+    case Coherence::kEagerGlobal: return "global";
+    case Coherence::kBilateral: return "bilateral";
+  }
+  return "?";
+}
+
+/// Whether a scheme requires compiler-inserted write tracking (and thus
+/// pays the 7/23-instruction costs of Appendix A).
+[[nodiscard]] constexpr bool tracks_writes(Coherence c) {
+  return c != Coherence::kLocalKnowledge;
+}
+
+/// Home-side per-page directory state, kept by the page's owner.
+struct HomePageInfo {
+  /// Processors holding (possibly stale) cached lines of this page.
+  /// Tracked at page granularity "to reduce the amount of state
+  /// information" (Appendix A). Eager scheme only.
+  ProcSet sharers;
+  /// True once a second processor has requested the page: write tracking
+  /// on shared pages costs more (23 vs 7 instructions).
+  bool shared = false;
+  /// Bilateral: page version, bumped by a departing migration whose thread
+  /// wrote the page.
+  std::uint64_t version = 0;
+  /// Bilateral: lines written during the current version (i.e. since the
+  /// last bump). A sharer exactly one version behind invalidates only
+  /// these; a sharer further behind invalidates the whole page.
+  std::uint32_t dirty_since_bump = 0;
+  /// Bilateral: the lines the most recent version bump published. The
+  /// timestamp-check reply tells a one-version-behind sharer to drop
+  /// exactly these lines.
+  std::uint32_t last_released = 0;
+};
+
+/// Directory spanning the machine, indexed by global page id. Each entry
+/// conceptually lives on the page's home processor; the runtime charges the
+/// home's clock whenever it consults or updates one.
+class CoherenceDirectory {
+ public:
+  HomePageInfo& page(std::uint32_t page_id) { return pages_[page_id]; }
+
+  [[nodiscard]] const HomePageInfo* find(std::uint32_t page_id) const {
+    auto it = pages_.find(page_id);
+    return it == pages_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] std::size_t tracked_pages() const { return pages_.size(); }
+
+ private:
+  std::unordered_map<std::uint32_t, HomePageInfo> pages_;
+};
+
+/// Per-thread write log: pages (and lines within them) this thread has
+/// written since its last migration. This is what the compiler-inserted
+/// write-tracking code of Appendix A accumulates; the runtime drains it at
+/// each migration departure.
+class WriteLog {
+ public:
+  void record(std::uint32_t page_id, std::uint32_t line_mask) {
+    pages_[page_id] |= line_mask;
+  }
+  void clear() { pages_.clear(); }
+  [[nodiscard]] bool empty() const { return pages_.empty(); }
+
+  template <class Fn>  // fn(page_id, line_mask)
+  void for_each(Fn&& fn) const {
+    for (const auto& [page, mask] : pages_) fn(page, mask);
+  }
+
+ private:
+  std::unordered_map<std::uint32_t, std::uint32_t> pages_;
+};
+
+}  // namespace olden

@@ -1,0 +1,96 @@
+#include "olden/cache/software_cache.hpp"
+
+#include "olden/support/require.hpp"
+
+namespace olden {
+
+SoftwareCache::SoftwareCache() = default;
+
+SoftwareCache::LookupResult SoftwareCache::lookup(std::uint32_t page_id) {
+  LookupResult r;
+  for (PageEntry* e = buckets_[bucket_of(page_id)].get(); e != nullptr;
+       e = e->next.get()) {
+    ++r.chain_steps;
+    if (e->page_id == page_id) {
+      r.entry = e;
+      return r;
+    }
+  }
+  return r;
+}
+
+SoftwareCache::PageEntry& SoftwareCache::ensure_page(std::uint32_t page_id,
+                                                     bool& created) {
+  auto& head = buckets_[bucket_of(page_id)];
+  for (PageEntry* e = head.get(); e != nullptr; e = e->next.get()) {
+    if (e->page_id == page_id) {
+      created = false;
+      return *e;
+    }
+  }
+  auto entry = std::make_unique<PageEntry>();
+  entry->page_id = page_id;
+  entry->frame = std::make_unique<std::byte[]>(kPageBytes);
+  entry->next = std::move(head);
+  head = std::move(entry);
+  ++pages_created_;
+  ++pages_live_;
+  created = true;
+  return *head;
+}
+
+std::uint64_t SoftwareCache::invalidate_all() {
+  std::uint64_t lines = 0;
+  for (auto& head : buckets_) {
+    for (PageEntry* e = head.get(); e != nullptr; e = e->next.get()) {
+      lines += static_cast<std::uint64_t>(__builtin_popcount(e->valid));
+      e->valid = 0;
+    }
+  }
+  return lines;
+}
+
+std::uint64_t SoftwareCache::invalidate_from_procs(ProcSet procs) {
+  std::uint64_t lines = 0;
+  for (auto& head : buckets_) {
+    for (PageEntry* e = head.get(); e != nullptr; e = e->next.get()) {
+      if (procs.contains(page_home(e->page_id))) {
+        lines += static_cast<std::uint64_t>(__builtin_popcount(e->valid));
+        e->valid = 0;
+      }
+    }
+  }
+  return lines;
+}
+
+std::uint64_t SoftwareCache::invalidate_lines(std::uint32_t page_id,
+                                              std::uint32_t mask) {
+  const LookupResult r = lookup(page_id);
+  if (r.entry == nullptr) return 0;
+  const std::uint32_t hit = r.entry->valid & mask;
+  r.entry->valid &= ~mask;
+  return static_cast<std::uint64_t>(__builtin_popcount(hit));
+}
+
+void SoftwareCache::mark_all_suspect() {
+  for (auto& head : buckets_) {
+    for (PageEntry* e = head.get(); e != nullptr; e = e->next.get()) {
+      e->suspect = true;
+    }
+  }
+}
+
+std::vector<std::uint32_t> SoftwareCache::chain_lengths() const {
+  std::vector<std::uint32_t> lengths;
+  lengths.reserve(kCacheBuckets);
+  for (const auto& head : buckets_) {
+    std::uint32_t n = 0;
+    for (const PageEntry* e = head.get(); e != nullptr; e = e->next.get()) {
+      ++n;
+    }
+    if (n > 0) lengths.push_back(n);
+  }
+  return lengths;
+}
+
+}  // namespace olden

@@ -1,0 +1,94 @@
+// The per-processor software cache of §3.2 and Figure 1.
+//
+// Each processor uses its local memory as a large fully-associative
+// write-through cache. Allocation happens at page (2 KB) granularity and
+// transfers at line (64 B) granularity. Because the CM-5 port cannot rely on
+// virtual-memory support, translation goes through a 1024-bucket hash table
+// whose buckets hold short chains of page entries; each entry carries the
+// page tag, 32 line-valid bits, and the frame used to translate global to
+// local addresses. In the authors' experience the average chain length is
+// about one — `bench/fig1_cache_microbench` measures ours.
+//
+// This class is pure mechanism: it moves bytes and flips valid bits. All
+// cycle charging and protocol messaging is done by the runtime machine,
+// which also owns the coherence directory.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "olden/mem/global_addr.hpp"
+#include "olden/support/types.hpp"
+
+namespace olden {
+
+inline constexpr std::uint32_t kCacheBuckets = 1024;
+
+/// Home processor that owns a given global page.
+inline ProcId page_home(std::uint32_t page_id) {
+  return static_cast<ProcId>(page_id >> (kProcShift - 11));  // 2^11 = 2 KB
+}
+
+class SoftwareCache {
+ public:
+  struct PageEntry {
+    std::uint32_t page_id = 0;
+    std::uint32_t valid = 0;  ///< bit i set => line i holds current data
+    /// Bilateral scheme: home page version at last validation, and the
+    /// epoch mark set on migration arrival ("miss on first access").
+    std::uint64_t version = 0;
+    bool suspect = false;
+    std::unique_ptr<std::byte[]> frame;  ///< 2 KB translation target
+    std::unique_ptr<PageEntry> next;     ///< hash chain
+  };
+
+  struct LookupResult {
+    PageEntry* entry = nullptr;  ///< null if the page is not allocated
+    std::uint32_t chain_steps = 0;
+  };
+
+  SoftwareCache();
+
+  /// Hash-table search for a page. Never allocates.
+  [[nodiscard]] LookupResult lookup(std::uint32_t page_id);
+
+  /// Find-or-create a page entry. `created` reports a fresh allocation.
+  PageEntry& ensure_page(std::uint32_t page_id, bool& created);
+
+  /// Whole-cache invalidation (the local-knowledge scheme's migration
+  /// arrival action). Page entries stay allocated; lines become invalid.
+  /// Returns the number of lines invalidated.
+  std::uint64_t invalidate_all();
+
+  /// Invalidate every line of every cached page whose home is in `procs`
+  /// (the return-stub optimization). Returns lines invalidated.
+  std::uint64_t invalidate_from_procs(ProcSet procs);
+
+  /// Invalidate specific lines of one page, if cached. Returns lines
+  /// actually invalidated.
+  std::uint64_t invalidate_lines(std::uint32_t page_id, std::uint32_t mask);
+
+  /// Bilateral scheme: mark every cached page suspect so its next access
+  /// performs a timestamp check with the home.
+  void mark_all_suspect();
+
+  // --- introspection (tests, Figure 1 microbench) -----------------------
+  [[nodiscard]] std::uint64_t pages_created() const { return pages_created_; }
+  [[nodiscard]] std::uint64_t pages_live() const { return pages_live_; }
+  /// Chain length of every nonempty bucket, for the Figure 1 claim.
+  [[nodiscard]] std::vector<std::uint32_t> chain_lengths() const;
+
+ private:
+  static std::uint32_t bucket_of(std::uint32_t page_id) {
+    // Multiplicative mix so consecutive pages of one processor spread out.
+    return (page_id * 2654435761u) >> 22 & (kCacheBuckets - 1);
+  }
+
+  std::array<std::unique_ptr<PageEntry>, kCacheBuckets> buckets_;
+  std::uint64_t pages_created_ = 0;
+  std::uint64_t pages_live_ = 0;
+};
+
+}  // namespace olden

@@ -1,0 +1,547 @@
+#include "olden/compiler/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "olden/support/require.hpp"
+
+namespace olden::ir {
+
+namespace {
+
+/// Symbolic value of a pointer variable relative to the start of the
+/// current iteration: origin variable plus accumulated path affinity.
+struct SymVal {
+  std::string origin;
+  Affinity aff = 1.0;
+
+  friend bool operator==(const SymVal& a, const SymVal& b) {
+    return a.origin == b.origin && a.aff == b.aff;
+  }
+};
+
+/// Environment: absent key = untouched this iteration (identity);
+/// present nullopt = assigned something with no expressible update path.
+using Env = std::map<std::string, std::optional<SymVal>>;
+
+std::optional<SymVal> resolve(const Env& env, const std::string& var) {
+  auto it = env.find(var);
+  if (it == env.end()) return SymVal{var, 1.0};
+  return it->second;
+}
+
+/// A call site observed during evaluation, for interprocedural linking and
+/// the pass-2 bottleneck test.
+struct CallContext {
+  int enclosing_loop = -1;
+  std::string callee;
+  /// Base variable of each actual (empty string if inexpressible).
+  std::vector<std::string> arg_bases;
+  bool future = false;
+};
+
+/// An inner loop observed directly inside another loop's body: records how
+/// each variable resolved at the inner loop's entry.
+struct LoopEntrySnapshot {
+  int loop_id = -1;
+  int enclosing_loop = -1;
+  std::map<std::string, std::string> origin_at_entry;  // var -> base var
+};
+
+/// Where a dereference site lives: innermost control loop + variable
+/// (plus the owning procedure, for sites outside any intraprocedural loop).
+struct SiteInfo {
+  int loop_id = -1;
+  std::string var;
+  std::string proc;
+};
+
+class Analyzer {
+ public:
+  Analyzer(const Program& program, std::size_t num_sites)
+      : prog_(program), num_sites_(num_sites) {}
+
+  Selection run() {
+    for (const Procedure& p : prog_.procs) analyze_procedure(p);
+    link_interprocedural();
+    pass1_select();
+    pass2_bottlenecks();
+    return build_selection();
+  }
+
+ private:
+  // --- dataflow ---------------------------------------------------------
+
+  /// Accumulated recursive-call updates along the current execution path.
+  ///
+  /// §4.2's two combining rules coexist here:
+  ///  * calls on the same path ("both are going to be executed", Figure 4)
+  ///    compose as a miss-probability product — 1 - prod(1 - a_i);
+  ///  * calls in mutually exclusive if-branches are alternative
+  ///    iterations, so they merge by the join rule (average if the update
+  ///    appears in both recursing branches, omit otherwise). A branch with
+  ///    no recursive call at all is a loop *exit* (the base case) and does
+  ///    not participate in merging — this is why TreeAdd's two same-branch
+  ///    calls give 97% while a tree search's either-or calls give 70%.
+  struct RecAccum {
+    bool any_call = false;
+    /// (param, origin) -> prod(1 - a_i) along this path
+    std::map<std::pair<std::string, std::string>, double> miss;
+  };
+
+  static RecAccum merge_rec(const RecAccum& a, const RecAccum& b) {
+    if (!a.any_call) return b;
+    if (!b.any_call) return a;
+    RecAccum m;
+    m.any_call = true;
+    for (const auto& [key, miss_a] : a.miss) {
+      auto it = b.miss.find(key);
+      if (it == b.miss.end()) continue;  // one-sided: omitted
+      const double aff = ((1.0 - miss_a) + (1.0 - it->second)) / 2.0;
+      m.miss[key] = 1.0 - aff;
+    }
+    return m;
+  }
+
+  static void fold_rec(RecAccum& dst, const RecAccum& src) {
+    dst.any_call |= src.any_call;
+    for (const auto& [key, miss] : src.miss) {
+      auto [it, fresh] = dst.miss.try_emplace(key, 1.0);
+      (void)fresh;
+      it->second *= miss;
+    }
+  }
+
+  struct ProcScratch {
+    const Procedure* proc = nullptr;
+    bool rec_parallel = false;
+    bool has_rec_call = false;
+  };
+
+  void analyze_procedure(const Procedure& p) {
+    ProcScratch scratch;
+    scratch.proc = &p;
+    Env env;
+    RecAccum rec;
+    // The procedure body may itself be a control loop (recursion).
+    const int rec_loop = p.rec_loop_id;
+    eval_list(p.body, env, rec_loop, p, scratch, rec);
+
+    if (scratch.has_rec_call) {
+      OLDEN_REQUIRE(rec_loop >= 0,
+                    "recursive procedure needs a rec_loop_id");
+      LoopDecision d;
+      d.loop_id = rec_loop;
+      d.proc = p.name;
+      d.is_recursion = true;
+      d.parallelizable = scratch.rec_parallel;
+      for (const auto& [key, miss] : rec.miss) {
+        d.matrix.set(key.first, key.second, 1.0 - miss);
+      }
+      loops_.push_back(std::move(d));
+    }
+  }
+
+  /// Evaluate a statement list. `loop` is the innermost enclosing control
+  /// loop id (or the recursion loop for a top-level procedure body).
+  void eval_list(const StmtList& body, Env& env, int loop,
+                 const Procedure& proc, ProcScratch& scratch, RecAccum& rec) {
+    for (const Stmt& s : body) {
+      std::visit(
+          [&](const auto& node) { eval(node, env, loop, proc, scratch, rec); },
+          s);
+    }
+  }
+
+  void eval(const Assign& a, Env& env, int loop, const Procedure& proc,
+            ProcScratch&, RecAccum&) {
+    if (!a.path.empty() && a.site.has_value()) {
+      note_site(*a.site, loop, a.source, proc.name);
+    }
+    const auto src = resolve(env, a.source);
+    if (!src.has_value()) {
+      env[a.target] = std::nullopt;
+      return;
+    }
+    env[a.target] = SymVal{src->origin, src->aff * prog_.path_affinity(a.path)};
+  }
+
+  void eval(const Deref& d, Env&, int loop, const Procedure& proc,
+            ProcScratch&, RecAccum&) {
+    note_site(d.site, loop, d.var, proc.name);
+  }
+
+  void eval(const Call& c, Env& env, int loop, const Procedure& proc,
+            ProcScratch& scratch, RecAccum& rec) {
+    if (c.callee == proc.name) {
+      // Recursive call: parameter rebindings feed the recursion loop's
+      // update matrix (combining rules documented on RecAccum).
+      scratch.has_rec_call = true;
+      rec.any_call = true;
+      if (c.future) scratch.rec_parallel = true;
+      OLDEN_REQUIRE(c.args.size() == proc.params.size(),
+                    "recursive call arity mismatch");
+      for (std::size_t i = 0; i < c.args.size(); ++i) {
+        const auto v = resolve(env, c.args[i].var);
+        if (!v.has_value()) continue;
+        const double aff = v->aff * prog_.path_affinity(c.args[i].path);
+        auto [it, fresh] =
+            rec.miss.try_emplace({proc.params[i], v->origin}, 1.0);
+        (void)fresh;
+        it->second *= (1.0 - aff);
+      }
+      return;
+    }
+    CallContext ctx;
+    ctx.enclosing_loop = loop;
+    ctx.callee = c.callee;
+    ctx.future = c.future;
+    for (const Call::Arg& a : c.args) {
+      const auto v = resolve(env, a.var);
+      // The bottleneck test only needs the base variable; a nonempty path
+      // (t->list) still "updates" per parent iteration iff its base does.
+      ctx.arg_bases.push_back(v.has_value() ? v->origin : std::string{});
+    }
+    calls_.push_back(std::move(ctx));
+  }
+
+  void eval(const If& node, Env& env, int loop, const Procedure& proc,
+            ProcScratch& scratch, RecAccum& rec) {
+    Env then_env = env;
+    Env else_env = env;
+    RecAccum rec_then;
+    RecAccum rec_else;
+    eval_list(node.then_branch, then_env, loop, proc, scratch, rec_then);
+    eval_list(node.else_branch, else_env, loop, proc, scratch, rec_else);
+    fold_rec(rec, merge_rec(rec_then, rec_else));
+    // Join rule (§4.2): average updates appearing in both branches with
+    // the same origin; omit updates appearing in only one branch (they do
+    // not happen every iteration, so the variable is not guaranteed to be
+    // traversing the structure).
+    std::vector<std::string> candidates;
+    auto add = [&candidates](const std::string& v) {
+      if (std::find(candidates.begin(), candidates.end(), v) ==
+          candidates.end()) {
+        candidates.push_back(v);
+      }
+    };
+    for (const auto& [v, val] : then_env) {
+      (void)val;
+      add(v);
+    }
+    for (const auto& [v, val] : else_env) {
+      (void)val;
+      add(v);
+    }
+    for (const std::string& v : candidates) {
+      const bool in_then = differs(then_env, env, v);
+      const bool in_else = differs(else_env, env, v);
+      if (!in_then && !in_else) continue;  // untouched: identity carries
+      if (in_then && in_else) {
+        const auto a = env_at(then_env, v);
+        const auto b = env_at(else_env, v);
+        if (a.has_value() && b.has_value() && a->origin == b->origin) {
+          env[v] = SymVal{a->origin, (a->aff + b->aff) / 2.0};
+        } else {
+          env[v] = std::nullopt;
+        }
+      } else {
+        env[v] = std::nullopt;  // update omitted
+      }
+    }
+  }
+
+  void eval(const While& node, Env& env, int loop, const Procedure& proc,
+            ProcScratch& scratch, RecAccum& rec) {
+    // Record how each variable resolves at the inner loop's entry, for the
+    // pass-2 bottleneck test.
+    LoopEntrySnapshot snap;
+    snap.loop_id = node.loop_id;
+    snap.enclosing_loop = loop;
+    for (const std::string& v : vars_used(node.body)) {
+      const auto r = resolve(env, v);
+      if (r.has_value()) snap.origin_at_entry[v] = r->origin;
+    }
+    snapshots_.push_back(std::move(snap));
+
+    // Analyze the inner loop in its own iteration frame. (Recursive calls
+    // found inside still accumulate into the procedure's scratch; the
+    // paper's prototype likewise does not analyze loops spanning
+    // procedures, so bindings resolved against inner-loop locals simply
+    // contribute nothing.)
+    LoopDecision d;
+    d.loop_id = node.loop_id;
+    d.parent_id = loop;
+    d.proc = proc.name;
+    Env inner;
+    const std::size_t call_mark = calls_.size();
+    eval_list(node.body, inner, node.loop_id, proc, scratch, rec);
+    for (const auto& [v, val] : inner) {
+      if (val.has_value()) d.matrix.set(v, val->origin, val->aff);
+    }
+    // Parallelizable if the loop body futurecalls directly.
+    for (std::size_t i = call_mark; i < calls_.size(); ++i) {
+      if (calls_[i].enclosing_loop == node.loop_id && calls_[i].future) {
+        d.parallelizable = true;
+      }
+    }
+    loops_.push_back(std::move(d));
+
+    // In the enclosing frame, everything the inner loop assigns has no
+    // expressible per-outer-iteration update.
+    for (const auto& [v, val] : inner) {
+      (void)val;
+      env[v] = std::nullopt;
+    }
+  }
+
+  static std::optional<SymVal> env_at(const Env& env, const std::string& v) {
+    auto it = env.find(v);
+    if (it == env.end()) return SymVal{v, 1.0};
+    return it->second;
+  }
+
+  static bool differs(const Env& branch, const Env& base,
+                      const std::string& v) {
+    return env_at(branch, v) != env_at(base, v);
+  }
+
+  /// All variables mentioned in a statement list (shallow + nested).
+  static std::vector<std::string> vars_used(const StmtList& body) {
+    std::vector<std::string> out;
+    auto add = [&out](const std::string& v) {
+      if (std::find(out.begin(), out.end(), v) == out.end()) out.push_back(v);
+    };
+    for (const Stmt& s : body) {
+      std::visit(
+          [&](const auto& node) {
+            using T = std::decay_t<decltype(node)>;
+            if constexpr (std::is_same_v<T, Assign>) {
+              add(node.target);
+              add(node.source);
+            } else if constexpr (std::is_same_v<T, Deref>) {
+              add(node.var);
+            } else if constexpr (std::is_same_v<T, Call>) {
+              for (const auto& a : node.args) add(a.var);
+            } else if constexpr (std::is_same_v<T, If>) {
+              for (const auto& v : vars_used(node.then_branch)) add(v);
+              for (const auto& v : vars_used(node.else_branch)) add(v);
+            } else if constexpr (std::is_same_v<T, While>) {
+              for (const auto& v : vars_used(node.body)) add(v);
+            }
+          },
+          s);
+    }
+    return out;
+  }
+
+  void note_site(SiteId site, int loop, const std::string& var,
+                 const std::string& proc) {
+    if (sites_.size() <= site) sites_.resize(site + 1);
+    sites_[site] = SiteInfo{loop, var, proc};
+  }
+
+  // --- interprocedural linking --------------------------------------------
+
+  LoopDecision* find_loop(int id) {
+    for (auto& l : loops_) {
+      if (l.loop_id == id) return &l;
+    }
+    return nullptr;
+  }
+
+  void link_interprocedural() {
+    // Outermost loops of a procedure called from inside a loop get that
+    // call's enclosing loop as parent (limited interprocedural analysis:
+    // single-call-site linking, as in the paper's prototype).
+    for (const CallContext& c : calls_) {
+      if (c.enclosing_loop < 0) continue;
+      const Procedure* callee = prog_.find_proc(c.callee);
+      if (callee == nullptr) continue;
+      for (auto& l : loops_) {
+        if (l.proc == callee->name && l.parent_id < 0) {
+          l.parent_id = c.enclosing_loop;
+        }
+      }
+    }
+  }
+
+  // --- pass 1: per-loop selection ----------------------------------------
+
+  void pass1_select() {
+    // Parents first, so inheritance sees the parent's choice.
+    std::vector<LoopDecision*> order;
+    for (auto& l : loops_) order.push_back(&l);
+    std::sort(order.begin(), order.end(),
+              [](const LoopDecision* a, const LoopDecision* b) {
+                return a->parent_id < b->parent_id;
+              });
+    // (parent ids always precede children after interprocedural linking in
+    // the benchmarks' DAG-shaped call structure; iterate to a fixed point
+    // to be safe.)
+    for (int round = 0; round < 4; ++round) {
+      for (LoopDecision* l : order) select_one(*l);
+    }
+  }
+
+  void select_one(LoopDecision& l) {
+    std::string best;
+    Affinity best_aff = -1.0;
+    for (const auto& [key, aff] : l.matrix.entries()) {
+      if (key.first != key.second) continue;  // induction = diagonal
+      if (aff > best_aff) {
+        best = key.first;
+        best_aff = aff;
+      }
+    }
+    if (best.empty()) {
+      // No induction variable: migrate the parent's selection (§4.3).
+      const LoopDecision* parent = nullptr;
+      for (const auto& p : loops_) {
+        if (p.loop_id == l.parent_id) parent = &p;
+      }
+      if (parent != nullptr && !parent->selected.empty()) {
+        l.selected = parent->selected;
+        l.selected_affinity = parent->selected_affinity;
+        l.selected_mech = Mechanism::kMigrate;
+        l.inherited = true;
+      }
+      return;
+    }
+    l.selected = best;
+    l.selected_affinity = best_aff;
+    l.inherited = false;
+    const bool migrate =
+        best_aff >= prog_.threshold - 1e-12 || l.parallelizable;
+    l.selected_mech = migrate ? Mechanism::kMigrate : Mechanism::kCache;
+  }
+
+  // --- pass 2: bottleneck analysis ---------------------------------------
+
+  void pass2_bottlenecks() {
+    // Case A: a procedure with a migrate-selected recursion loop, called
+    // from inside a parallel loop whose iterations pass the same actual.
+    for (const CallContext& c : calls_) {
+      const LoopDecision* encl = find_loop(c.enclosing_loop);
+      if (encl == nullptr || !encl->parallelizable) continue;
+      const Procedure* callee = prog_.find_proc(c.callee);
+      if (callee == nullptr) continue;
+      LoopDecision* rec = find_loop(callee->rec_loop_id);
+      if (rec == nullptr || rec->selected_mech != Mechanism::kMigrate) {
+        continue;
+      }
+      // Which actual feeds the selected induction parameter?
+      std::string base;
+      for (std::size_t i = 0; i < callee->params.size(); ++i) {
+        if (callee->params[i] == rec->selected && i < c.arg_bases.size()) {
+          base = c.arg_bases[i];
+        }
+      }
+      if (base.empty() || !encl->matrix.updates_target(base)) {
+        rec->selected_mech = Mechanism::kCache;
+        rec->bottleneck_forced = true;
+      }
+    }
+    // Case B: a while loop directly inside a parallel loop.
+    for (const LoopEntrySnapshot& s : snapshots_) {
+      const LoopDecision* encl = find_loop(s.enclosing_loop);
+      if (encl == nullptr || !encl->parallelizable) continue;
+      LoopDecision* inner = find_loop(s.loop_id);
+      if (inner == nullptr || inner->selected_mech != Mechanism::kMigrate ||
+          inner->selected.empty()) {
+        continue;
+      }
+      auto it = s.origin_at_entry.find(inner->selected);
+      const std::string base = it == s.origin_at_entry.end() ? "" : it->second;
+      if (base.empty() || !encl->matrix.updates_target(base)) {
+        inner->selected_mech = Mechanism::kCache;
+        inner->bottleneck_forced = true;
+      }
+    }
+  }
+
+  // --- output ---------------------------------------------------------------
+
+  Selection build_selection() {
+    Selection sel;
+    sel.loops = loops_;
+    sel.site_table.assign(std::max(num_sites_, sites_.size()),
+                          Mechanism::kCache);
+    for (std::size_t i = 0; i < sites_.size(); ++i) {
+      const SiteInfo& si = sites_[i];
+      if (si.loop_id >= 0) {
+        const LoopDecision* l = sel.loop(si.loop_id);
+        if (l != nullptr && l->selected == si.var &&
+            l->selected_mech == Mechanism::kMigrate) {
+          sel.site_table[i] = Mechanism::kMigrate;
+        }
+        continue;
+      }
+      // A site outside every intraprocedural loop: the enclosing control
+      // loop may span the call (the paper's loops are interprocedural even
+      // though its prototype analysis is not). If the owning procedure is
+      // invoked from a loop whose *selected* variable feeds the parameter
+      // this site dereferences, the dereference inherits that migration —
+      // e.g. the first deref of a future body's parameter, which is what
+      // moves the body to its data.
+      if (si.proc.empty() || si.var.empty()) continue;
+      const Procedure* q = prog_.find_proc(si.proc);
+      if (q == nullptr) continue;
+      for (const CallContext& c : calls_) {
+        if (c.callee != si.proc || c.enclosing_loop < 0) continue;
+        const LoopDecision* l = sel.loop(c.enclosing_loop);
+        if (l == nullptr || l->selected_mech != Mechanism::kMigrate) continue;
+        for (std::size_t a = 0;
+             a < q->params.size() && a < c.arg_bases.size(); ++a) {
+          if (q->params[a] == si.var && c.arg_bases[a] == l->selected) {
+            sel.site_table[i] = Mechanism::kMigrate;
+          }
+        }
+      }
+    }
+    return sel;
+  }
+
+  const Program& prog_;
+  std::size_t num_sites_;
+  std::vector<LoopDecision> loops_;
+  std::vector<CallContext> calls_;
+  std::vector<LoopEntrySnapshot> snapshots_;
+  std::vector<SiteInfo> sites_;
+};
+
+}  // namespace
+
+Selection analyze(const Program& program, std::size_t num_sites) {
+  return Analyzer(program, num_sites).run();
+}
+
+std::string Selection::report() const {
+  std::ostringstream os;
+  for (const LoopDecision& l : loops) {
+    os << "loop " << l.loop_id << " (" << l.proc
+       << (l.is_recursion ? ", recursion" : "")
+       << (l.parallelizable ? ", parallel" : "") << ")\n";
+    for (const auto& [key, aff] : l.matrix.entries()) {
+      os << "  update (" << key.first << " <- " << key.second
+         << ") affinity " << aff << "\n";
+    }
+    if (!l.selected.empty()) {
+      os << "  selected " << l.selected << " @ " << l.selected_affinity
+         << " -> " << to_string(l.selected_mech)
+         << (l.inherited ? " (inherited)" : "")
+         << (l.bottleneck_forced ? " (bottleneck)" : "") << "\n";
+    } else {
+      os << "  no induction variable\n";
+    }
+  }
+  os << "sites:";
+  for (std::size_t i = 0; i < site_table.size(); ++i) {
+    os << " " << i << "=" << to_string(site_table[i]);
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace olden::ir

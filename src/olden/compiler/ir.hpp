@@ -1,0 +1,149 @@
+// The mini-IR the mechanism-selection heuristic operates on (§4).
+//
+// The real Olden compiler is an lcc adaptation; its analysis, however, is
+// defined entirely on the structure this IR captures: structure types with
+// path-affinity hints on pointer fields, procedures, control loops
+// (iterative loops and recursive procedures), how pointer variables are
+// updated each iteration, which calls are futurecalls, and where the
+// pointer-dereference sites are. Each benchmark carries an IR description
+// of its annotated-C source; the Analyzer (analysis.hpp) reproduces the
+// paper's three-step selection process on it, and the resulting decision
+// table drives the runtime.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "olden/support/types.hpp"
+
+namespace olden::ir {
+
+/// Probability (0..1) that a path along a pointer field stays on the same
+/// processor (§4.1). The programmer may hint it; omitted fields use the
+/// program default.
+using Affinity = double;
+
+inline constexpr Affinity kDefaultAffinity = 0.70;
+/// Updates at or above this affinity choose computation migration (§4.3).
+inline constexpr Affinity kMigrateThreshold = 0.90;
+
+struct FieldRef {
+  std::string strct;
+  std::string field;
+};
+
+struct FieldDecl {
+  std::string name;
+  std::optional<Affinity> affinity;  ///< programmer hint, if any
+};
+
+struct StructDecl {
+  std::string name;
+  std::vector<FieldDecl> fields;
+};
+
+// --- statements ------------------------------------------------------------
+
+struct Assign;
+struct Deref;
+struct Call;
+struct If;
+struct While;
+
+using Stmt = std::variant<Assign, Deref, Call, If, While>;
+using StmtList = std::vector<Stmt>;
+
+/// target = source->f1->...->fn   (empty path: a plain pointer copy)
+struct Assign {
+  std::string target;
+  std::string source;
+  std::vector<FieldRef> path;
+  std::optional<SiteId> site;  ///< dereference site when path is nonempty
+};
+
+/// A value-producing dereference: ... = var->field (or *var). These are
+/// the program points the heuristic labels migrate-vs-cache.
+struct Deref {
+  std::string var;
+  SiteId site;
+};
+
+/// A procedure call. A self-call makes the enclosing procedure a control
+/// loop; `future` marks the futurecall annotation.
+struct Call {
+  struct Arg {
+    std::string var;            ///< base variable of the actual
+    std::vector<FieldRef> path; ///< e.g. t->list passes {t, [list]}
+  };
+  std::string callee;
+  std::vector<Arg> args;
+  bool future = false;
+};
+
+struct If {
+  StmtList then_branch;
+  StmtList else_branch;
+};
+
+/// An iterative control loop. `loop_id` must be unique program-wide.
+struct While {
+  int loop_id = -1;
+  StmtList body;
+};
+
+// helpers so StmtList literals stay readable in benchmark descriptions
+inline Stmt assign(std::string t, std::string s, std::vector<FieldRef> p = {},
+                   std::optional<SiteId> site = std::nullopt) {
+  return Assign{std::move(t), std::move(s), std::move(p), site};
+}
+inline Stmt deref(std::string v, SiteId site) {
+  return Deref{std::move(v), site};
+}
+
+// --- procedures and programs --------------------------------------------
+
+struct Procedure {
+  std::string name;
+  std::vector<std::string> params;  ///< pointer parameters
+  StmtList body;
+  /// Control-loop id for this procedure's recursion; required if the body
+  /// (self-)recurses, ignored otherwise.
+  int rec_loop_id = -1;
+};
+
+struct Program {
+  std::vector<StructDecl> structs;
+  std::vector<Procedure> procs;
+  Affinity default_affinity = kDefaultAffinity;
+  Affinity threshold = kMigrateThreshold;
+
+  [[nodiscard]] Affinity field_affinity(const FieldRef& f) const {
+    for (const StructDecl& s : structs) {
+      if (s.name != f.strct) continue;
+      for (const FieldDecl& fd : s.fields) {
+        if (fd.name == f.field) {
+          return fd.affinity.value_or(default_affinity);
+        }
+      }
+    }
+    return default_affinity;
+  }
+
+  [[nodiscard]] Affinity path_affinity(
+      const std::vector<FieldRef>& path) const {
+    Affinity a = 1.0;
+    for (const FieldRef& f : path) a *= field_affinity(f);
+    return a;
+  }
+
+  [[nodiscard]] const Procedure* find_proc(const std::string& name) const {
+    for (const Procedure& p : procs) {
+      if (p.name == name) return &p;
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace olden::ir

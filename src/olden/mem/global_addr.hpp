@@ -1,0 +1,116 @@
+// Global heap addresses: the <processor, local address> pair of the paper,
+// encoded in a single 32-bit word (§2). The top 6 bits name the processor,
+// the low 26 bits are a byte offset into that processor's heap section.
+//
+// Page and line geometry follow §3.2: allocation at 2 KB page granularity,
+// transfers at 64-byte line granularity (32 lines per page).
+#pragma once
+
+#include <cstdint>
+
+#include "olden/support/require.hpp"
+#include "olden/support/types.hpp"
+
+namespace olden {
+
+inline constexpr std::uint32_t kPageBytes = 2048;
+inline constexpr std::uint32_t kLineBytes = 64;
+inline constexpr std::uint32_t kLinesPerPage = kPageBytes / kLineBytes;  // 32
+
+inline constexpr int kProcShift = 26;
+inline constexpr std::uint32_t kLocalMask = (1u << kProcShift) - 1;
+inline constexpr std::uint32_t kMaxLocalBytes = 1u << kProcShift;  // 64 MB
+
+/// A raw global heap address. Value 0 is the null pointer (processor 0's
+/// heap never hands out offset 0).
+class GlobalAddr {
+ public:
+  constexpr GlobalAddr() = default;
+  constexpr explicit GlobalAddr(std::uint32_t raw) : raw_(raw) {}
+
+  static constexpr GlobalAddr make(ProcId proc, std::uint32_t local) {
+    return GlobalAddr((static_cast<std::uint32_t>(proc) << kProcShift) |
+                      local);
+  }
+
+  [[nodiscard]] constexpr ProcId proc() const { return raw_ >> kProcShift; }
+  [[nodiscard]] constexpr std::uint32_t local() const {
+    return raw_ & kLocalMask;
+  }
+  [[nodiscard]] constexpr std::uint32_t raw() const { return raw_; }
+  [[nodiscard]] constexpr bool is_null() const { return raw_ == 0; }
+
+  /// Global page identifier (unique across processors).
+  [[nodiscard]] constexpr std::uint32_t page_id() const {
+    return raw_ / kPageBytes;
+  }
+  /// Line index within the page, 0..31.
+  [[nodiscard]] constexpr std::uint32_t line_in_page() const {
+    return (raw_ / kLineBytes) % kLinesPerPage;
+  }
+  /// Byte offset within the page.
+  [[nodiscard]] constexpr std::uint32_t offset_in_page() const {
+    return raw_ % kPageBytes;
+  }
+  /// Address of the start of the enclosing page.
+  [[nodiscard]] constexpr GlobalAddr page_base() const {
+    return GlobalAddr(raw_ - offset_in_page());
+  }
+
+  [[nodiscard]] constexpr GlobalAddr plus(std::uint32_t bytes) const {
+    return GlobalAddr(raw_ + bytes);
+  }
+
+  friend constexpr bool operator==(GlobalAddr a, GlobalAddr b) {
+    return a.raw_ == b.raw_;
+  }
+  friend constexpr bool operator!=(GlobalAddr a, GlobalAddr b) {
+    return a.raw_ != b.raw_;
+  }
+
+ private:
+  std::uint32_t raw_ = 0;
+};
+
+/// A typed global pointer: what an Olden program variable of pointer type
+/// holds. sizeof(GPtr<T>) == 4, so pointer fields inside heap structures
+/// cost the same four bytes they did on the CM-5.
+template <class T>
+class GPtr {
+ public:
+  constexpr GPtr() = default;
+  constexpr explicit GPtr(GlobalAddr a) : addr_(a) {}
+
+  [[nodiscard]] constexpr GlobalAddr addr() const { return addr_; }
+  [[nodiscard]] constexpr ProcId proc() const { return addr_.proc(); }
+  [[nodiscard]] constexpr bool is_null() const { return addr_.is_null(); }
+  constexpr explicit operator bool() const { return !is_null(); }
+
+  /// Array indexing: the address of element i of a T[] starting here.
+  [[nodiscard]] constexpr GPtr<T> at(std::uint32_t i) const {
+    return GPtr<T>(addr_.plus(i * static_cast<std::uint32_t>(sizeof(T))));
+  }
+
+  friend constexpr bool operator==(GPtr a, GPtr b) {
+    return a.addr_ == b.addr_;
+  }
+  friend constexpr bool operator!=(GPtr a, GPtr b) {
+    return a.addr_ != b.addr_;
+  }
+
+ private:
+  GlobalAddr addr_;
+};
+
+/// Byte offset of member `field` within S, computed from a live object
+/// (offsetof requires a literal member name, which the templated access
+/// path does not have). S must be default-constructible.
+template <class S, class T>
+std::uint32_t member_offset(T S::* field) {
+  static const S probe{};
+  return static_cast<std::uint32_t>(
+      reinterpret_cast<const char*>(&(probe.*field)) -
+      reinterpret_cast<const char*>(&probe));
+}
+
+}  // namespace olden

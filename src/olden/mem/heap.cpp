@@ -1,0 +1,61 @@
+#include "olden/mem/heap.hpp"
+
+namespace olden {
+
+namespace {
+// Sections grow in 1 MB steps so a 32-processor machine holding a small
+// benchmark does not reserve 2 GB up front.
+constexpr std::uint32_t kGrowChunk = 1u << 20;
+}  // namespace
+
+DistHeap::DistHeap(ProcId nprocs) : sections_(nprocs) {
+  OLDEN_REQUIRE(nprocs >= 1 && nprocs <= kMaxProcs,
+                "machine size out of range");
+  // Local offset 0 on processor 0 would encode the null pointer; burn the
+  // first line of every section so no allocation ever aliases null.
+  for (auto& s : sections_) s.top = kLineBytes;
+}
+
+GlobalAddr DistHeap::allocate(ProcId proc, std::uint32_t size,
+                              std::uint32_t align) {
+  OLDEN_REQUIRE(proc < sections_.size(), "ALLOC on a nonexistent processor");
+  OLDEN_REQUIRE(size > 0, "zero-byte allocation");
+  OLDEN_REQUIRE(align > 0 && (align & (align - 1)) == 0 &&
+                    align <= kLineBytes,
+                "alignment must be a power of two no larger than a line");
+  Section& s = sections_[proc];
+  const std::uint32_t base = (s.top + align - 1) & ~(align - 1);
+  const std::uint32_t end = base + size;
+  OLDEN_REQUIRE(end <= kMaxLocalBytes, "processor heap section exhausted");
+  if (end > s.storage.size()) {
+    std::uint32_t want = static_cast<std::uint32_t>(s.storage.size());
+    while (want < end) want += kGrowChunk;
+    s.storage.resize(want);
+  }
+  s.top = end;
+  return GlobalAddr::make(proc, base);
+}
+
+std::byte* DistHeap::home_ptr(GlobalAddr a, std::uint32_t size) {
+  Section& s = sections_[a.proc()];
+  OLDEN_REQUIRE(!a.is_null(), "dereference of a null global pointer");
+  OLDEN_REQUIRE(a.local() + size <= s.top,
+                "global address outside the owning heap section");
+  return s.storage.data() + a.local();
+}
+
+const std::byte* DistHeap::home_ptr(GlobalAddr a, std::uint32_t size) const {
+  return const_cast<DistHeap*>(this)->home_ptr(a, size);
+}
+
+const std::byte* DistHeap::line_home(GlobalAddr line_base) const {
+  const Section& s = sections_[line_base.proc()];
+  OLDEN_REQUIRE(line_base.local() % kLineBytes == 0, "not a line base");
+  OLDEN_REQUIRE(line_base.local() < s.top,
+                "line fetch outside the owning heap section");
+  OLDEN_REQUIRE(line_base.local() + kLineBytes <= s.storage.size(),
+                "heap storage not line-padded");
+  return s.storage.data() + line_base.local();
+}
+
+}  // namespace olden

@@ -1,0 +1,55 @@
+// The distributed heap: one section per processor, carved into 2 KB pages.
+//
+// This is the memory the paper's ALLOC library routine manages (§2): the
+// caller names a processor, the allocator bumps that processor's section and
+// returns a global address encoding <proc, local>. Home memory is the
+// authoritative copy — the software cache is write-through, so a processor's
+// section always holds the current value of every word it owns.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "olden/mem/global_addr.hpp"
+#include "olden/support/require.hpp"
+#include "olden/support/types.hpp"
+
+namespace olden {
+
+class DistHeap {
+ public:
+  explicit DistHeap(ProcId nprocs);
+
+  /// Allocate `size` bytes on processor `proc`, aligned to `align`
+  /// (a power of two, at most one line). Never returns a null address.
+  GlobalAddr allocate(ProcId proc, std::uint32_t size, std::uint32_t align);
+
+  /// Host pointer to the authoritative (home) copy of `a`. The `size`
+  /// bytes starting at `a` must lie inside the owning section.
+  [[nodiscard]] std::byte* home_ptr(GlobalAddr a, std::uint32_t size);
+  [[nodiscard]] const std::byte* home_ptr(GlobalAddr a,
+                                          std::uint32_t size) const;
+
+  /// Host pointer to a whole 64-byte line for cache fills. Unlike
+  /// home_ptr, the line's tail may extend past the bump pointer (a line
+  /// fetch moves whole lines regardless of object boundaries); storage is
+  /// always sized in line multiples, so the read stays in bounds.
+  [[nodiscard]] const std::byte* line_home(GlobalAddr line_base) const;
+
+  [[nodiscard]] ProcId nprocs() const {
+    return static_cast<ProcId>(sections_.size());
+  }
+  [[nodiscard]] std::uint32_t bytes_used(ProcId proc) const {
+    return sections_[proc].top;
+  }
+
+ private:
+  struct Section {
+    std::vector<std::byte> storage;
+    std::uint32_t top = 0;  // bump pointer (local offset)
+  };
+
+  std::vector<Section> sections_;
+};
+
+}  // namespace olden

@@ -1,0 +1,40 @@
+// Umbrella header: the whole Olden public API.
+//
+// Quickstart:
+//
+//   #include "olden/olden.hpp"
+//   using namespace olden;
+//
+//   struct Node { std::int64_t val; GPtr<Node> next; };
+//   enum Site : SiteId { kNext, kVal, kNumSites };
+//
+//   Task<std::int64_t> sum(Machine& m, GPtr<Node> l) {
+//     std::int64_t acc = 0;
+//     while (l) {
+//       acc += co_await rd(l, &Node::val, kVal);
+//       l = co_await rd(l, &Node::next, kNext);
+//       m.work(8);
+//     }
+//     co_return acc;
+//   }
+//
+//   Machine m({.nprocs = 8});
+//   m.set_site_mechanisms({Mechanism::kCache, Mechanism::kCache});
+//   // ... build the list with m.alloc<Node>(proc) inside a root Task ...
+//   auto total = run_program(m, root(m));
+//
+// See examples/ for complete programs and src/olden/compiler for the
+// heuristic that fills the mechanism table automatically.
+#pragma once
+
+#include "olden/cache/coherence.hpp"
+#include "olden/cache/software_cache.hpp"
+#include "olden/mem/global_addr.hpp"
+#include "olden/mem/heap.hpp"
+#include "olden/runtime/api.hpp"
+#include "olden/runtime/machine.hpp"
+#include "olden/runtime/task.hpp"
+#include "olden/support/cost_model.hpp"
+#include "olden/support/rng.hpp"
+#include "olden/support/stats.hpp"
+#include "olden/support/types.hpp"

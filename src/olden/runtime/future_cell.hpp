@@ -1,0 +1,65 @@
+// FutureCell and WorkItem: the runtime side of Olden's futures (§2).
+//
+// futurecall saves the caller's continuation on the local work list and
+// runs the body directly. Only if the body migrates away does the (now
+// idle) processor pop a continuation and start executing it — "future
+// stealing" — which is the only point where a new thread is created. If no
+// migration occurs the body completes inline, the continuation is popped
+// unexecuted, and no thread was ever made (lazy task creation).
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+
+#include "olden/support/types.hpp"
+
+namespace olden {
+
+struct ThreadState;
+struct FutureCell;
+
+/// A stealable continuation on a processor's work list.
+struct WorkItem {
+  std::coroutine_handle<> cont;   ///< caller resumption point
+  FutureCell* cell = nullptr;
+  bool taken = false;  ///< popped (stolen, or consumed by inline return)
+  /// Still referenced by a work-list deque. The cell cannot be freed while
+  /// true (the lazy pruning there must be able to read `taken`); touch
+  /// marks the cell a zombie instead and the pop frees it.
+  bool in_worklist = false;
+};
+
+/// One outstanding future. Lives on the host heap; logically resides on the
+/// processor that executed the futurecall (`home`). The body's coroutine
+/// frame is owned by the cell so its promise (which holds the return value)
+/// survives until the touch consumes it.
+struct FutureCell {
+  ProcId home = 0;
+  bool resolved = false;
+
+  /// The future body's root coroutine; destroyed with the cell.
+  std::coroutine_handle<> body;
+
+  /// The saved caller continuation (null once taken and retired).
+  WorkItem item;
+
+  /// A thread blocked in touch, if any.
+  std::coroutine_handle<> waiter;
+  ThreadState* waiter_thread = nullptr;
+  ProcId waiter_proc = 0;
+
+  /// Set when the body completed on a processor other than `home`: the
+  /// resolution message is then a release, and the touch that consumes the
+  /// value performs the matching acquire (coherence event).
+  bool resolved_remotely = false;
+  /// Processors the body's thread wrote — the acquire invalidates only
+  /// lines homed there (the same precision as the return-stub
+  /// optimization of §3.2).
+  ProcSet writer_written;
+
+  /// Touched (value consumed, body frame destroyed) but still pinned by
+  /// item.in_worklist; freed when the work list lets go.
+  bool zombie = false;
+};
+
+}  // namespace olden

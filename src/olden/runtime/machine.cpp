@@ -1,0 +1,590 @@
+#include "olden/runtime/machine.hpp"
+
+#include <algorithm>
+
+namespace olden {
+
+Machine* Machine::current_ = nullptr;
+
+Machine::Machine(RunConfig cfg)
+    : cfg_(cfg), heap_(cfg.nprocs), procs_(cfg.nprocs) {
+  prev_machine_ = current_;
+  current_ = this;
+}
+
+Machine::~Machine() {
+  // Free zombie cells still pinned by work-list deques.
+  for (Proc& pr : procs_) {
+    for (WorkItem* w : pr.worklist) {
+      if (w->in_worklist) unlink_item(w);
+    }
+  }
+  current_ = prev_machine_;
+}
+
+GlobalAddr Machine::alloc_raw(ProcId home, std::uint32_t size,
+                              std::uint32_t align) {
+  if (cur_thread_ != nullptr && !baseline()) {
+    charge(home == cur_proc() ? cfg_.costs.alloc_local
+                              : cfg_.costs.alloc_remote);
+    if (home != cur_proc()) procs_[home].clock += cfg_.costs.remote_handler;
+  }
+  ++stats_.allocations;
+  stats_.bytes_allocated += size;
+  return heap_.allocate(home, size, align);
+}
+
+// ---------------------------------------------------------------------------
+// Heap access
+// ---------------------------------------------------------------------------
+
+void Machine::home_copy(GlobalAddr a, void* buf, std::uint32_t size,
+                        bool is_write) {
+  std::byte* home = heap_.home_ptr(a, size);
+  if (is_write) {
+    std::memcpy(home, buf, size);
+  } else {
+    std::memcpy(buf, home, size);
+  }
+}
+
+void Machine::track_write(GlobalAddr a, std::uint32_t size) {
+  ThreadState& t = *cur_thread_;
+  t.written.add(a.proc());
+  if (!tracks_writes(cfg_.scheme)) return;
+  // Compiler-inserted write tracking (Appendix A): log the dirtied lines
+  // and charge 7 or 23 instructions depending on whether the page is
+  // shared. The home's directory entry also learns the dirty lines (the
+  // write-through message carries them).
+  std::uint32_t done = 0;
+  while (done < size) {
+    const GlobalAddr cur = a.plus(done);
+    const std::uint32_t line_off = cur.raw() % kLineBytes;
+    const std::uint32_t chunk = std::min(size - done, kLineBytes - line_off);
+    HomePageInfo& info = directory_.page(cur.page_id());
+    charge(info.shared ? cfg_.costs.write_track_shared
+                       : cfg_.costs.write_track_unshared);
+    ++stats_.tracked_writes;
+    const std::uint32_t mask = 1u << cur.line_in_page();
+    t.write_log.record(cur.page_id(), mask);
+    info.dirty_since_bump |= mask;
+    done += chunk;
+  }
+}
+
+bool Machine::access(GlobalAddr a, void* buf, std::uint32_t size,
+                     bool is_write, SiteId site) {
+  OLDEN_REQUIRE(!a.is_null(), "dereference of a null global pointer");
+  Proc& pr = procs_[cur_proc()];
+  if (baseline()) {
+    pr.clock += 1;
+    home_copy(a, buf, size, is_write);
+    return true;
+  }
+  pr.clock += cfg_.costs.pointer_test;
+  const bool local = a.proc() == cur_proc();
+  const Mechanism mech = mechanism(site);
+
+  if (mech == Mechanism::kCache) {
+    if (is_write) {
+      ++stats_.cacheable_writes;
+    } else {
+      ++stats_.cacheable_reads;
+    }
+    if (local) {
+      pr.clock += cfg_.costs.local_access;
+      home_copy(a, buf, size, is_write);
+      if (is_write) track_write(a, size);
+      return true;
+    }
+    if (is_write) {
+      ++stats_.cacheable_writes_remote;
+    } else {
+      ++stats_.cacheable_reads_remote;
+    }
+    cached_access(cur_proc(), a, buf, size, is_write);
+    return true;
+  }
+
+  // Migration mechanism.
+  if (local) {
+    if (is_write) {
+      ++stats_.local_writes;
+    } else {
+      ++stats_.local_reads;
+    }
+    pr.clock += cfg_.costs.local_access;
+    home_copy(a, buf, size, is_write);
+    if (is_write) track_write(a, size);
+    return true;
+  }
+  return false;  // the awaiter suspends and calls migrate_to()
+}
+
+void Machine::finish_access_local(GlobalAddr a, void* buf, std::uint32_t size,
+                                  bool is_write) {
+  OLDEN_REQUIRE(a.proc() == cur_proc(), "migration landed on the wrong node");
+  if (is_write) {
+    ++stats_.local_writes;
+  } else {
+    ++stats_.local_reads;
+  }
+  procs_[cur_proc()].clock += cfg_.costs.local_access;
+  home_copy(a, buf, size, is_write);
+  if (is_write) track_write(a, size);
+}
+
+void Machine::cached_access(ProcId p, GlobalAddr a, void* buf,
+                            std::uint32_t size, bool is_write) {
+  Proc& pr = procs_[p];
+  auto* user = static_cast<std::byte*>(buf);
+  std::uint32_t done = 0;
+  bool any_miss = false;
+  while (done < size) {
+    const GlobalAddr cur = a.plus(done);
+    const std::uint32_t line_off = cur.raw() % kLineBytes;
+    const std::uint32_t chunk = std::min(size - done, kLineBytes - line_off);
+    const std::uint32_t page_id = cur.page_id();
+    const std::uint32_t line = cur.line_in_page();
+    const std::uint32_t bit = 1u << line;
+
+    // Translation-table lookup (Figure 1).
+    auto lr = pr.cache.lookup(page_id);
+    pr.clock += cfg_.costs.cache_lookup;
+    if (lr.chain_steps > 1) {
+      pr.clock += (lr.chain_steps - 1) * cfg_.costs.cache_chain_step;
+    }
+    SoftwareCache::PageEntry* e = lr.entry;
+    if (e == nullptr) {
+      bool created = false;
+      e = &pr.cache.ensure_page(page_id, created);
+      OLDEN_REQUIRE(created, "lookup missed a present page");
+      pr.clock += cfg_.costs.page_alloc;
+      ++stats_.pages_cached;
+    }
+    if (e->suspect) {
+      if (cfg_.scheme == Coherence::kBilateral) {
+        revalidate_suspect_page(p, *e);
+      } else {
+        e->suspect = false;
+      }
+    }
+
+    if (!is_write && (e->valid & bit) == 0) {
+      // Line miss: fetch 64 bytes from the home (active-message round
+      // trip; the home's handler steals cycles from its own thread).
+      any_miss = true;
+      pr.clock += cfg_.costs.cache_miss;
+      procs_[page_home(page_id)].clock += cfg_.costs.remote_handler;
+      const GlobalAddr line_base((cur.raw() / kLineBytes) * kLineBytes);
+      std::memcpy(e->frame.get() + line * kLineBytes,
+                  heap_.line_home(line_base), kLineBytes);
+      e->valid |= bit;
+      HomePageInfo& info = directory_.page(page_id);
+      info.sharers.add(p);
+      info.shared = true;
+      if (cfg_.scheme == Coherence::kBilateral) e->version = info.version;
+    }
+
+    if (is_write) {
+      // Write-through, no-allocate: the home always gets the bytes; a
+      // valid cached line is updated in place.
+      std::memcpy(heap_.home_ptr(cur, chunk), user + done, chunk);
+      if ((e->valid & bit) != 0) {
+        std::memcpy(e->frame.get() + line * kLineBytes + line_off,
+                    user + done, chunk);
+      }
+    } else {
+      std::memcpy(user + done, e->frame.get() + line * kLineBytes + line_off,
+                  chunk);
+    }
+    done += chunk;
+  }
+
+  if (is_write) {
+    pr.clock += cfg_.costs.remote_write;
+    procs_[a.proc()].clock += cfg_.costs.remote_handler;
+    track_write(a, size);
+  } else if (any_miss) {
+    ++stats_.cache_misses;
+  } else {
+    ++stats_.cache_hits;
+  }
+}
+
+void Machine::revalidate_suspect_page(ProcId p,
+                                      SoftwareCache::PageEntry& entry) {
+  Proc& pr = procs_[p];
+  pr.clock += cfg_.costs.timestamp_check;
+  procs_[page_home(entry.page_id)].clock += cfg_.costs.remote_handler;
+  ++stats_.timestamp_checks;
+  const HomePageInfo& info = directory_.page(entry.page_id);
+  if (entry.version == info.version) {
+    // Nothing released since we validated: every line stays valid.
+  } else if (entry.version + 1 == info.version) {
+    stats_.lines_invalidated += static_cast<std::uint64_t>(
+        __builtin_popcount(entry.valid & info.last_released));
+    entry.valid &= ~info.last_released;
+  } else {
+    stats_.lines_invalidated +=
+        static_cast<std::uint64_t>(__builtin_popcount(entry.valid));
+    entry.valid = 0;
+  }
+  entry.version = info.version;
+  entry.suspect = false;
+}
+
+// ---------------------------------------------------------------------------
+// Coherence protocol events
+// ---------------------------------------------------------------------------
+
+void Machine::on_release(ThreadState& t) {
+  if (!tracks_writes(cfg_.scheme) || t.write_log.empty()) {
+    t.write_log.clear();
+    return;
+  }
+  const ProcId src = t.proc;
+  if (cfg_.scheme == Coherence::kEagerGlobal) {
+    // Push line-grain invalidations to every sharer of each dirtied page
+    // and collect (implicit) acknowledgements before the migration leaves.
+    t.write_log.for_each([&](std::uint32_t page, std::uint32_t mask) {
+      const ProcId home = page_home(page);
+      if (home != src) {
+        procs_[src].clock += cfg_.costs.invalidate_send;
+        procs_[home].clock += cfg_.costs.remote_handler;
+      }
+      HomePageInfo& info = directory_.page(page);
+      info.sharers.for_each([&](ProcId s) {
+        if (s == src) return;  // the writer's own copy was updated in place
+        ++stats_.invalidation_messages;
+        procs_[src].clock += cfg_.costs.invalidate_send;
+        procs_[s].clock += cfg_.costs.invalidate_recv;
+        stats_.lines_invalidated += procs_[s].cache.invalidate_lines(page, mask);
+      });
+      info.dirty_since_bump = 0;
+    });
+  } else {  // bilateral
+    // Bump the home version of every written page; no sharer fan-out.
+    t.write_log.for_each([&](std::uint32_t page, std::uint32_t mask) {
+      const ProcId home = page_home(page);
+      if (home != src) {
+        procs_[src].clock += cfg_.costs.invalidate_send;
+        procs_[home].clock += cfg_.costs.remote_handler;
+      }
+      HomePageInfo& info = directory_.page(page);
+      info.version += 1;
+      info.last_released = info.dirty_since_bump | mask;
+      info.dirty_since_bump = 0;
+    });
+  }
+  t.write_log.clear();
+}
+
+void Machine::on_acquire(ProcId p, const ProcSet* writers) {
+  switch (cfg_.scheme) {
+    case Coherence::kLocalKnowledge:
+      ++stats_.cache_flushes;
+      if (writers != nullptr) {
+        stats_.lines_invalidated +=
+            procs_[p].cache.invalidate_from_procs(*writers);
+      } else {
+        stats_.lines_invalidated += procs_[p].cache.invalidate_all();
+      }
+      break;
+    case Coherence::kEagerGlobal:
+      break;  // invalidations were pushed at the matching release
+    case Coherence::kBilateral:
+      procs_[p].cache.mark_all_suspect();
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Migration
+// ---------------------------------------------------------------------------
+
+void Machine::migrate_to(ProcId target, std::coroutine_handle<> h) {
+  ThreadState* t = cur_thread_;
+  OLDEN_REQUIRE(target != t->proc, "migration to the current processor");
+  ++stats_.migrations;
+  ++t->migrations;
+  on_release(*t);
+  Proc& src = procs_[t->proc];
+  src.clock += cfg_.costs.migration_send;
+  schedule(Event{.time = src.clock + cfg_.costs.migration_wire,
+                 .seq = next_seq_++,
+                 .kind = EventKind::kMigrationArrive,
+                 .target = target,
+                 .h = h,
+                 .thread = t});
+}
+
+void Machine::resume_soon(std::coroutine_handle<> h) {
+  Proc& pr = procs_[cur_proc()];
+  pr.ready.push_front(ReadyItem{h, cur_thread_, pr.clock});
+}
+
+void Machine::on_task_final(std::coroutine_handle<> cont, ProcId call_proc,
+                            FutureCell* cell) {
+  ThreadState* t = cur_thread_;
+  if (cell != nullptr) {
+    // A future body finished.
+    if (t->proc == cell->home) {
+      cell->resolved = true;
+      cell->writer_written = t->written;
+      if (!cell->item.taken) {
+        // Lazy task creation pay-off: nothing migrated the body away from
+        // this processor for long enough for the continuation to be
+        // stolen — pop it and continue as the same thread.
+        cell->item.taken = true;
+        ++stats_.futures_inlined;
+        resume_soon(cell->item.cont);
+        return;
+      }
+      if (cell->waiter) {
+        const auto waiter = cell->waiter;
+        cell->waiter = nullptr;
+        procs_[cell->waiter_proc].ready.push_back(
+            ReadyItem{waiter, cell->waiter_thread, procs_[t->proc].clock});
+      }
+      return;  // this thread retires
+    }
+    // Remote completion: the resolution message is a release.
+    on_release(*t);
+    cell->resolved_remotely = true;
+    cell->writer_written = t->written;
+    Proc& src = procs_[t->proc];
+    src.clock += cfg_.costs.future_resolve_msg;
+    schedule(Event{.time = src.clock,
+                   .seq = next_seq_++,
+                   .kind = EventKind::kResolveFuture,
+                   .target = cell->home,
+                   .h = nullptr,
+                   .thread = nullptr,
+                   .cell = cell});
+    return;  // this thread retires
+  }
+
+  if (cont == nullptr) {
+    note_root_done();
+    return;
+  }
+
+  if (t->proc != call_proc) {
+    // Return stub (§3.1): send registers + return address back to the
+    // caller's processor; the frame stays behind.
+    ++stats_.return_migrations;
+    on_release(*t);
+    Proc& src = procs_[t->proc];
+    src.clock += cfg_.costs.return_send;
+    schedule(Event{.time = src.clock + cfg_.costs.return_wire,
+                   .seq = next_seq_++,
+                   .kind = EventKind::kReturnArrive,
+                   .target = call_proc,
+                   .h = cont,
+                   .thread = t});
+    return;
+  }
+  resume_soon(cont);  // plain local return: resume the caller next
+}
+
+// ---------------------------------------------------------------------------
+// Futures
+// ---------------------------------------------------------------------------
+
+FutureCell* Machine::make_future_cell(std::coroutine_handle<> caller_cont,
+                                      std::coroutine_handle<> body) {
+  ++stats_.futurecalls;
+  charge(cfg_.costs.future_call);
+  auto* cell = new FutureCell;
+  cell->home = cur_proc();
+  cell->body = body;
+  cell->item = WorkItem{caller_cont, cell, false, true};
+  procs_[cur_proc()].worklist.push_back(&cell->item);
+  ++cells_live_;
+  return cell;
+}
+
+bool Machine::future_ready(FutureCell* cell) {
+  charge(cfg_.costs.future_touch);
+  return cell->resolved;
+}
+
+void Machine::block_on_future(FutureCell* cell, std::coroutine_handle<> h) {
+  OLDEN_REQUIRE(!cell->waiter, "a future may be touched only once");
+  ++stats_.touches_blocked;
+  cell->waiter = h;
+  cell->waiter_thread = cur_thread_;
+  cell->waiter_proc = cur_proc();
+}
+
+void Machine::on_touch_consume(FutureCell* cell) {
+  if (baseline()) return;
+  if (cell->resolved_remotely) {
+    on_acquire(cur_proc(), &cell->writer_written);
+  }
+  // The toucher now carries responsibility for the body's writes: its own
+  // later return-stub / resolution invalidations must cover them, or a
+  // grandparent could read stale lines the grandchild wrote.
+  if (cur_thread() != nullptr) {
+    ProcSet merged = cur_thread()->written;
+    cell->writer_written.for_each([&](ProcId p) { merged.add(p); });
+    cur_thread()->written = merged;
+  }
+}
+
+void Machine::destroy_cell(FutureCell* cell) {
+  OLDEN_REQUIRE(cell->resolved, "destroying an unresolved future");
+  cell->body.destroy();
+  cell->body = nullptr;
+  --cells_live_;
+  if (cell->item.in_worklist) {
+    cell->zombie = true;  // the work-list pop frees it
+  } else {
+    delete cell;
+  }
+}
+
+void Machine::unlink_item(WorkItem* w) {
+  w->in_worklist = false;
+  if (w->cell->zombie) delete w->cell;
+}
+
+void Machine::resolve_future_at_home(FutureCell* cell) {
+  const ProcId home = cell->home;
+  procs_[home].clock += cfg_.costs.remote_handler;
+  cell->resolved = true;
+  if (!cell->item.taken) {
+    // The continuation was never stolen (the processor had other work the
+    // whole time); the resolution makes it runnable as a fresh thread.
+    cell->item.taken = true;
+    ThreadState* nt = new_thread(home);
+    ++stats_.futures_stolen;
+    procs_[home].ready.push_back(
+        ReadyItem{cell->item.cont, nt, procs_[home].clock});
+    return;
+  }
+  if (cell->waiter) {
+    const auto waiter = cell->waiter;
+    cell->waiter = nullptr;
+    procs_[cell->waiter_proc].ready.push_back(
+        ReadyItem{waiter, cell->waiter_thread, procs_[home].clock});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler
+// ---------------------------------------------------------------------------
+
+ThreadState* Machine::new_thread(ProcId p) {
+  threads_.emplace_back();
+  ThreadState& t = threads_.back();
+  t.id = next_thread_id_++;
+  t.proc = p;
+  return &t;
+}
+
+void Machine::post_root(std::coroutine_handle<> h) {
+  ThreadState* t = new_thread(0);
+  procs_[0].ready.push_back(ReadyItem{h, t, 0});
+}
+
+void Machine::schedule(Event e) { events_.push(std::move(e)); }
+
+void Machine::apply(const Event& e) {
+  switch (e.kind) {
+    case EventKind::kMigrationArrive: {
+      e.thread->proc = e.target;
+      procs_[e.target].clock += cfg_.costs.migration_recv;
+      on_acquire(e.target, nullptr);
+      procs_[e.target].ready.push_back(ReadyItem{e.h, e.thread, e.time});
+      break;
+    }
+    case EventKind::kReturnArrive: {
+      e.thread->proc = e.target;
+      procs_[e.target].clock += cfg_.costs.return_recv;
+      on_acquire(e.target, &e.thread->written);
+      e.thread->written.clear();
+      procs_[e.target].ready.push_back(ReadyItem{e.h, e.thread, e.time});
+      break;
+    }
+    case EventKind::kResolveFuture: {
+      resolve_future_at_home(e.cell);
+      break;
+    }
+  }
+}
+
+void Machine::resume_on(ProcId p, std::coroutine_handle<> h, ThreadState* t) {
+  OLDEN_REQUIRE(t->proc == p, "thread resumed on the wrong processor");
+  ThreadState* prev = cur_thread_;
+  cur_thread_ = t;
+  h.resume();
+  cur_thread_ = prev;
+}
+
+void Machine::run_ready(ProcId p) {
+  Proc& pr = procs_[p];
+  for (;;) {
+    if (!pr.ready.empty()) {
+      ReadyItem it = pr.ready.front();
+      pr.ready.pop_front();
+      if (it.time > pr.clock) pr.clock = it.time;
+      resume_on(p, it.h, it.thread);
+      continue;
+    }
+    // Idle: future stealing — pop the oldest live continuation (oldest
+    // first gives the largest-granularity task, as in lazy task creation).
+    WorkItem* w = nullptr;
+    while (!pr.worklist.empty()) {
+      WorkItem* c = pr.worklist.front();
+      pr.worklist.pop_front();
+      if (c->taken) {
+        unlink_item(c);
+        continue;
+      }
+      w = c;
+      unlink_item(c);
+      break;
+    }
+    if (w == nullptr) break;
+    w->taken = true;
+    pr.clock += cfg_.costs.future_steal;
+    ThreadState* nt = new_thread(p);
+    ++stats_.futures_stolen;
+    resume_on(p, w->cont, nt);
+  }
+}
+
+void Machine::drain() {
+  for (;;) {
+    bool ran = false;
+    for (ProcId p = 0; p < cfg_.nprocs; ++p) {
+      Proc& pr = procs_[p];
+      while (!pr.worklist.empty() && pr.worklist.front()->taken) {
+        unlink_item(pr.worklist.front());
+        pr.worklist.pop_front();
+      }
+      if (!pr.ready.empty() || !pr.worklist.empty()) {
+        run_ready(p);
+        ran = true;
+      }
+    }
+    if (!events_.empty()) {
+      const Event e = events_.top();
+      events_.pop();
+      apply(e);
+      continue;
+    }
+    if (!ran) break;
+  }
+  OLDEN_REQUIRE(root_done_, "machine quiescent before the program finished");
+}
+
+Cycles Machine::makespan() const {
+  Cycles m = 0;
+  for (const Proc& p : procs_) m = std::max(m, p.clock);
+  return m;
+}
+
+}  // namespace olden

@@ -1,0 +1,260 @@
+// Machine: the simulated distributed-memory SPMD machine plus the Olden
+// runtime system, in one deterministic discrete-event simulator.
+//
+// This stands in for the Thinking Machines CM-5 of the paper (see
+// DESIGN.md §2 for the substitution argument). Each virtual processor has
+// a cycle clock, a software cache, a ready queue of runnable threads and a
+// work list of stealable future continuations. Communication — thread
+// migrations, cache-line fetches, write-throughs, invalidations, future
+// resolutions — is modelled as timestamped events with CM-5-calibrated
+// costs from CostModel.
+//
+// Execution model: Olden threads are chains of C++20 coroutine frames.
+// The host runs one coroutine at a time; resuming a thread executes it
+// synchronously until it suspends (migration, blocked touch, procedure
+// return-stub, or completion), advancing its processor's virtual clock as
+// it goes. Processors are non-preemptive, as on the CM-5. Determinism:
+// events are ordered by (time, sequence number), and all workload
+// randomness comes from seeded olden::Rng.
+#pragma once
+
+#include <coroutine>
+#include <cstring>
+#include <deque>
+#include <queue>
+#include <type_traits>
+#include <vector>
+
+#include "olden/cache/coherence.hpp"
+#include "olden/cache/software_cache.hpp"
+#include "olden/mem/global_addr.hpp"
+#include "olden/mem/heap.hpp"
+#include "olden/runtime/future_cell.hpp"
+#include "olden/runtime/thread.hpp"
+#include "olden/support/cost_model.hpp"
+#include "olden/support/require.hpp"
+#include "olden/support/stats.hpp"
+#include "olden/support/types.hpp"
+
+namespace olden {
+
+struct RunConfig {
+  ProcId nprocs = 1;
+  Coherence scheme = Coherence::kLocalKnowledge;
+  CostModel costs;
+};
+
+class Machine {
+ public:
+  explicit Machine(RunConfig cfg);
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  /// The machine the currently-running coroutine belongs to. Coroutine
+  /// promises and awaiters reach the runtime through this, the same way an
+  /// executor is ambient in most coroutine runtimes.
+  static Machine& current() {
+    OLDEN_REQUIRE(current_ != nullptr, "no Machine is live");
+    return *current_;
+  }
+
+  // --- program construction --------------------------------------------
+
+  /// Install the mechanism decision table produced by the heuristic
+  /// (indexed by SiteId). Sites not covered default to kCache.
+  void set_site_mechanisms(std::vector<Mechanism> table) {
+    site_mech_ = std::move(table);
+  }
+  [[nodiscard]] Mechanism mechanism(SiteId s) const {
+    return s < site_mech_.size() ? site_mech_[s] : Mechanism::kCache;
+  }
+
+  /// ALLOC: allocate one T on processor `home` (§2). T must be a
+  /// trivially-copyable aggregate — the restricted-C object model.
+  template <class T>
+  GPtr<T> alloc(ProcId home) {
+    return alloc_array<T>(home, 1);
+  }
+
+  template <class T>
+  GPtr<T> alloc_array(ProcId home, std::uint32_t n) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "heap structures must be trivially copyable");
+    static_assert(alignof(T) <= kLineBytes);
+    const GlobalAddr a = alloc_raw(
+        home, n * static_cast<std::uint32_t>(sizeof(T)), alignof(T));
+    return GPtr<T>(a);
+  }
+
+  GlobalAddr alloc_raw(ProcId home, std::uint32_t size, std::uint32_t align);
+
+  // --- in-thread services (called from coroutines via awaiters) ---------
+
+  /// Charge `c` cycles of computation to the current processor.
+  void work(Cycles c) { procs_[cur_proc()].clock += c; }
+
+  [[nodiscard]] ProcId cur_proc() const {
+    OLDEN_REQUIRE(cur_thread_ != nullptr, "no thread is running");
+    return cur_thread_->proc;
+  }
+  [[nodiscard]] ThreadState* cur_thread() const { return cur_thread_; }
+  [[nodiscard]] ProcId nprocs() const { return cfg_.nprocs; }
+  [[nodiscard]] const RunConfig& config() const { return cfg_; }
+  [[nodiscard]] bool baseline() const { return cfg_.costs.sequential_baseline; }
+
+  /// One heap access at a dereference site. Fills/consumes `buf` (size
+  /// bytes). Returns true if the access completed (local, or satisfied via
+  /// the software cache); false means the caller must suspend and the
+  /// machine will migrate the thread to `a`'s owner (call
+  /// `migrate_to(...)` from await_suspend, then `finish_access_local`
+  /// from await_resume).
+  bool access(GlobalAddr a, void* buf, std::uint32_t size, bool is_write,
+              SiteId site);
+
+  /// Begin a forward computation migration of the current thread to
+  /// `target`; `h` resumes on arrival.
+  void migrate_to(ProcId target, std::coroutine_handle<> h);
+
+  /// Complete the access that triggered a migration (now local).
+  void finish_access_local(GlobalAddr a, void* buf, std::uint32_t size,
+                           bool is_write);
+
+  // --- hooks used by Task / future awaiters ------------------------------
+
+  /// A procedure finished. Routes control onward: the caller continuation
+  /// or an inlined future continuation is queued for immediate resumption
+  /// (a scheduler trampoline — unbounded call/return chains must not grow
+  /// the host stack), return stubs and remote resolutions go through the
+  /// event queue, and the thread retires when nothing continues it.
+  void on_task_final(std::coroutine_handle<> cont, ProcId call_proc,
+                     FutureCell* cell);
+
+  /// Queue `h` to resume next on the current processor, as the current
+  /// thread, at the current time (LIFO, ahead of queued arrivals).
+  void resume_soon(std::coroutine_handle<> h);
+
+  /// futurecall bookkeeping: make a cell, park the caller continuation on
+  /// the work list. The caller then symmetric-transfers into `body`.
+  FutureCell* make_future_cell(std::coroutine_handle<> caller_cont,
+                               std::coroutine_handle<> body);
+
+  /// touch support.
+  bool future_ready(FutureCell* cell);  ///< also charges the touch cost
+  void block_on_future(FutureCell* cell, std::coroutine_handle<> h);
+  /// Called when a touch consumes the value: if the body resolved on a
+  /// remote processor, the consuming processor performs an acquire
+  /// (coherence event) here.
+  void on_touch_consume(FutureCell* cell);
+  void destroy_cell(FutureCell* cell);
+
+  /// Subprocedure-call bookkeeping (cheap; charged per call).
+  void charge_call() {
+    if (!baseline()) procs_[cur_proc()].clock += 2;
+  }
+
+  // --- driving ------------------------------------------------------------
+
+  /// Run the machine until quiescent. The root coroutine must already have
+  /// been posted via `post_root` (done by run_program(), see task.hpp).
+  void drain();
+  void post_root(std::coroutine_handle<> h);
+  void note_root_done() { root_done_ = true; }
+  [[nodiscard]] bool root_done() const { return root_done_; }
+
+  // --- results -------------------------------------------------------------
+
+  [[nodiscard]] const MachineStats& stats() const { return stats_; }
+  [[nodiscard]] Cycles makespan() const;
+  [[nodiscard]] double seconds() const { return cycles_to_seconds(makespan()); }
+  [[nodiscard]] Cycles proc_clock(ProcId p) const { return procs_[p].clock; }
+  [[nodiscard]] const SoftwareCache& cache_of(ProcId p) const {
+    return procs_[p].cache;
+  }
+  [[nodiscard]] std::uint64_t threads_created() const { return next_thread_id_; }
+  [[nodiscard]] std::uint64_t cells_live() const { return cells_live_; }
+
+  /// A timing checkpoint: makespan so far. Benchmarks call this between
+  /// their build and kernel phases so Table 2 can report kernel-only times.
+  [[nodiscard]] Cycles now_max() const { return makespan(); }
+
+ private:
+  struct ReadyItem {
+    std::coroutine_handle<> h;
+    ThreadState* thread = nullptr;
+    Cycles time = 0;
+  };
+
+  struct Proc {
+    Cycles clock = 0;
+    SoftwareCache cache;
+    std::deque<ReadyItem> ready;
+    std::deque<WorkItem*> worklist;
+  };
+
+  enum class EventKind : std::uint8_t {
+    kMigrationArrive,
+    kReturnArrive,
+    kResolveFuture,
+  };
+
+  struct Event {
+    Cycles time = 0;
+    std::uint64_t seq = 0;
+    EventKind kind = EventKind::kMigrationArrive;
+    ProcId target = 0;
+    std::coroutine_handle<> h;
+    ThreadState* thread = nullptr;
+    FutureCell* cell = nullptr;
+
+    friend bool operator>(const Event& a, const Event& b) {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void schedule(Event e);
+  void apply(const Event& e);
+  void run_ready(ProcId p);
+  void resume_on(ProcId p, std::coroutine_handle<> h, ThreadState* t);
+
+  ThreadState* new_thread(ProcId p);
+  void charge(Cycles c) { procs_[cur_proc()].clock += c; }
+  void unlink_item(WorkItem* w);
+
+  // coherence protocol actions
+  void on_release(ThreadState& t);  ///< departing migration / remote resolve
+  void on_acquire(ProcId p, const ProcSet* writers);  ///< null => full flush
+  void track_write(GlobalAddr a, std::uint32_t size);
+  void revalidate_suspect_page(ProcId p, SoftwareCache::PageEntry& entry);
+
+  // cache data paths (charge as they go)
+  void cached_access(ProcId p, GlobalAddr a, void* buf, std::uint32_t size,
+                     bool is_write);
+  void home_copy(GlobalAddr a, void* buf, std::uint32_t size, bool is_write);
+  void resolve_future_at_home(FutureCell* cell);
+
+  RunConfig cfg_;
+  DistHeap heap_;
+  std::vector<Proc> procs_;
+  CoherenceDirectory directory_;
+  std::vector<Mechanism> site_mech_;
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::uint64_t next_seq_ = 0;
+
+  std::deque<ThreadState> threads_;  // stable addresses
+  ThreadState* cur_thread_ = nullptr;
+  ThreadId next_thread_id_ = 0;
+  bool root_done_ = false;
+  std::uint64_t cells_live_ = 0;
+  std::uint64_t live_suspended_ = 0;
+
+  MachineStats stats_;
+
+  Machine* prev_machine_ = nullptr;
+  static Machine* current_;
+};
+
+}  // namespace olden

@@ -1,0 +1,121 @@
+// Task<T>: an Olden procedure.
+//
+// Every Olden procedure that can touch the heap is a coroutine returning
+// Task<T>. Calling convention mirrors the paper's §3.1:
+//
+//  * `co_await some_procedure(...)` is a plain call — the callee starts
+//    immediately on the caller's processor (symmetric transfer) and returns
+//    control the same way, *unless* it migrated during execution, in which
+//    case a return-stub migration carries control back to the caller's
+//    processor (the frame does not come back).
+//  * `co_await futurecall(some_procedure(...))` (see api.hpp) parks the
+//    caller's continuation on the work list and runs the body inline; a
+//    thread is created only if the body migrates away.
+//
+// Task frames live on the host heap; only the thread's execution point
+// moves between virtual processors, matching "we send only the portion of
+// the thread's state necessary for the current procedure".
+#pragma once
+
+#include <coroutine>
+#include <utility>
+
+#include "olden/runtime/machine.hpp"
+
+namespace olden {
+
+namespace detail {
+
+/// Holds the co_returned value; the void specialization swaps
+/// return_value for return_void (a promise must declare exactly one).
+template <class T>
+struct PromiseStorage {
+  T value{};
+  void return_value(T v) { value = std::move(v); }
+  T take() { return std::move(value); }
+};
+
+template <>
+struct PromiseStorage<void> {
+  void return_void() {}
+  void take() {}
+};
+
+}  // namespace detail
+
+template <class T>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::PromiseStorage<T> {
+    std::coroutine_handle<> cont;  ///< caller resumption (null for roots)
+    ProcId call_proc = 0;          ///< caller's processor at invocation
+    FutureCell* cell = nullptr;    ///< non-null for future bodies
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      void await_suspend(std::coroutine_handle<promise_type> h) noexcept {
+        // Unwinds to the scheduler loop; on_task_final queued whatever
+        // continues (trampoline — see machine.hpp).
+        promise_type& p = h.promise();
+        Machine::current().on_task_final(p.cont, p.call_proc, p.cell);
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void unhandled_exception() { std::terminate(); }
+  };
+
+  using handle_type = std::coroutine_handle<promise_type>;
+
+  explicit Task(handle_type h) : h_(h) {}
+  Task(Task&& o) noexcept : h_(std::exchange(o.h_, {})) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task& operator=(Task&&) = delete;
+  ~Task() {
+    if (h_) h_.destroy();
+  }
+
+  /// Plain procedure call: start the callee now, resume me when it
+  /// returns (possibly via a return-stub migration).
+  auto operator co_await() && {
+    struct CallAwaiter {
+      handle_type h;
+      bool await_ready() { return false; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> caller) {
+        promise_type& p = h.promise();
+        p.cont = caller;
+        p.call_proc = Machine::current().cur_proc();
+        Machine::current().charge_call();
+        return h;
+      }
+      T await_resume() { return h.promise().take(); }
+    };
+    return CallAwaiter{h_};
+  }
+
+  /// Transfer frame ownership (futurecall moves it into the cell; roots
+  /// move it to the driver).
+  handle_type release() { return std::exchange(h_, {}); }
+  [[nodiscard]] handle_type handle() const { return h_; }
+
+ private:
+  handle_type h_;
+};
+
+/// Run `root` as thread 0 on processor 0 and drive the machine to
+/// quiescence; returns the program's result.
+template <class T>
+T run_program(Machine& m, Task<T> root) {
+  auto h = root.handle();  // Task keeps ownership; frame alive through drain
+  m.post_root(h);
+  m.drain();
+  return h.promise().take();
+}
+
+}  // namespace olden

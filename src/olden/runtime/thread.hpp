@@ -1,0 +1,31 @@
+// ThreadState: the runtime identity of one Olden thread.
+//
+// A thread is a chain of coroutine frames (the "stack"). Migration moves
+// only the thread's execution point between processors — frames stay in
+// host memory, exactly as only the current stack frame moved on the CM-5.
+// A fresh thread comes into being in two ways: the program's root, and
+// future stealing (an idle processor popping a saved continuation).
+#pragma once
+
+#include "olden/cache/coherence.hpp"
+#include "olden/support/types.hpp"
+
+namespace olden {
+
+struct ThreadState {
+  ThreadId id = 0;
+  /// Processor the thread is currently executing on (updated on migration
+  /// arrival, including return-stub migrations).
+  ProcId proc = 0;
+  /// Processors whose memories this thread has written since it last
+  /// returned home: the return-stub invalidation optimization of §3.2
+  /// invalidates only cached lines homed on these.
+  ProcSet written;
+  /// Pages/lines written since the last migration — the compiler-inserted
+  /// write tracking of Appendix A (eager-release and bilateral schemes).
+  WriteLog write_log;
+  /// Number of forward migrations this thread has performed (statistics).
+  std::uint64_t migrations = 0;
+};
+
+}  // namespace olden

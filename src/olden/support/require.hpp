@@ -1,0 +1,28 @@
+// Error handling: precondition checks that abort with a message.
+//
+// The simulator is deterministic, so a failed invariant is always a
+// programming error, never an environmental condition — we terminate rather
+// than throw (Core Guidelines I.6/E.12: contracts violations are not
+// recoverable errors).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace olden::detail {
+
+[[noreturn]] inline void require_failed(const char* cond, const char* file,
+                                        int line, const char* msg) {
+  std::fprintf(stderr, "olden: requirement failed: %s\n  at %s:%d\n  %s\n",
+               cond, file, line, msg);
+  std::abort();
+}
+
+}  // namespace olden::detail
+
+#define OLDEN_REQUIRE(cond, msg)                                        \
+  do {                                                                  \
+    if (!(cond)) [[unlikely]] {                                         \
+      ::olden::detail::require_failed(#cond, __FILE__, __LINE__, msg);  \
+    }                                                                   \
+  } while (false)

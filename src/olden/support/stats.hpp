@@ -1,0 +1,84 @@
+// Machine-wide statistics, accumulated by the runtime and the cache.
+//
+// These counters are exactly the quantities the paper reports: Table 2 needs
+// makespans and migration counts; Table 3 needs cacheable read/write counts,
+// the fraction that are remote, the fraction of remote references that miss,
+// and the number of pages ever cached.
+#pragma once
+
+#include <cstdint>
+
+#include "olden/support/types.hpp"
+
+namespace olden {
+
+struct MachineStats {
+  // --- heap references, by outcome --------------------------------------
+  std::uint64_t local_reads = 0;
+  std::uint64_t local_writes = 0;
+
+  /// References compiled to the software-caching mechanism ("cacheable").
+  std::uint64_t cacheable_reads = 0;
+  std::uint64_t cacheable_writes = 0;
+  std::uint64_t cacheable_reads_remote = 0;
+  std::uint64_t cacheable_writes_remote = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  /// Bilateral scheme only: page revalidations that needed a timestamp
+  /// round-trip but no data transfer.
+  std::uint64_t timestamp_checks = 0;
+
+  // --- migration ---------------------------------------------------------
+  std::uint64_t migrations = 0;
+  std::uint64_t return_migrations = 0;
+
+  // --- futures ----------------------------------------------------------
+  std::uint64_t futurecalls = 0;
+  /// futurecalls whose body never migrated: no thread was created.
+  std::uint64_t futures_inlined = 0;
+  /// Continuations popped by a now-idle processor (threads created).
+  std::uint64_t futures_stolen = 0;
+  std::uint64_t touches_blocked = 0;
+
+  // --- coherence ---------------------------------------------------------
+  std::uint64_t cache_flushes = 0;        ///< whole-cache invalidations
+  std::uint64_t lines_invalidated = 0;
+  std::uint64_t invalidation_messages = 0;
+  std::uint64_t tracked_writes = 0;
+
+  // --- cache occupancy ----------------------------------------------------
+  std::uint64_t pages_cached = 0;  ///< distinct (proc, page) entries created
+
+  // --- allocation ---------------------------------------------------------
+  std::uint64_t allocations = 0;
+  std::uint64_t bytes_allocated = 0;
+
+  [[nodiscard]] std::uint64_t remote_cacheable() const {
+    return cacheable_reads_remote + cacheable_writes_remote;
+  }
+
+  /// "% of remote references that miss" in the sense of Table 3: misses as
+  /// a percentage of remote cacheable references. Timestamp checks count as
+  /// misses for the bilateral row (they stall the processor on a round
+  /// trip even though no line moves).
+  [[nodiscard]] double remote_miss_percent() const {
+    const std::uint64_t remote = remote_cacheable();
+    if (remote == 0) return 0.0;
+    return 100.0 * static_cast<double>(cache_misses + timestamp_checks) /
+           static_cast<double>(remote);
+  }
+
+  [[nodiscard]] double percent_reads_remote() const {
+    if (cacheable_reads == 0) return 0.0;
+    return 100.0 * static_cast<double>(cacheable_reads_remote) /
+           static_cast<double>(cacheable_reads);
+  }
+
+  [[nodiscard]] double percent_writes_remote() const {
+    if (cacheable_writes == 0) return 0.0;
+    return 100.0 * static_cast<double>(cacheable_writes_remote) /
+           static_cast<double>(cacheable_writes);
+  }
+};
+
+}  // namespace olden

@@ -1,0 +1,156 @@
+// Property tests on the runtime's coherence and scheduling invariants,
+// driven by randomized workloads (seeds swept via TEST_P).
+//
+// The central property is Appendix A's theorem: an Olden program run under
+// any of the three coherence protocols computes what a sequentially
+// consistent machine would — here checked against the baseline (pure
+// compute, no caches) run of the same seed.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "olden/olden.hpp"
+#include "olden/support/rng.hpp"
+
+namespace olden {
+namespace {
+
+struct Node {
+  std::int64_t val;
+  GPtr<Node> left, right;
+};
+
+enum Site : SiteId { kVal, kLeft, kRight, kValCached, kInit, kNumSites };
+
+// A randomized mixed workload: build a random-shaped tree with random
+// placement, then run phases that alternately (a) rewrite a random
+// subtree's values via migrating recursion and (b) sum random subtrees
+// via cached reads — writers and readers of each phase are disjoint, as
+// Olden's future semantics require.
+Task<GPtr<Node>> build(Machine& m, Rng& rng, int depth) {
+  if (depth == 0 || rng.next_below(8) == 0) co_return GPtr<Node>{};
+  auto n = m.alloc<Node>(static_cast<ProcId>(rng.next_below(m.nprocs())));
+  co_await wr(n, &Node::val, static_cast<std::int64_t>(rng.next_below(1000)),
+              kInit);
+  auto l = co_await build(m, rng, depth - 1);
+  auto r = co_await build(m, rng, depth - 1);
+  co_await wr(n, &Node::left, l, kInit);
+  co_await wr(n, &Node::right, r, kInit);
+  co_return n;
+}
+
+Task<int> rewrite(Machine& m, GPtr<Node> t, std::int64_t delta) {
+  if (!t) co_return 0;
+  const auto v = co_await rd(t, &Node::val, kVal);
+  co_await wr(t, &Node::val, v + delta, kVal);
+  m.work(5);
+  const auto l = co_await rd(t, &Node::left, kLeft);
+  const auto r = co_await rd(t, &Node::right, kRight);
+  auto f = co_await futurecall(rewrite(m, l, delta));
+  co_await rewrite(m, r, delta);
+  co_await touch(f);
+  co_return 0;
+}
+
+Task<std::int64_t> cached_sum(Machine& m, GPtr<Node> t) {
+  if (!t) co_return 0;
+  const auto v = co_await rd(t, &Node::val, kValCached);
+  const auto l = co_await rd(t, &Node::left, kValCached);
+  const auto r = co_await rd(t, &Node::right, kValCached);
+  m.work(5);
+  co_return v + co_await cached_sum(m, l) + co_await cached_sum(m, r);
+}
+
+Task<std::uint64_t> workload(Machine& m, std::uint64_t seed) {
+  Rng rng(seed);
+  auto root = co_await build(m, rng, 9);
+  std::uint64_t acc = 0;
+  for (int phase = 0; phase < 6; ++phase) {
+    co_await rewrite(m, root, static_cast<std::int64_t>(phase + 1));
+    acc = acc * 31 + static_cast<std::uint64_t>(
+                         co_await cached_sum(m, root));
+  }
+  co_return acc;
+}
+
+std::uint64_t run_once(std::uint64_t seed, ProcId procs, Coherence scheme,
+                       bool baseline, MachineStats* stats = nullptr) {
+  Machine m({.nprocs = procs,
+             .scheme = scheme,
+             .costs = {.sequential_baseline = baseline}});
+  m.set_site_mechanisms({Mechanism::kMigrate, Mechanism::kMigrate,
+                         Mechanism::kMigrate, Mechanism::kCache,
+                         Mechanism::kMigrate});
+  const std::uint64_t r = run_program(m, workload(m, seed));
+  if (stats != nullptr) *stats = m.stats();
+  EXPECT_EQ(m.cells_live(), 0u) << "leaked future cells";
+  return r;
+}
+
+class CoherenceProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CoherenceProperty, AllSchemesMatchSequentialSemantics) {
+  const std::uint64_t seed = GetParam();
+  const std::uint64_t expected =
+      run_once(seed, 1, Coherence::kLocalKnowledge, /*baseline=*/true);
+  for (Coherence scheme : {Coherence::kLocalKnowledge,
+                           Coherence::kEagerGlobal, Coherence::kBilateral}) {
+    for (ProcId procs : {2u, 5u, 16u, 32u}) {
+      EXPECT_EQ(run_once(seed, procs, scheme, false), expected)
+          << "seed " << seed << " scheme " << to_string(scheme) << " P="
+          << procs;
+    }
+  }
+}
+
+TEST_P(CoherenceProperty, ClocksAndCountersAreSane) {
+  const std::uint64_t seed = GetParam();
+  MachineStats st;
+  run_once(seed, 8, Coherence::kEagerGlobal, false, &st);
+  // Every futurecall either completed inline or was stolen — no third way.
+  EXPECT_EQ(st.futurecalls, st.futures_inlined + st.futures_stolen);
+  // Cache accounting: every remote cacheable read hit or missed.
+  EXPECT_EQ(st.cacheable_reads_remote, st.cache_hits + st.cache_misses);
+  // Under the eager scheme every invalidated line was announced.
+  if (st.lines_invalidated > 0) {
+    EXPECT_GT(st.invalidation_messages + st.cache_flushes, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoherenceProperty,
+                         ::testing::Values(1, 7, 42, 1234, 777777));
+
+// Determinism across repeated runs, including all statistics that feed
+// the paper's tables.
+TEST(Determinism, StatsAreBitIdentical) {
+  MachineStats a, b;
+  const auto ra = run_once(99, 16, Coherence::kBilateral, false, &a);
+  const auto rb = run_once(99, 16, Coherence::kBilateral, false, &b);
+  EXPECT_EQ(ra, rb);
+  EXPECT_EQ(a.migrations, b.migrations);
+  EXPECT_EQ(a.cache_misses, b.cache_misses);
+  EXPECT_EQ(a.timestamp_checks, b.timestamp_checks);
+  EXPECT_EQ(a.futures_stolen, b.futures_stolen);
+  EXPECT_EQ(a.lines_invalidated, b.lines_invalidated);
+}
+
+// The sequential baseline is a lower bound: adding Olden's overheads can
+// only slow a one-processor run down (speedup at P=1 is < 1, Table 2).
+TEST(Baseline, OneProcessorOverheadIsNonNegative) {
+  for (std::uint64_t seed : {3u, 11u}) {
+    Machine base({.nprocs = 1, .costs = {.sequential_baseline = true}});
+    base.set_site_mechanisms({Mechanism::kMigrate, Mechanism::kMigrate,
+                              Mechanism::kMigrate, Mechanism::kCache,
+                              Mechanism::kMigrate});
+    run_program(base, workload(base, seed));
+    Machine full({.nprocs = 1});
+    full.set_site_mechanisms({Mechanism::kMigrate, Mechanism::kMigrate,
+                              Mechanism::kMigrate, Mechanism::kCache,
+                              Mechanism::kMigrate});
+    run_program(full, workload(full, seed));
+    EXPECT_GE(full.makespan(), base.makespan());
+  }
+}
+
+}  // namespace
+}  // namespace olden
