@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_cache_microbench.dir/fig1_cache_microbench.cpp.o"
+  "CMakeFiles/fig1_cache_microbench.dir/fig1_cache_microbench.cpp.o.d"
+  "fig1_cache_microbench"
+  "fig1_cache_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_cache_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

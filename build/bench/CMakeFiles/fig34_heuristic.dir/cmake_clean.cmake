@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig34_heuristic.dir/fig34_heuristic.cpp.o"
+  "CMakeFiles/fig34_heuristic.dir/fig34_heuristic.cpp.o.d"
+  "fig34_heuristic"
+  "fig34_heuristic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig34_heuristic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_bottleneck.dir/fig5_bottleneck.cpp.o"
+  "CMakeFiles/fig5_bottleneck.dir/fig5_bottleneck.cpp.o.d"
+  "fig5_bottleneck"
+  "fig5_bottleneck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_bottleneck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

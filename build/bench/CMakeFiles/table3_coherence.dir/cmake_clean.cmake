@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_coherence.dir/table3_coherence.cpp.o"
+  "CMakeFiles/table3_coherence.dir/table3_coherence.cpp.o.d"
+  "table3_coherence"
+  "table3_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coherence_lab.dir/coherence_lab.cpp.o"
+  "CMakeFiles/coherence_lab.dir/coherence_lab.cpp.o.d"
+  "coherence_lab"
+  "coherence_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coherence_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

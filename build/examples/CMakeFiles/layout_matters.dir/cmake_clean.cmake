@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_matters.dir/layout_matters.cpp.o"
+  "CMakeFiles/layout_matters.dir/layout_matters.cpp.o.d"
+  "layout_matters"
+  "layout_matters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_matters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

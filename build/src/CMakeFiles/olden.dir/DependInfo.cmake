@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/olden/cache/software_cache.cpp" "src/CMakeFiles/olden.dir/olden/cache/software_cache.cpp.o" "gcc" "src/CMakeFiles/olden.dir/olden/cache/software_cache.cpp.o.d"
+  "/root/repo/src/olden/mem/heap.cpp" "src/CMakeFiles/olden.dir/olden/mem/heap.cpp.o" "gcc" "src/CMakeFiles/olden.dir/olden/mem/heap.cpp.o.d"
+  "/root/repo/src/olden/runtime/machine.cpp" "src/CMakeFiles/olden.dir/olden/runtime/machine.cpp.o" "gcc" "src/CMakeFiles/olden.dir/olden/runtime/machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olden.dir/olden/cache/software_cache.cpp.o"
+  "CMakeFiles/olden.dir/olden/cache/software_cache.cpp.o.d"
+  "CMakeFiles/olden.dir/olden/mem/heap.cpp.o"
+  "CMakeFiles/olden.dir/olden/mem/heap.cpp.o.d"
+  "CMakeFiles/olden.dir/olden/runtime/machine.cpp.o"
+  "CMakeFiles/olden.dir/olden/runtime/machine.cpp.o.d"
+  "libolden.a"
+  "libolden.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

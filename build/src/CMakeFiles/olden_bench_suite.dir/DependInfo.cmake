@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/olden/bench/barnes.cpp" "src/CMakeFiles/olden_bench_suite.dir/olden/bench/barnes.cpp.o" "gcc" "src/CMakeFiles/olden_bench_suite.dir/olden/bench/barnes.cpp.o.d"
+  "/root/repo/src/olden/bench/bisort.cpp" "src/CMakeFiles/olden_bench_suite.dir/olden/bench/bisort.cpp.o" "gcc" "src/CMakeFiles/olden_bench_suite.dir/olden/bench/bisort.cpp.o.d"
+  "/root/repo/src/olden/bench/em3d.cpp" "src/CMakeFiles/olden_bench_suite.dir/olden/bench/em3d.cpp.o" "gcc" "src/CMakeFiles/olden_bench_suite.dir/olden/bench/em3d.cpp.o.d"
+  "/root/repo/src/olden/bench/health.cpp" "src/CMakeFiles/olden_bench_suite.dir/olden/bench/health.cpp.o" "gcc" "src/CMakeFiles/olden_bench_suite.dir/olden/bench/health.cpp.o.d"
+  "/root/repo/src/olden/bench/mst.cpp" "src/CMakeFiles/olden_bench_suite.dir/olden/bench/mst.cpp.o" "gcc" "src/CMakeFiles/olden_bench_suite.dir/olden/bench/mst.cpp.o.d"
+  "/root/repo/src/olden/bench/perimeter.cpp" "src/CMakeFiles/olden_bench_suite.dir/olden/bench/perimeter.cpp.o" "gcc" "src/CMakeFiles/olden_bench_suite.dir/olden/bench/perimeter.cpp.o.d"
+  "/root/repo/src/olden/bench/power.cpp" "src/CMakeFiles/olden_bench_suite.dir/olden/bench/power.cpp.o" "gcc" "src/CMakeFiles/olden_bench_suite.dir/olden/bench/power.cpp.o.d"
+  "/root/repo/src/olden/bench/suite.cpp" "src/CMakeFiles/olden_bench_suite.dir/olden/bench/suite.cpp.o" "gcc" "src/CMakeFiles/olden_bench_suite.dir/olden/bench/suite.cpp.o.d"
+  "/root/repo/src/olden/bench/treeadd.cpp" "src/CMakeFiles/olden_bench_suite.dir/olden/bench/treeadd.cpp.o" "gcc" "src/CMakeFiles/olden_bench_suite.dir/olden/bench/treeadd.cpp.o.d"
+  "/root/repo/src/olden/bench/tsp.cpp" "src/CMakeFiles/olden_bench_suite.dir/olden/bench/tsp.cpp.o" "gcc" "src/CMakeFiles/olden_bench_suite.dir/olden/bench/tsp.cpp.o.d"
+  "/root/repo/src/olden/bench/voronoi.cpp" "src/CMakeFiles/olden_bench_suite.dir/olden/bench/voronoi.cpp.o" "gcc" "src/CMakeFiles/olden_bench_suite.dir/olden/bench/voronoi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/olden.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/olden_compiler.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olden_bench_suite.dir/olden/bench/barnes.cpp.o"
+  "CMakeFiles/olden_bench_suite.dir/olden/bench/barnes.cpp.o.d"
+  "CMakeFiles/olden_bench_suite.dir/olden/bench/bisort.cpp.o"
+  "CMakeFiles/olden_bench_suite.dir/olden/bench/bisort.cpp.o.d"
+  "CMakeFiles/olden_bench_suite.dir/olden/bench/em3d.cpp.o"
+  "CMakeFiles/olden_bench_suite.dir/olden/bench/em3d.cpp.o.d"
+  "CMakeFiles/olden_bench_suite.dir/olden/bench/health.cpp.o"
+  "CMakeFiles/olden_bench_suite.dir/olden/bench/health.cpp.o.d"
+  "CMakeFiles/olden_bench_suite.dir/olden/bench/mst.cpp.o"
+  "CMakeFiles/olden_bench_suite.dir/olden/bench/mst.cpp.o.d"
+  "CMakeFiles/olden_bench_suite.dir/olden/bench/perimeter.cpp.o"
+  "CMakeFiles/olden_bench_suite.dir/olden/bench/perimeter.cpp.o.d"
+  "CMakeFiles/olden_bench_suite.dir/olden/bench/power.cpp.o"
+  "CMakeFiles/olden_bench_suite.dir/olden/bench/power.cpp.o.d"
+  "CMakeFiles/olden_bench_suite.dir/olden/bench/suite.cpp.o"
+  "CMakeFiles/olden_bench_suite.dir/olden/bench/suite.cpp.o.d"
+  "CMakeFiles/olden_bench_suite.dir/olden/bench/treeadd.cpp.o"
+  "CMakeFiles/olden_bench_suite.dir/olden/bench/treeadd.cpp.o.d"
+  "CMakeFiles/olden_bench_suite.dir/olden/bench/tsp.cpp.o"
+  "CMakeFiles/olden_bench_suite.dir/olden/bench/tsp.cpp.o.d"
+  "CMakeFiles/olden_bench_suite.dir/olden/bench/voronoi.cpp.o"
+  "CMakeFiles/olden_bench_suite.dir/olden/bench/voronoi.cpp.o.d"
+  "libolden_bench_suite.a"
+  "libolden_bench_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olden_bench_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libolden_bench_suite.a"
+)

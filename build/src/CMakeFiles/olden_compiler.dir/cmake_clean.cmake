@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olden_compiler.dir/olden/compiler/analysis.cpp.o"
+  "CMakeFiles/olden_compiler.dir/olden/compiler/analysis.cpp.o.d"
+  "libolden_compiler.a"
+  "libolden_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olden_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

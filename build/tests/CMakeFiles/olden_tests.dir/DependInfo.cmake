@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/benchmark_conformance_test.cpp" "tests/CMakeFiles/olden_tests.dir/benchmark_conformance_test.cpp.o" "gcc" "tests/CMakeFiles/olden_tests.dir/benchmark_conformance_test.cpp.o.d"
+  "/root/repo/tests/cache_test.cpp" "tests/CMakeFiles/olden_tests.dir/cache_test.cpp.o" "gcc" "tests/CMakeFiles/olden_tests.dir/cache_test.cpp.o.d"
+  "/root/repo/tests/coherence_property_test.cpp" "tests/CMakeFiles/olden_tests.dir/coherence_property_test.cpp.o" "gcc" "tests/CMakeFiles/olden_tests.dir/coherence_property_test.cpp.o.d"
+  "/root/repo/tests/heuristic_test.cpp" "tests/CMakeFiles/olden_tests.dir/heuristic_test.cpp.o" "gcc" "tests/CMakeFiles/olden_tests.dir/heuristic_test.cpp.o.d"
+  "/root/repo/tests/mem_test.cpp" "tests/CMakeFiles/olden_tests.dir/mem_test.cpp.o" "gcc" "tests/CMakeFiles/olden_tests.dir/mem_test.cpp.o.d"
+  "/root/repo/tests/runtime_edge_test.cpp" "tests/CMakeFiles/olden_tests.dir/runtime_edge_test.cpp.o" "gcc" "tests/CMakeFiles/olden_tests.dir/runtime_edge_test.cpp.o.d"
+  "/root/repo/tests/runtime_smoke_test.cpp" "tests/CMakeFiles/olden_tests.dir/runtime_smoke_test.cpp.o" "gcc" "tests/CMakeFiles/olden_tests.dir/runtime_smoke_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/olden.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/olden_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/olden_bench_suite.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

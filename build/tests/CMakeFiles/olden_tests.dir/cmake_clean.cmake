@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olden_tests.dir/benchmark_conformance_test.cpp.o"
+  "CMakeFiles/olden_tests.dir/benchmark_conformance_test.cpp.o.d"
+  "CMakeFiles/olden_tests.dir/cache_test.cpp.o"
+  "CMakeFiles/olden_tests.dir/cache_test.cpp.o.d"
+  "CMakeFiles/olden_tests.dir/coherence_property_test.cpp.o"
+  "CMakeFiles/olden_tests.dir/coherence_property_test.cpp.o.d"
+  "CMakeFiles/olden_tests.dir/heuristic_test.cpp.o"
+  "CMakeFiles/olden_tests.dir/heuristic_test.cpp.o.d"
+  "CMakeFiles/olden_tests.dir/mem_test.cpp.o"
+  "CMakeFiles/olden_tests.dir/mem_test.cpp.o.d"
+  "CMakeFiles/olden_tests.dir/runtime_edge_test.cpp.o"
+  "CMakeFiles/olden_tests.dir/runtime_edge_test.cpp.o.d"
+  "CMakeFiles/olden_tests.dir/runtime_smoke_test.cpp.o"
+  "CMakeFiles/olden_tests.dir/runtime_smoke_test.cpp.o.d"
+  "olden_tests"
+  "olden_tests.pdb"
+  "olden_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olden_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
