@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "olden/bench/benchmark.hpp"
+#include "olden/bench/obs_cli.hpp"
 #include "olden/olden.hpp"
 #include "olden/support/rng.hpp"
 
@@ -88,7 +89,16 @@ double find_breakeven(ProcId procs, Cycles migration_cost,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // The break-even search below runs hundreds of probe machines; only the
+  // Voronoi ablation runs are observed/labeled.
+  olden::bench::ObsCli obs;
+  obs.parse(&argc, argv);
+  if (argc > 1) {
+    std::fprintf(stderr, "usage: ablation_costmodel\n%s",
+                 olden::bench::ObsCli::usage());
+    return 2;
+  }
   CostModel defaults;
   std::printf(
       "Break-even affinity vs. migration cost (miss fixed at %llu cycles).\n"
@@ -118,6 +128,10 @@ int main() {
     olden::bench::BenchConfig cfg;
     cfg.nprocs = 32;
     cfg.migrate_only = migrate_only;
+    cfg.observer = obs.observer();
+    obs.begin_run(migrate_only ? "Voronoi/p=32/migrate-only"
+                               : "Voronoi/p=32/heuristic",
+                  {{"benchmark", "Voronoi"}});
     const auto r = v->run(cfg);
     std::printf("  %-22s speedup %6.2f  (migrations %llu, misses %llu)\n",
                 migrate_only ? "migrate-only" : "heuristic (pin+cache)",
@@ -125,5 +139,5 @@ int main() {
                 static_cast<unsigned long long>(r.stats.migrations),
                 static_cast<unsigned long long>(r.stats.cache_misses));
   }
-  return 0;
+  return obs.finish() ? 0 : 1;
 }

@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "olden/bench/obs_cli.hpp"
 #include "olden/cache/software_cache.hpp"
 #include "olden/support/rng.hpp"
 
@@ -116,8 +117,13 @@ void report_chains() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Host-time microbenchmark: no simulated Machine runs, so the uniform
+  // observability flags are accepted (and stripped before google-benchmark
+  // sees argv) but produce documents with zero runs.
+  olden::bench::ObsCli obs;
+  obs.parse(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   report_chains();
-  return 0;
+  return obs.finish() ? 0 : 1;
 }

@@ -14,6 +14,7 @@
 #include <functional>
 #include <vector>
 
+#include "olden/bench/obs_cli.hpp"
 #include "olden/olden.hpp"
 #include "olden/support/rng.hpp"
 
@@ -69,8 +70,9 @@ struct Run {
   double kernel_ms;            // simulated milliseconds
 };
 
-Run run_walk(int n, ProcId procs, bool cyclic, Mechanism mech) {
-  Machine m({.nprocs = procs});
+Run run_walk(int n, ProcId procs, bool cyclic, Mechanism mech,
+             trace::Observer* obs) {
+  Machine m({.nprocs = procs, .observer = obs});
   // Builder writes go through the cache (write-through, no thread motion)
   // so the reported migration counts are the walk's alone.
   m.set_site_mechanisms({mech, mech, Mechanism::kCache});
@@ -98,7 +100,14 @@ Run run_walk(int n, ProcId procs, bool cyclic, Mechanism mech) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  olden::bench::ObsCli obs;
+  obs.parse(&argc, argv);
+  if (argc > 1) {
+    std::fprintf(stderr, "usage: fig2_distributions\n%s",
+                 olden::bench::ObsCli::usage());
+    return 2;
+  }
   constexpr int kN = 4096;
   constexpr ProcId kP = 32;
 
@@ -119,7 +128,8 @@ int main() {
   double t_blocked_mig = 0, t_blocked_cache = 0, t_cyclic_mig = 0,
          t_cyclic_cache = 0;
   for (const Case& c : cases) {
-    const Run r = run_walk(kN, kP, c.cyclic, c.mech);
+    obs.begin_run(c.name);
+    const Run r = run_walk(kN, kP, c.cyclic, c.mech, obs.observer());
     std::printf("%-22s %11llu %14llu %10.3f\n", c.name,
                 static_cast<unsigned long long>(r.migrations),
                 static_cast<unsigned long long>(r.remote_fetch), r.kernel_ms);
@@ -167,5 +177,5 @@ int main() {
     std::printf("%8.2f%% %12.3f %12.3f %8s\n", aff * 100, t[0], t[1],
                 t[0] < t[1] ? "migrate" : "cache");
   }
-  return 0;
+  return obs.finish() ? 0 : 1;
 }

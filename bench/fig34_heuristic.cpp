@@ -6,6 +6,7 @@
 //  Figure 4: TreeAdd — two recursive calls combine 90/70 -> 97.
 #include <cstdio>
 
+#include "olden/bench/obs_cli.hpp"
 #include "olden/compiler/analysis.hpp"
 
 using namespace olden;
@@ -22,7 +23,17 @@ void dump(const char* title, const Program& p, std::size_t sites) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // No Machine runs here (pure compiler analysis) — the observability
+  // flags are still accepted for surface uniformity and produce valid
+  // documents with zero runs.
+  olden::bench::ObsCli obs;
+  obs.parse(&argc, argv);
+  if (argc > 1) {
+    std::fprintf(stderr, "usage: fig34_heuristic\n%s",
+                 olden::bench::ObsCli::usage());
+    return 2;
+  }
   {
     Program p;
     p.structs = {{"tree", {{"left", 0.90}, {"right", 0.70}}}};
@@ -85,5 +96,5 @@ int main() {
     p.procs.push_back(std::move(ta));
     dump("Defaults: TreeAdd with no hints, 1-(.3)^2 = 91% -> migrate", p, 1);
   }
-  return 0;
+  return obs.finish() ? 0 : 1;
 }

@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "olden/bench/obs_cli.hpp"
 #include "olden/compiler/analysis.hpp"
 #include "olden/olden.hpp"
 
@@ -101,8 +102,9 @@ Task<std::int64_t> visit_and_traverse(Machine& m, GPtr<LNode> l,
   co_return co_await traverse(m, t);
 }
 
-double run_wat(ProcId procs, Mechanism tree_mech, std::uint64_t* migrations) {
-  Machine m({.nprocs = procs});
+double run_wat(ProcId procs, Mechanism tree_mech, std::uint64_t* migrations,
+               trace::Observer* obs) {
+  Machine m({.nprocs = procs, .observer = obs});
   std::vector<Mechanism> table(kNumSites, Mechanism::kCache);
   table[kTLeft] = tree_mech;
   table[kTRight] = tree_mech;
@@ -119,7 +121,14 @@ double run_wat(ProcId procs, Mechanism tree_mech, std::uint64_t* migrations) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  olden::bench::ObsCli obs;
+  obs.parse(&argc, argv);
+  if (argc > 1) {
+    std::fprintf(stderr, "usage: fig5_bottleneck\n%s",
+                 olden::bench::ObsCli::usage());
+    return 2;
+  }
   using namespace olden::ir;
   // --- the heuristic's verdicts (Figure 5) -------------------------------
   {
@@ -209,13 +218,17 @@ int main() {
       "=== WalkAndTraverse measured (64 parallel traversals of one tree, "
       "32 procs) ===\n");
   std::uint64_t mig_m = 0, mig_c = 0;
-  const double t_mig = run_wat(32, olden::Mechanism::kMigrate, &mig_m);
-  const double t_cache = run_wat(32, olden::Mechanism::kCache, &mig_c);
+  obs.begin_run("WalkAndTraverse/tree=migrate");
+  const double t_mig =
+      run_wat(32, olden::Mechanism::kMigrate, &mig_m, obs.observer());
+  obs.begin_run("WalkAndTraverse/tree=cache");
+  const double t_cache =
+      run_wat(32, olden::Mechanism::kCache, &mig_c, obs.observer());
   std::printf("tree via migration: %8.2f ms  (%llu migrations — serialized "
               "on the root's owner)\n",
               t_mig, static_cast<unsigned long long>(mig_m));
   std::printf("tree via caching:   %8.2f ms  (%llu migrations)\n", t_cache,
               static_cast<unsigned long long>(mig_c));
   std::printf("caching wins by %.1fx, as pass 2 predicts.\n", t_mig / t_cache);
-  return 0;
+  return obs.finish() ? 0 : 1;
 }

@@ -4,20 +4,29 @@
 #include <cstdio>
 
 #include "olden/bench/benchmark.hpp"
+#include "olden/bench/obs_cli.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace olden::bench;
+  ObsCli obs;
+  obs.parse(&argc, argv);
+  if (argc > 1) {
+    std::fprintf(stderr, "usage: table1_suite\n%s", ObsCli::usage());
+    return 2;
+  }
   std::printf("Table 1: Benchmark Descriptions\n");
   std::printf("%-11s %-62s %-16s %s\n", "Benchmark", "Description",
               "Problem Size", "verified");
   for (const Benchmark* b : suite()) {
     BenchConfig cfg;
     cfg.nprocs = 4;
+    cfg.observer = obs.observer();
+    obs.begin_run(b->name() + "/p=4", {{"benchmark", b->name()}});
     const BenchResult r = b->run(cfg);
     const bool ok = r.checksum == b->reference_checksum(cfg);
     std::printf("%-11s %-62s %-16s %s\n", b->name().c_str(),
                 b->description().c_str(), b->problem_size(true).c_str(),
                 ok ? "ok" : "MISMATCH");
   }
-  return 0;
+  return obs.finish() ? 0 : 1;
 }

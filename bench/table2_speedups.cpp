@@ -13,6 +13,7 @@
 #include <string>
 
 #include "olden/bench/benchmark.hpp"
+#include "olden/bench/obs_cli.hpp"
 
 namespace {
 
@@ -46,9 +47,17 @@ double timed_seconds(const Benchmark& b, const BenchResult& r) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  ObsCli obs;
+  obs.parse(&argc, argv);
   bool paper_size = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--paper-size") == 0) paper_size = true;
+    if (std::strcmp(argv[i], "--paper-size") == 0) {
+      paper_size = true;
+    } else {
+      std::fprintf(stderr, "usage: table2_speedups [--paper-size]\n%s",
+                   ObsCli::usage());
+      return 2;
+    }
   }
 
   std::printf(
@@ -65,6 +74,8 @@ int main(int argc, char** argv) {
     base.paper_size = paper_size;
     base.sequential_baseline = true;
     base.nprocs = 1;
+    base.observer = obs.observer();
+    obs.begin_run(b->name() + "/seq", {{"benchmark", b->name()}});
     const BenchResult seq = b->run(base);
     const double seq_s = timed_seconds(*b, seq);
 
@@ -74,6 +85,9 @@ int main(int argc, char** argv) {
       BenchConfig cfg;
       cfg.paper_size = paper_size;
       cfg.nprocs = kProcs[i];
+      cfg.observer = obs.observer();
+      obs.begin_run(b->name() + "/p=" + std::to_string(kProcs[i]),
+                    {{"benchmark", b->name()}});
       const BenchResult r = b->run(cfg);
       sp[i] = seq_s / timed_seconds(*b, r);
       if (kProcs[i] == 32) {
@@ -84,6 +98,9 @@ int main(int argc, char** argv) {
     mo.paper_size = paper_size;
     mo.nprocs = 32;
     mo.migrate_only = true;
+    mo.observer = obs.observer();
+    obs.begin_run(b->name() + "/p=32/migrate-only",
+                  {{"benchmark", b->name()}});
     const BenchResult rmo = b->run(mo);
     const double mo32 = seq_s / timed_seconds(*b, rmo);
 
@@ -107,5 +124,5 @@ int main(int argc, char** argv) {
       "column, dramatically for Voronoi/EM3D/Barnes-Hut; Health's M+C is "
       "within noise of migrate-only (too few remote patients to pay for "
       "caching).\n");
-  return 0;
+  return obs.finish() ? 0 : 1;
 }

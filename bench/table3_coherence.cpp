@@ -12,6 +12,7 @@
 #include <string>
 
 #include "olden/bench/benchmark.hpp"
+#include "olden/bench/obs_cli.hpp"
 
 namespace {
 
@@ -40,9 +41,17 @@ const char* kMCBenchmarks[] = {"Bisort",     "Voronoi",   "EM3D",
 }  // namespace
 
 int main(int argc, char** argv) {
+  ObsCli obs;
+  obs.parse(&argc, argv);
   bool paper_size = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--paper-size") == 0) paper_size = true;
+    if (std::strcmp(argv[i], "--paper-size") == 0) {
+      paper_size = true;
+    } else {
+      std::fprintf(stderr, "usage: table3_coherence [--paper-size]\n%s",
+                   ObsCli::usage());
+      return 2;
+    }
   }
 
   std::printf("Table 3: caching statistics on 32 processors%s\n",
@@ -66,6 +75,9 @@ int main(int argc, char** argv) {
       cfg.paper_size = paper_size;
       cfg.nprocs = 32;
       cfg.scheme = schemes[s];
+      cfg.observer = obs.observer();
+      obs.begin_run(std::string(name) + "/p=32/" + to_string(schemes[s]),
+                    {{"benchmark", name}});
       const BenchResult r = b->run(cfg);
       miss[s] = r.stats.remote_miss_percent();
       if (s == 0) {
@@ -90,5 +102,5 @@ int main(int argc, char** argv) {
       "(line-precise invalidations); bilateral sits near local; Health's "
       "miss %% collapses under global knowledge; remote fractions are "
       "small everywhere but Barnes-Hut, whose cached tree dominates.\n");
-  return 0;
+  return obs.finish() ? 0 : 1;
 }

@@ -35,6 +35,9 @@ struct BenchConfig {
   /// regenerates in seconds (EXPERIMENTS.md records both).
   bool paper_size = false;
   std::uint64_t seed = 12345;
+  /// Optional observability sink, forwarded into the Machine's RunConfig.
+  /// Null (the default) keeps every instrumentation hook a no-op.
+  trace::Observer* observer = nullptr;
 };
 
 struct BenchResult {

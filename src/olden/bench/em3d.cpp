@@ -222,7 +222,7 @@ Task<int> compute_side(Machine& m, GPtr<Segment> segs) {
   co_return 0;
 }
 
-Task<double> checksum_side(Machine& m, GPtr<Segment> segs) {
+Task<double> checksum_side([[maybe_unused]] Machine& m, GPtr<Segment> segs) {
   double acc = 0;
   GPtr<Segment> s = segs;
   while (s) {
@@ -347,7 +347,8 @@ class Em3d final : public Benchmark {
     BenchResult res;
     Machine m({.nprocs = cfg.nprocs,
                .scheme = cfg.scheme,
-               .costs = {.sequential_baseline = cfg.sequential_baseline}});
+               .costs = {.sequential_baseline = cfg.sequential_baseline},
+               .observer = cfg.observer});
     m.set_site_mechanisms(site_table(cfg, &res.heuristic_report));
     const RootOut out = run_program(m, root(m, spec, gp.steps));
     res.checksum = quantize(out.sum);

@@ -508,7 +508,8 @@ class Health final : public Benchmark {
     BenchResult res;
     Machine m({.nprocs = cfg.nprocs,
                .scheme = cfg.scheme,
-               .costs = {.sequential_baseline = cfg.sequential_baseline}});
+               .costs = {.sequential_baseline = cfg.sequential_baseline},
+               .observer = cfg.observer});
     m.set_site_mechanisms(site_table(cfg, &res.heuristic_report));
     const RootOut out = run_program(m, root(m, sp));
     std::uint64_t cs = mix_checksum(0, static_cast<std::uint64_t>(out.totals.treated));

@@ -283,7 +283,8 @@ class Mst final : public Benchmark {
     BenchResult res;
     Machine m({.nprocs = cfg.nprocs,
                .scheme = cfg.scheme,
-               .costs = {.sequential_baseline = cfg.sequential_baseline}});
+               .costs = {.sequential_baseline = cfg.sequential_baseline},
+               .observer = cfg.observer});
     m.set_site_mechanisms(site_table(cfg, &res.heuristic_report));
     const RootOut out = run_program(m, root(m, n));
     res.checksum = static_cast<std::uint64_t>(out.total);

@@ -1,0 +1,121 @@
+#include "olden/bench/obs_cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace olden::bench {
+
+namespace {
+
+/// Matches "--NAME=value" exactly (so "--trace" never swallows
+/// "--trace-bin"). Returns the value through `out`.
+bool flag_value(const char* arg, const char* name, std::string* out) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  *out = arg + n + 1;
+  return true;
+}
+
+void env_default(std::string* opt, const char* var) {
+  if (!opt->empty()) return;
+  const char* v = std::getenv(var);
+  if (v != nullptr && v[0] != '\0') *opt = v;
+}
+
+}  // namespace
+
+void ObsCli::parse(int* argc, char** argv) {
+  std::string limit_str;
+  bool breakdown_env =
+      std::getenv("OLDEN_BREAKDOWN") != nullptr;
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    std::string v;
+    if (flag_value(argv[i], "--trace", &v)) {
+      trace_path_ = v;
+    } else if (flag_value(argv[i], "--trace-bin", &v)) {
+      trace_bin_path_ = v;
+    } else if (flag_value(argv[i], "--stats-json", &v)) {
+      stats_path_ = v;
+    } else if (flag_value(argv[i], "--trace-limit", &v)) {
+      limit_str = v;
+    } else if (std::strcmp(argv[i], "--breakdown") == 0) {
+      breakdown_ = true;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  *argc = kept;
+  argv[kept] = nullptr;
+
+  env_default(&trace_path_, "OLDEN_TRACE");
+  env_default(&trace_bin_path_, "OLDEN_TRACE_BIN");
+  env_default(&stats_path_, "OLDEN_STATS_JSON");
+  env_default(&limit_str, "OLDEN_TRACE_LIMIT");
+  if (!limit_str.empty()) {
+    obs_.set_event_limit(std::strtoull(limit_str.c_str(), nullptr, 10));
+  }
+  breakdown_ = breakdown_ || breakdown_env;
+  active_ = breakdown_ || !trace_path_.empty() || !trace_bin_path_.empty() ||
+            !stats_path_.empty();
+  obs_.set_trace_enabled(!trace_path_.empty() || !trace_bin_path_.empty());
+}
+
+void ObsCli::begin_run(std::string label,
+                       std::map<std::string, std::string> meta) {
+  if (active_) obs_.begin_run(std::move(label), std::move(meta));
+}
+
+bool ObsCli::finish() {
+  if (!active_) return true;
+  if (breakdown_) {
+    for (const trace::RunRecord& run : obs_.runs()) {
+      std::fputs("\n", stdout);
+      std::fputs(trace::breakdown_table(run).c_str(), stdout);
+    }
+  }
+  bool ok = true;
+  std::string err;
+  if (!trace_path_.empty()) {
+    if (trace::write_chrome_trace(obs_, trace_path_, &err)) {
+      std::printf("wrote trace: %s (%llu events retained)\n",
+                  trace_path_.c_str(),
+                  static_cast<unsigned long long>(obs_.events_retained()));
+    } else {
+      std::fprintf(stderr, "trace export failed: %s\n", err.c_str());
+      ok = false;
+    }
+  }
+  if (!trace_bin_path_.empty()) {
+    if (trace::write_binary_trace(obs_, trace_bin_path_, &err)) {
+      std::printf("wrote binary trace: %s\n", trace_bin_path_.c_str());
+    } else {
+      std::fprintf(stderr, "binary trace export failed: %s\n", err.c_str());
+      ok = false;
+    }
+  }
+  if (!stats_path_.empty()) {
+    if (trace::write_stats_json(obs_, stats_path_, &err)) {
+      std::printf("wrote stats: %s (%zu runs)\n", stats_path_.c_str(),
+                  obs_.runs().size());
+    } else {
+      std::fprintf(stderr, "stats export failed: %s\n", err.c_str());
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+const char* ObsCli::usage() {
+  return "  --trace=FILE       write a Chrome trace_event JSON "
+         "(Perfetto-loadable)\n"
+         "  --trace-bin=FILE   write a compact binary event log\n"
+         "  --stats-json=FILE  write the structured stats document\n"
+         "  --trace-limit=N    cap retained trace events (default 1000000)\n"
+         "  --breakdown        print per-processor cycle breakdowns\n"
+         "  (env: OLDEN_TRACE, OLDEN_TRACE_BIN, OLDEN_STATS_JSON, "
+         "OLDEN_TRACE_LIMIT, OLDEN_BREAKDOWN)\n";
+}
+
+}  // namespace olden::bench

@@ -1,0 +1,57 @@
+// The uniform observability command-line surface every bench binary
+// shares:
+//
+//   --trace=FILE        Chrome trace_event JSON (Perfetto / chrome://tracing)
+//   --trace-bin=FILE    compact binary event log ("OLDNTRC1")
+//   --stats-json=FILE   structured stats document (schema_version'd)
+//   --trace-limit=N     cap on retained trace events (default 1000000)
+//   --breakdown         print per-processor cycle-breakdown tables
+//
+// Environment variables OLDEN_TRACE, OLDEN_TRACE_BIN, OLDEN_STATS_JSON and
+// OLDEN_TRACE_LIMIT supply defaults when the corresponding flag is absent,
+// so wrappers can enable collection without editing command lines.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "olden/trace/observer.hpp"
+
+namespace olden::bench {
+
+class ObsCli {
+ public:
+  /// Parse and remove the recognized flags from argv in place, so binaries
+  /// that forward argv elsewhere (google-benchmark) see only the rest.
+  void parse(int* argc, char** argv);
+
+  /// The observer to install via BenchConfig/RunConfig — null when no
+  /// observability output was requested, which keeps every runtime hook a
+  /// no-op.
+  [[nodiscard]] trace::Observer* observer() {
+    return active_ ? &obs_ : nullptr;
+  }
+  [[nodiscard]] bool active() const { return active_; }
+
+  /// Label the next Machine run (no-op when inactive).
+  void begin_run(std::string label,
+                 std::map<std::string, std::string> meta = {});
+
+  /// Write every requested output file and print any breakdown tables.
+  /// Reports what was written on stdout; returns false (after printing the
+  /// error to stderr) if any write failed.
+  bool finish();
+
+  /// One-line-per-flag usage text for --help output.
+  static const char* usage();
+
+ private:
+  trace::Observer obs_;
+  bool active_ = false;
+  bool breakdown_ = false;
+  std::string trace_path_;
+  std::string trace_bin_path_;
+  std::string stats_path_;
+};
+
+}  // namespace olden::bench

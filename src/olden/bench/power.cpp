@@ -355,7 +355,8 @@ class Power final : public Benchmark {
     BenchResult res;
     Machine m({.nprocs = cfg.nprocs,
                .scheme = cfg.scheme,
-               .costs = {.sequential_baseline = cfg.sequential_baseline}});
+               .costs = {.sequential_baseline = cfg.sequential_baseline},
+               .observer = cfg.observer});
     m.set_site_mechanisms(site_table(cfg, &res.heuristic_report));
     const RootOut out = run_program(m, root(m, cfg.seed, passes_for(cfg)));
     res.checksum =

@@ -265,7 +265,7 @@ Task<GPtr<City>> tsp(Machine& m, GPtr<City> t, int sz) {
   co_return co_await merge(m, lt, rt, t);
 }
 
-Task<double> tour_length(Machine& m, GPtr<City> a) {
+Task<double> tour_length([[maybe_unused]] Machine& m, GPtr<City> a) {
   double len = 0;
   std::uint64_t n = 0;
   GPtr<City> p = a;
@@ -491,7 +491,8 @@ class Tsp final : public Benchmark {
     BenchResult res;
     Machine m({.nprocs = cfg.nprocs,
                .scheme = cfg.scheme,
-               .costs = {.sequential_baseline = cfg.sequential_baseline}});
+               .costs = {.sequential_baseline = cfg.sequential_baseline},
+               .observer = cfg.observer});
     m.set_site_mechanisms(site_table(cfg, &res.heuristic_report));
     const RootOut out = run_program(m, root(m, in, n));
     res.checksum = quantize(out.len, 1e6);

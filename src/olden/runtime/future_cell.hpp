@@ -36,6 +36,8 @@ struct WorkItem {
 struct FutureCell {
   ProcId home = 0;
   bool resolved = false;
+  /// Creation serial (1-based futurecall count), for trace attribution.
+  std::uint64_t serial = 0;
 
   /// The future body's root coroutine; destroyed with the cell.
   std::coroutine_handle<> body;

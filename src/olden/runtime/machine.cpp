@@ -4,12 +4,16 @@
 
 namespace olden {
 
+using trace::CycleBucket;
+using trace::EventKind;
+
 Machine* Machine::current_ = nullptr;
 
 Machine::Machine(RunConfig cfg)
-    : cfg_(cfg), heap_(cfg.nprocs), procs_(cfg.nprocs) {
+    : cfg_(cfg), heap_(cfg.nprocs), procs_(cfg.nprocs), obs_(cfg.observer) {
   prev_machine_ = current_;
   current_ = this;
+  if (obs_ != nullptr) obs_->attach(cfg_);
 }
 
 Machine::~Machine() {
@@ -26,8 +30,11 @@ GlobalAddr Machine::alloc_raw(ProcId home, std::uint32_t size,
                               std::uint32_t align) {
   if (cur_thread_ != nullptr && !baseline()) {
     charge(home == cur_proc() ? cfg_.costs.alloc_local
-                              : cfg_.costs.alloc_remote);
-    if (home != cur_proc()) procs_[home].clock += cfg_.costs.remote_handler;
+                              : cfg_.costs.alloc_remote,
+           CycleBucket::kCompute);
+    if (home != cur_proc()) {
+      charge_to(home, cfg_.costs.remote_handler, CycleBucket::kCompute);
+    }
   }
   ++stats_.allocations;
   stats_.bytes_allocated += size;
@@ -63,7 +70,8 @@ void Machine::track_write(GlobalAddr a, std::uint32_t size) {
     const std::uint32_t chunk = std::min(size - done, kLineBytes - line_off);
     HomePageInfo& info = directory_.page(cur.page_id());
     charge(info.shared ? cfg_.costs.write_track_shared
-                       : cfg_.costs.write_track_unshared);
+                       : cfg_.costs.write_track_unshared,
+           CycleBucket::kCoherence);
     ++stats_.tracked_writes;
     const std::uint32_t mask = 1u << cur.line_in_page();
     t.write_log.record(cur.page_id(), mask);
@@ -75,13 +83,12 @@ void Machine::track_write(GlobalAddr a, std::uint32_t size) {
 bool Machine::access(GlobalAddr a, void* buf, std::uint32_t size,
                      bool is_write, SiteId site) {
   OLDEN_REQUIRE(!a.is_null(), "dereference of a null global pointer");
-  Proc& pr = procs_[cur_proc()];
   if (baseline()) {
-    pr.clock += 1;
+    charge(1, CycleBucket::kCompute);
     home_copy(a, buf, size, is_write);
     return true;
   }
-  pr.clock += cfg_.costs.pointer_test;
+  charge(cfg_.costs.pointer_test, CycleBucket::kCompute);
   const bool local = a.proc() == cur_proc();
   const Mechanism mech = mechanism(site);
 
@@ -92,7 +99,7 @@ bool Machine::access(GlobalAddr a, void* buf, std::uint32_t size,
       ++stats_.cacheable_reads;
     }
     if (local) {
-      pr.clock += cfg_.costs.local_access;
+      charge(cfg_.costs.local_access, CycleBucket::kCompute);
       home_copy(a, buf, size, is_write);
       if (is_write) track_write(a, size);
       return true;
@@ -102,7 +109,7 @@ bool Machine::access(GlobalAddr a, void* buf, std::uint32_t size,
     } else {
       ++stats_.cacheable_reads_remote;
     }
-    cached_access(cur_proc(), a, buf, size, is_write);
+    cached_access(cur_proc(), a, buf, size, is_write, site);
     return true;
   }
 
@@ -113,7 +120,7 @@ bool Machine::access(GlobalAddr a, void* buf, std::uint32_t size,
     } else {
       ++stats_.local_reads;
     }
-    pr.clock += cfg_.costs.local_access;
+    charge(cfg_.costs.local_access, CycleBucket::kCompute);
     home_copy(a, buf, size, is_write);
     if (is_write) track_write(a, size);
     return true;
@@ -129,17 +136,20 @@ void Machine::finish_access_local(GlobalAddr a, void* buf, std::uint32_t size,
   } else {
     ++stats_.local_reads;
   }
-  procs_[cur_proc()].clock += cfg_.costs.local_access;
+  charge(cfg_.costs.local_access, CycleBucket::kCompute);
   home_copy(a, buf, size, is_write);
   if (is_write) track_write(a, size);
 }
 
 void Machine::cached_access(ProcId p, GlobalAddr a, void* buf,
-                            std::uint32_t size, bool is_write) {
+                            std::uint32_t size, bool is_write, SiteId site) {
   Proc& pr = procs_[p];
   auto* user = static_cast<std::byte*>(buf);
   std::uint32_t done = 0;
   bool any_miss = false;
+  bool any_check = false;
+  std::uint64_t lines_fetched = 0;
+  Cycles stall_cycles = 0;
   while (done < size) {
     const GlobalAddr cur = a.plus(done);
     const std::uint32_t line_off = cur.raw() % kLineBytes;
@@ -150,21 +160,22 @@ void Machine::cached_access(ProcId p, GlobalAddr a, void* buf,
 
     // Translation-table lookup (Figure 1).
     auto lr = pr.cache.lookup(page_id);
-    pr.clock += cfg_.costs.cache_lookup;
+    charge_to(p, cfg_.costs.cache_lookup, CycleBucket::kCacheStall);
     if (lr.chain_steps > 1) {
-      pr.clock += (lr.chain_steps - 1) * cfg_.costs.cache_chain_step;
+      charge_to(p, (lr.chain_steps - 1) * cfg_.costs.cache_chain_step,
+                CycleBucket::kCacheStall);
     }
     SoftwareCache::PageEntry* e = lr.entry;
     if (e == nullptr) {
       bool created = false;
       e = &pr.cache.ensure_page(page_id, created);
       OLDEN_REQUIRE(created, "lookup missed a present page");
-      pr.clock += cfg_.costs.page_alloc;
+      charge_to(p, cfg_.costs.page_alloc, CycleBucket::kCacheStall);
       ++stats_.pages_cached;
     }
     if (e->suspect) {
       if (cfg_.scheme == Coherence::kBilateral) {
-        revalidate_suspect_page(p, *e);
+        any_check |= revalidate_suspect_page(p, *e);
       } else {
         e->suspect = false;
       }
@@ -174,12 +185,17 @@ void Machine::cached_access(ProcId p, GlobalAddr a, void* buf,
       // Line miss: fetch 64 bytes from the home (active-message round
       // trip; the home's handler steals cycles from its own thread).
       any_miss = true;
-      pr.clock += cfg_.costs.cache_miss;
-      procs_[page_home(page_id)].clock += cfg_.costs.remote_handler;
+      ++lines_fetched;
+      stall_cycles += cfg_.costs.cache_miss;
+      charge_to(p, cfg_.costs.cache_miss, CycleBucket::kCacheStall);
+      charge_to(page_home(page_id), cfg_.costs.remote_handler,
+                CycleBucket::kCacheStall);
       const GlobalAddr line_base((cur.raw() / kLineBytes) * kLineBytes);
       std::memcpy(e->frame.get() + line * kLineBytes,
                   heap_.line_home(line_base), kLineBytes);
       e->valid |= bit;
+      note_event(EventKind::kCacheLineFill, p, cur_thread_->id, site, page_id,
+                 line);
       HomePageInfo& info = directory_.page(page_id);
       info.sharers.add(p);
       info.shared = true;
@@ -201,37 +217,51 @@ void Machine::cached_access(ProcId p, GlobalAddr a, void* buf,
     done += chunk;
   }
 
+  if (obs_ != nullptr) obs_->touch_page(p, a.page_id());
   if (is_write) {
-    pr.clock += cfg_.costs.remote_write;
-    procs_[a.proc()].clock += cfg_.costs.remote_handler;
+    charge_to(p, cfg_.costs.remote_write, CycleBucket::kCacheStall);
+    charge_to(a.proc(), cfg_.costs.remote_handler, CycleBucket::kCacheStall);
+    if (any_check) ++stats_.timestamp_stalls;
     track_write(a, size);
   } else if (any_miss) {
     ++stats_.cache_misses;
+    note_event(EventKind::kCacheMiss, p, cur_thread_->id, site, a.page_id(),
+               lines_fetched);
+    if (obs_ != nullptr) {
+      obs_->record(trace::Hist::kMissFillCycles, stall_cycles);
+    }
   } else {
     ++stats_.cache_hits;
+    if (any_check) ++stats_.timestamp_stalls;
+    note_event(EventKind::kCacheHit, p, cur_thread_->id, site, a.page_id());
   }
 }
 
-void Machine::revalidate_suspect_page(ProcId p,
+bool Machine::revalidate_suspect_page(ProcId p,
                                       SoftwareCache::PageEntry& entry) {
-  Proc& pr = procs_[p];
-  pr.clock += cfg_.costs.timestamp_check;
-  procs_[page_home(entry.page_id)].clock += cfg_.costs.remote_handler;
+  charge_to(p, cfg_.costs.timestamp_check, CycleBucket::kCoherence);
+  charge_to(page_home(entry.page_id), cfg_.costs.remote_handler,
+            CycleBucket::kCoherence);
   ++stats_.timestamp_checks;
   const HomePageInfo& info = directory_.page(entry.page_id);
+  std::uint64_t dropped = 0;
   if (entry.version == info.version) {
     // Nothing released since we validated: every line stays valid.
   } else if (entry.version + 1 == info.version) {
-    stats_.lines_invalidated += static_cast<std::uint64_t>(
+    dropped = static_cast<std::uint64_t>(
         __builtin_popcount(entry.valid & info.last_released));
     entry.valid &= ~info.last_released;
   } else {
-    stats_.lines_invalidated +=
-        static_cast<std::uint64_t>(__builtin_popcount(entry.valid));
+    dropped = static_cast<std::uint64_t>(__builtin_popcount(entry.valid));
     entry.valid = 0;
   }
+  stats_.lines_invalidated += dropped;
   entry.version = info.version;
   entry.suspect = false;
+  note_event(EventKind::kTimestampCheck, p,
+             cur_thread_ != nullptr ? cur_thread_->id : trace::kNoThread,
+             trace::kNoSite, entry.page_id, dropped);
+  return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -250,16 +280,20 @@ void Machine::on_release(ThreadState& t) {
     t.write_log.for_each([&](std::uint32_t page, std::uint32_t mask) {
       const ProcId home = page_home(page);
       if (home != src) {
-        procs_[src].clock += cfg_.costs.invalidate_send;
-        procs_[home].clock += cfg_.costs.remote_handler;
+        charge_to(src, cfg_.costs.invalidate_send, CycleBucket::kCoherence);
+        charge_to(home, cfg_.costs.remote_handler, CycleBucket::kCoherence);
       }
       HomePageInfo& info = directory_.page(page);
       info.sharers.for_each([&](ProcId s) {
         if (s == src) return;  // the writer's own copy was updated in place
         ++stats_.invalidation_messages;
-        procs_[src].clock += cfg_.costs.invalidate_send;
-        procs_[s].clock += cfg_.costs.invalidate_recv;
-        stats_.lines_invalidated += procs_[s].cache.invalidate_lines(page, mask);
+        charge_to(src, cfg_.costs.invalidate_send, CycleBucket::kCoherence);
+        charge_to(s, cfg_.costs.invalidate_recv, CycleBucket::kCoherence);
+        const std::uint64_t dropped =
+            procs_[s].cache.invalidate_lines(page, mask);
+        stats_.lines_invalidated += dropped;
+        note_event(EventKind::kLineInvalidate, s, t.id, trace::kNoSite, page,
+                   dropped);
       });
       info.dirty_since_bump = 0;
     });
@@ -268,8 +302,8 @@ void Machine::on_release(ThreadState& t) {
     t.write_log.for_each([&](std::uint32_t page, std::uint32_t mask) {
       const ProcId home = page_home(page);
       if (home != src) {
-        procs_[src].clock += cfg_.costs.invalidate_send;
-        procs_[home].clock += cfg_.costs.remote_handler;
+        charge_to(src, cfg_.costs.invalidate_send, CycleBucket::kCoherence);
+        charge_to(home, cfg_.costs.remote_handler, CycleBucket::kCoherence);
       }
       HomePageInfo& info = directory_.page(page);
       info.version += 1;
@@ -281,20 +315,27 @@ void Machine::on_release(ThreadState& t) {
 }
 
 void Machine::on_acquire(ProcId p, const ProcSet* writers) {
+  const ThreadId tid =
+      cur_thread_ != nullptr ? cur_thread_->id : trace::kNoThread;
   switch (cfg_.scheme) {
-    case Coherence::kLocalKnowledge:
+    case Coherence::kLocalKnowledge: {
       ++stats_.cache_flushes;
+      std::uint64_t dropped = 0;
       if (writers != nullptr) {
-        stats_.lines_invalidated +=
-            procs_[p].cache.invalidate_from_procs(*writers);
+        dropped = procs_[p].cache.invalidate_from_procs(*writers);
       } else {
-        stats_.lines_invalidated += procs_[p].cache.invalidate_all();
+        dropped = procs_[p].cache.invalidate_all();
       }
+      stats_.lines_invalidated += dropped;
+      note_event(EventKind::kCacheFlush, p, tid, trace::kNoSite, dropped);
       break;
+    }
     case Coherence::kEagerGlobal:
       break;  // invalidations were pushed at the matching release
     case Coherence::kBilateral:
       procs_[p].cache.mark_all_suspect();
+      note_event(EventKind::kMarkSuspect, p, tid, trace::kNoSite,
+                 procs_[p].cache.pages_live());
       break;
   }
 }
@@ -303,25 +344,31 @@ void Machine::on_acquire(ProcId p, const ProcSet* writers) {
 // Migration
 // ---------------------------------------------------------------------------
 
-void Machine::migrate_to(ProcId target, std::coroutine_handle<> h) {
+void Machine::migrate_to(ProcId target, std::coroutine_handle<> h,
+                         SiteId site) {
   ThreadState* t = cur_thread_;
   OLDEN_REQUIRE(target != t->proc, "migration to the current processor");
   ++stats_.migrations;
   ++t->migrations;
   on_release(*t);
   Proc& src = procs_[t->proc];
-  src.clock += cfg_.costs.migration_send;
+  if (obs_ != nullptr) {
+    t->obs_depart_time = src.clock;
+    t->obs_depart_proc = t->proc;
+  }
+  charge_to(t->proc, cfg_.costs.migration_send, CycleBucket::kMigration);
+  note_event(EventKind::kMigrationDepart, t->proc, t->id, site, target);
   schedule(Event{.time = src.clock + cfg_.costs.migration_wire,
                  .seq = next_seq_++,
-                 .kind = EventKind::kMigrationArrive,
+                 .kind = MsgKind::kMigrationArrive,
                  .target = target,
                  .h = h,
                  .thread = t});
 }
 
 void Machine::resume_soon(std::coroutine_handle<> h) {
-  Proc& pr = procs_[cur_proc()];
-  pr.ready.push_front(ReadyItem{h, cur_thread_, pr.clock});
+  const ProcId p = cur_proc();
+  push_ready(p, ReadyItem{h, cur_thread_, procs_[p].clock}, /*front=*/true);
 }
 
 void Machine::on_task_final(std::coroutine_handle<> cont, ProcId call_proc,
@@ -332,6 +379,8 @@ void Machine::on_task_final(std::coroutine_handle<> cont, ProcId call_proc,
     if (t->proc == cell->home) {
       cell->resolved = true;
       cell->writer_written = t->written;
+      note_event(EventKind::kFutureResolve, t->proc, t->id, trace::kNoSite,
+                 cell->serial, 0);
       if (!cell->item.taken) {
         // Lazy task creation pay-off: nothing migrated the body away from
         // this processor for long enough for the continuation to be
@@ -344,8 +393,8 @@ void Machine::on_task_final(std::coroutine_handle<> cont, ProcId call_proc,
       if (cell->waiter) {
         const auto waiter = cell->waiter;
         cell->waiter = nullptr;
-        procs_[cell->waiter_proc].ready.push_back(
-            ReadyItem{waiter, cell->waiter_thread, procs_[t->proc].clock});
+        push_ready(cell->waiter_proc,
+                   ReadyItem{waiter, cell->waiter_thread, procs_[t->proc].clock});
       }
       return;  // this thread retires
     }
@@ -354,10 +403,12 @@ void Machine::on_task_final(std::coroutine_handle<> cont, ProcId call_proc,
     cell->resolved_remotely = true;
     cell->writer_written = t->written;
     Proc& src = procs_[t->proc];
-    src.clock += cfg_.costs.future_resolve_msg;
+    charge_to(t->proc, cfg_.costs.future_resolve_msg, CycleBucket::kMigration);
+    note_event(EventKind::kFutureResolve, t->proc, t->id, trace::kNoSite,
+               cell->serial, 1);
     schedule(Event{.time = src.clock,
                    .seq = next_seq_++,
-                   .kind = EventKind::kResolveFuture,
+                   .kind = MsgKind::kResolveFuture,
                    .target = cell->home,
                    .h = nullptr,
                    .thread = nullptr,
@@ -376,10 +427,16 @@ void Machine::on_task_final(std::coroutine_handle<> cont, ProcId call_proc,
     ++stats_.return_migrations;
     on_release(*t);
     Proc& src = procs_[t->proc];
-    src.clock += cfg_.costs.return_send;
+    if (obs_ != nullptr) {
+      t->obs_depart_time = src.clock;
+      t->obs_depart_proc = t->proc;
+    }
+    charge_to(t->proc, cfg_.costs.return_send, CycleBucket::kMigration);
+    note_event(EventKind::kReturnStubSend, t->proc, t->id, trace::kNoSite,
+               call_proc);
     schedule(Event{.time = src.clock + cfg_.costs.return_wire,
                    .seq = next_seq_++,
-                   .kind = EventKind::kReturnArrive,
+                   .kind = MsgKind::kReturnArrive,
                    .target = call_proc,
                    .h = cont,
                    .thread = t});
@@ -395,18 +452,25 @@ void Machine::on_task_final(std::coroutine_handle<> cont, ProcId call_proc,
 FutureCell* Machine::make_future_cell(std::coroutine_handle<> caller_cont,
                                       std::coroutine_handle<> body) {
   ++stats_.futurecalls;
-  charge(cfg_.costs.future_call);
+  charge(cfg_.costs.future_call, CycleBucket::kCompute);
   auto* cell = new FutureCell;
   cell->home = cur_proc();
+  cell->serial = stats_.futurecalls;
   cell->body = body;
   cell->item = WorkItem{caller_cont, cell, false, true};
   procs_[cur_proc()].worklist.push_back(&cell->item);
   ++cells_live_;
+  note_event(EventKind::kFutureCreate, cur_proc(), cur_thread_->id,
+             trace::kNoSite, cell->serial);
+  if (obs_ != nullptr) {
+    obs_->record(trace::Hist::kWorklistDepth,
+                 procs_[cur_proc()].worklist.size());
+  }
   return cell;
 }
 
 bool Machine::future_ready(FutureCell* cell) {
-  charge(cfg_.costs.future_touch);
+  charge(cfg_.costs.future_touch, CycleBucket::kCompute);
   return cell->resolved;
 }
 
@@ -416,6 +480,8 @@ void Machine::block_on_future(FutureCell* cell, std::coroutine_handle<> h) {
   cell->waiter = h;
   cell->waiter_thread = cur_thread_;
   cell->waiter_proc = cur_proc();
+  note_event(EventKind::kTouchBlock, cur_proc(), cur_thread_->id,
+             trace::kNoSite, cell->serial);
 }
 
 void Machine::on_touch_consume(FutureCell* cell) {
@@ -452,7 +518,7 @@ void Machine::unlink_item(WorkItem* w) {
 
 void Machine::resolve_future_at_home(FutureCell* cell) {
   const ProcId home = cell->home;
-  procs_[home].clock += cfg_.costs.remote_handler;
+  charge_to(home, cfg_.costs.remote_handler, CycleBucket::kMigration);
   cell->resolved = true;
   if (!cell->item.taken) {
     // The continuation was never stolen (the processor had other work the
@@ -460,15 +526,16 @@ void Machine::resolve_future_at_home(FutureCell* cell) {
     cell->item.taken = true;
     ThreadState* nt = new_thread(home);
     ++stats_.futures_stolen;
-    procs_[home].ready.push_back(
-        ReadyItem{cell->item.cont, nt, procs_[home].clock});
+    note_event(EventKind::kFutureSteal, home, nt->id, trace::kNoSite,
+               cell->serial, 1);
+    push_ready(home, ReadyItem{cell->item.cont, nt, procs_[home].clock});
     return;
   }
   if (cell->waiter) {
     const auto waiter = cell->waiter;
     cell->waiter = nullptr;
-    procs_[cell->waiter_proc].ready.push_back(
-        ReadyItem{waiter, cell->waiter_thread, procs_[home].clock});
+    push_ready(cell->waiter_proc,
+               ReadyItem{waiter, cell->waiter_thread, procs_[home].clock});
   }
 }
 
@@ -486,29 +553,43 @@ ThreadState* Machine::new_thread(ProcId p) {
 
 void Machine::post_root(std::coroutine_handle<> h) {
   ThreadState* t = new_thread(0);
-  procs_[0].ready.push_back(ReadyItem{h, t, 0});
+  push_ready(0, ReadyItem{h, t, 0});
 }
 
 void Machine::schedule(Event e) { events_.push(std::move(e)); }
 
 void Machine::apply(const Event& e) {
   switch (e.kind) {
-    case EventKind::kMigrationArrive: {
+    case MsgKind::kMigrationArrive: {
       e.thread->proc = e.target;
-      procs_[e.target].clock += cfg_.costs.migration_recv;
+      charge_to(e.target, cfg_.costs.migration_recv, CycleBucket::kMigration);
+      if (obs_ != nullptr) {
+        const Cycles latency = e.time - e.thread->obs_depart_time;
+        obs_->event(EventKind::kMigrationArrive, e.time, e.target,
+                    e.thread->id, trace::kNoSite, e.thread->obs_depart_proc,
+                    latency);
+        obs_->record(trace::Hist::kMigrationLatency, latency);
+      }
       on_acquire(e.target, nullptr);
-      procs_[e.target].ready.push_back(ReadyItem{e.h, e.thread, e.time});
+      push_ready(e.target, ReadyItem{e.h, e.thread, e.time});
       break;
     }
-    case EventKind::kReturnArrive: {
+    case MsgKind::kReturnArrive: {
       e.thread->proc = e.target;
-      procs_[e.target].clock += cfg_.costs.return_recv;
+      charge_to(e.target, cfg_.costs.return_recv, CycleBucket::kMigration);
+      if (obs_ != nullptr) {
+        const Cycles latency = e.time - e.thread->obs_depart_time;
+        obs_->event(EventKind::kReturnStubArrive, e.time, e.target,
+                    e.thread->id, trace::kNoSite, e.thread->obs_depart_proc,
+                    latency);
+        obs_->record(trace::Hist::kReturnLatency, latency);
+      }
       on_acquire(e.target, &e.thread->written);
       e.thread->written.clear();
-      procs_[e.target].ready.push_back(ReadyItem{e.h, e.thread, e.time});
+      push_ready(e.target, ReadyItem{e.h, e.thread, e.time});
       break;
     }
-    case EventKind::kResolveFuture: {
+    case MsgKind::kResolveFuture: {
       resolve_future_at_home(e.cell);
       break;
     }
@@ -529,7 +610,13 @@ void Machine::run_ready(ProcId p) {
     if (!pr.ready.empty()) {
       ReadyItem it = pr.ready.front();
       pr.ready.pop_front();
-      if (it.time > pr.clock) pr.clock = it.time;
+      if (it.time > pr.clock) {
+        // The processor sat idle until the item's arrival time.
+        if (obs_ != nullptr) {
+          obs_->account(p, it.time - pr.clock, CycleBucket::kIdle);
+        }
+        pr.clock = it.time;
+      }
       resume_on(p, it.h, it.thread);
       continue;
     }
@@ -549,9 +636,11 @@ void Machine::run_ready(ProcId p) {
     }
     if (w == nullptr) break;
     w->taken = true;
-    pr.clock += cfg_.costs.future_steal;
+    charge_to(p, cfg_.costs.future_steal, CycleBucket::kCompute);
     ThreadState* nt = new_thread(p);
     ++stats_.futures_stolen;
+    note_event(EventKind::kFutureSteal, p, nt->id, trace::kNoSite,
+               w->cell->serial, 0);
     resume_on(p, w->cont, nt);
   }
 }
@@ -579,6 +668,10 @@ void Machine::drain() {
     if (!ran) break;
   }
   OLDEN_REQUIRE(root_done_, "machine quiescent before the program finished");
+#ifndef NDEBUG
+  stats_.check_invariants();
+#endif
+  if (obs_ != nullptr) obs_->finish(*this);
 }
 
 Cycles Machine::makespan() const {

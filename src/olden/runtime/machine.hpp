@@ -35,6 +35,7 @@
 #include "olden/support/require.hpp"
 #include "olden/support/stats.hpp"
 #include "olden/support/types.hpp"
+#include "olden/trace/observer.hpp"
 
 namespace olden {
 
@@ -42,6 +43,10 @@ struct RunConfig {
   ProcId nprocs = 1;
   Coherence scheme = Coherence::kLocalKnowledge;
   CostModel costs;
+  /// Optional observability sink (tracing, metrics, cycle accounting).
+  /// Instrumentation hooks are no-ops when null, and never perturb
+  /// virtual time either way.
+  trace::Observer* observer = nullptr;
 };
 
 class Machine {
@@ -93,7 +98,9 @@ class Machine {
   // --- in-thread services (called from coroutines via awaiters) ---------
 
   /// Charge `c` cycles of computation to the current processor.
-  void work(Cycles c) { procs_[cur_proc()].clock += c; }
+  void work(Cycles c) {
+    charge_to(cur_proc(), c, trace::CycleBucket::kCompute);
+  }
 
   [[nodiscard]] ProcId cur_proc() const {
     OLDEN_REQUIRE(cur_thread_ != nullptr, "no thread is running");
@@ -114,8 +121,10 @@ class Machine {
               SiteId site);
 
   /// Begin a forward computation migration of the current thread to
-  /// `target`; `h` resumes on arrival.
-  void migrate_to(ProcId target, std::coroutine_handle<> h);
+  /// `target`; `h` resumes on arrival. `site` is the dereference site
+  /// that forced the move (trace attribution only).
+  void migrate_to(ProcId target, std::coroutine_handle<> h,
+                  SiteId site = trace::kNoSite);
 
   /// Complete the access that triggered a migration (now local).
   void finish_access_local(GlobalAddr a, void* buf, std::uint32_t size,
@@ -151,7 +160,7 @@ class Machine {
 
   /// Subprocedure-call bookkeeping (cheap; charged per call).
   void charge_call() {
-    if (!baseline()) procs_[cur_proc()].clock += 2;
+    if (!baseline()) charge_to(cur_proc(), 2, trace::CycleBucket::kCompute);
   }
 
   // --- driving ------------------------------------------------------------
@@ -193,7 +202,9 @@ class Machine {
     std::deque<WorkItem*> worklist;
   };
 
-  enum class EventKind : std::uint8_t {
+  /// Inter-processor message kinds on the discrete-event wire (distinct
+  /// from trace::EventKind, the observability vocabulary).
+  enum class MsgKind : std::uint8_t {
     kMigrationArrive,
     kReturnArrive,
     kResolveFuture,
@@ -202,7 +213,7 @@ class Machine {
   struct Event {
     Cycles time = 0;
     std::uint64_t seq = 0;
-    EventKind kind = EventKind::kMigrationArrive;
+    MsgKind kind = MsgKind::kMigrationArrive;
     ProcId target = 0;
     std::coroutine_handle<> h;
     ThreadState* thread = nullptr;
@@ -220,18 +231,50 @@ class Machine {
   void resume_on(ProcId p, std::coroutine_handle<> h, ThreadState* t);
 
   ThreadState* new_thread(ProcId p);
-  void charge(Cycles c) { procs_[cur_proc()].clock += c; }
+
+  /// Advance processor `p`'s clock, attributing the cycles to an
+  /// accounting bucket when an observer is installed. Every clock
+  /// increment the machine makes goes through here (or the `charge`
+  /// current-processor shorthand), so the per-processor breakdown is
+  /// exhaustive by construction.
+  void charge_to(ProcId p, Cycles c, trace::CycleBucket b) {
+    procs_[p].clock += c;
+    if (obs_ != nullptr) obs_->account(p, c, b);
+  }
+  void charge(Cycles c, trace::CycleBucket b) { charge_to(cur_proc(), c, b); }
+
+  /// Emit a trace event stamped with processor `p`'s current clock.
+  void note_event(trace::EventKind k, ProcId p, ThreadId th,
+                  SiteId site = trace::kNoSite, std::uint64_t a0 = 0,
+                  std::uint64_t a1 = 0) {
+    if (obs_ != nullptr) obs_->event(k, procs_[p].clock, p, th, site, a0, a1);
+  }
+
   void unlink_item(WorkItem* w);
+
+  /// Enqueue a runnable item, sampling the ready-queue depth.
+  void push_ready(ProcId p, ReadyItem it, bool front = false) {
+    auto& q = procs_[p].ready;
+    if (front) {
+      q.push_front(it);
+    } else {
+      q.push_back(it);
+    }
+    if (obs_ != nullptr) {
+      obs_->record(trace::Hist::kReadyQueueDepth, q.size());
+    }
+  }
 
   // coherence protocol actions
   void on_release(ThreadState& t);  ///< departing migration / remote resolve
   void on_acquire(ProcId p, const ProcSet* writers);  ///< null => full flush
   void track_write(GlobalAddr a, std::uint32_t size);
-  void revalidate_suspect_page(ProcId p, SoftwareCache::PageEntry& entry);
 
   // cache data paths (charge as they go)
   void cached_access(ProcId p, GlobalAddr a, void* buf, std::uint32_t size,
-                     bool is_write);
+                     bool is_write, SiteId site);
+  /// Returns true if the page needed a timestamp round trip.
+  bool revalidate_suspect_page(ProcId p, SoftwareCache::PageEntry& entry);
   void home_copy(GlobalAddr a, void* buf, std::uint32_t size, bool is_write);
   void resolve_future_at_home(FutureCell* cell);
 
@@ -252,6 +295,7 @@ class Machine {
   std::uint64_t live_suspended_ = 0;
 
   MachineStats stats_;
+  trace::Observer* obs_ = nullptr;
 
   Machine* prev_machine_ = nullptr;
   static Machine* current_;

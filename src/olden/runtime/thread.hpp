@@ -26,6 +26,11 @@ struct ThreadState {
   WriteLog write_log;
   /// Number of forward migrations this thread has performed (statistics).
   std::uint64_t migrations = 0;
+  /// Departure bookkeeping for trace latency attribution (observability
+  /// only; written when an observer is installed, never read by the
+  /// runtime's own logic).
+  Cycles obs_depart_time = 0;
+  ProcId obs_depart_proc = 0;
 };
 
 }  // namespace olden

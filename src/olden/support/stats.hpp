@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "olden/support/require.hpp"
 #include "olden/support/types.hpp"
 
 namespace olden {
@@ -25,8 +26,14 @@ struct MachineStats {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   /// Bilateral scheme only: page revalidations that needed a timestamp
-  /// round-trip but no data transfer.
+  /// round-trip but no data transfer (one per suspect page consulted).
   std::uint64_t timestamp_checks = 0;
+  /// Bilateral scheme only: accesses that performed at least one timestamp
+  /// check and did NOT also register a cache miss. Disjoint from
+  /// `cache_misses` by construction, so Table 3's "% of remote refs that
+  /// miss" can add the two without double-counting an access whose
+  /// revalidation was followed by a line fetch.
+  std::uint64_t timestamp_stalls = 0;
 
   // --- migration ---------------------------------------------------------
   std::uint64_t migrations = 0;
@@ -58,13 +65,14 @@ struct MachineStats {
   }
 
   /// "% of remote references that miss" in the sense of Table 3: misses as
-  /// a percentage of remote cacheable references. Timestamp checks count as
-  /// misses for the bilateral row (they stall the processor on a round
-  /// trip even though no line moves).
+  /// a percentage of remote cacheable references. Timestamp *stalls* count
+  /// as misses for the bilateral row (they stall the processor on a round
+  /// trip even though no line moves); an access that revalidated and then
+  /// also fetched a line is already a miss and is counted exactly once.
   [[nodiscard]] double remote_miss_percent() const {
     const std::uint64_t remote = remote_cacheable();
     if (remote == 0) return 0.0;
-    return 100.0 * static_cast<double>(cache_misses + timestamp_checks) /
+    return 100.0 * static_cast<double>(cache_misses + timestamp_stalls) /
            static_cast<double>(remote);
   }
 
@@ -78,6 +86,27 @@ struct MachineStats {
     if (cacheable_writes == 0) return 0.0;
     return 100.0 * static_cast<double>(cacheable_writes_remote) /
            static_cast<double>(cacheable_writes);
+  }
+
+  /// Structural relations between the counters. Every remote cacheable
+  /// read resolves to exactly one of hit/miss; a timestamp stall is an
+  /// access-level event so it cannot outnumber the page-level checks; a
+  /// future is consumed at most once (inline or stolen — equal to
+  /// `futurecalls` once the machine is quiescent). Called by tests always
+  /// and by the runtime at quiescence in debug builds.
+  void check_invariants() const {
+    OLDEN_REQUIRE(cache_hits + cache_misses == cacheable_reads_remote,
+                  "every remote cacheable read must be a hit xor a miss");
+    OLDEN_REQUIRE(cacheable_reads_remote <= cacheable_reads,
+                  "remote cacheable reads exceed cacheable reads");
+    OLDEN_REQUIRE(cacheable_writes_remote <= cacheable_writes,
+                  "remote cacheable writes exceed cacheable writes");
+    OLDEN_REQUIRE(timestamp_stalls <= timestamp_checks,
+                  "more stalled accesses than timestamp round trips");
+    OLDEN_REQUIRE(futures_inlined + futures_stolen <= futurecalls,
+                  "a future was consumed both inline and by stealing");
+    OLDEN_REQUIRE(touches_blocked <= futurecalls,
+                  "more blocked touches than futures");
   }
 };
 

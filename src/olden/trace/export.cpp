@@ -1,0 +1,324 @@
+// Exporters for the observability layer: Chrome trace_event JSON
+// (Perfetto / chrome://tracing), a compact binary event log, the
+// structured stats JSON document, and the human-readable per-processor
+// cycle-breakdown table.
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "olden/trace/observer.hpp"
+
+namespace olden::trace {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+}
+
+void append_kv(std::string& out, const char* key, std::uint64_t v,
+               bool comma = true) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "\"%s\":%" PRIu64 "%s", key, v,
+                comma ? "," : "");
+  out += buf;
+}
+
+bool write_file(const std::string& path, const std::string& body,
+                std::string* err) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    if (err != nullptr) *err = "cannot open " + path + " for writing";
+    return false;
+  }
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  if (!ok && err != nullptr) *err = "short write to " + path;
+  return ok;
+}
+
+/// Instant-event scope is per-thread so each event lands on its
+/// processor's track.
+void append_instant(std::string& out, std::size_t pid, const TraceEvent& e) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"pid\":%zu,"
+                "\"tid\":%u,\"ts\":%" PRIu64 ",\"args\":{",
+                to_string(e.kind), pid, e.proc, e.time);
+  out += buf;
+  if (e.thread != kNoThread) append_kv(out, "thread", e.thread);
+  if (e.site != kNoSite) append_kv(out, "site", e.site);
+  append_kv(out, "arg0", e.arg0);
+  append_kv(out, "arg1", e.arg1, /*comma=*/false);
+  out += "}},\n";
+}
+
+/// Migration / return-stub arrivals carry their transit latency in arg1;
+/// render them as duration ("X") slices on the destination track so
+/// Perfetto shows communication as filled spans.
+void append_transit(std::string& out, std::size_t pid, const TraceEvent& e,
+                    const char* name) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":%zu,\"tid\":%u,"
+                "\"ts\":%" PRIu64 ",\"dur\":%" PRIu64 ",\"args\":{",
+                name, pid, e.proc, e.time - e.arg1, e.arg1);
+  out += buf;
+  if (e.thread != kNoThread) append_kv(out, "thread", e.thread);
+  append_kv(out, "from_proc", e.arg0, /*comma=*/false);
+  out += "}},\n";
+}
+
+void append_histogram(std::string& out, const Histogram& h) {
+  out += "{";
+  append_kv(out, "count", h.count());
+  append_kv(out, "sum", h.sum());
+  append_kv(out, "min", h.min());
+  append_kv(out, "max", h.max());
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "\"mean\":%.3f,", h.mean());
+  out += buf;
+  out += "\"buckets\":[";
+  bool first = true;
+  for (std::size_t b = 0; b < Histogram::kBucketCount; ++b) {
+    if (h.bucket_count(b) == 0) continue;
+    if (!first) out += ",";
+    first = false;
+    out += "{";
+    append_kv(out, "lo", Histogram::bucket_lo(b));
+    append_kv(out, "hi", Histogram::bucket_hi(b));
+    append_kv(out, "count", h.bucket_count(b), /*comma=*/false);
+    out += "}";
+  }
+  out += "]}";
+}
+
+void append_u64le(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out += static_cast<char>((v >> (8 * i)) & 0xff);
+}
+void append_u32le(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out += static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const Observer& obs) {
+  std::string out;
+  out.reserve(1 << 16);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  for (std::size_t pid = 0; pid < obs.runs().size(); ++pid) {
+    const RunRecord& run = obs.runs()[pid];
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%zu,"
+                  "\"args\":{\"name\":\"",
+                  pid);
+    out += buf;
+    append_escaped(out, run.label);
+    out += "\"}},\n";
+    std::snprintf(buf, sizeof buf,
+                  "{\"name\":\"process_sort_index\",\"ph\":\"M\",\"pid\":%zu,"
+                  "\"args\":{\"sort_index\":%zu}},\n",
+                  pid, pid);
+    out += buf;
+    for (ProcId p = 0; p < run.nprocs; ++p) {
+      std::snprintf(buf, sizeof buf,
+                    "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%zu,"
+                    "\"tid\":%u,\"args\":{\"name\":\"proc %u\"}},\n",
+                    pid, p, p);
+      out += buf;
+    }
+    for (const TraceEvent& e : run.events) {
+      switch (e.kind) {
+        case EventKind::kMigrationArrive:
+          append_transit(out, pid, e, "migration");
+          break;
+        case EventKind::kReturnStubArrive:
+          append_transit(out, pid, e, "return_stub");
+          break;
+        default:
+          append_instant(out, pid, e);
+      }
+    }
+  }
+  // Closing sentinel avoids trailing-comma bookkeeping and marks the
+  // export as complete.
+  out += "{\"name\":\"olden_trace_end\",\"ph\":\"M\",\"pid\":0,\"args\":{}}\n";
+  out += "]}\n";
+  return out;
+}
+
+bool write_chrome_trace(const Observer& obs, const std::string& path,
+                        std::string* err) {
+  return write_file(path, chrome_trace_json(obs), err);
+}
+
+bool write_binary_trace(const Observer& obs, const std::string& path,
+                        std::string* err) {
+  std::string out;
+  out.append(kBinaryTraceMagic, sizeof kBinaryTraceMagic);
+  append_u32le(out, 1);  // format version
+  append_u32le(out, static_cast<std::uint32_t>(obs.runs().size()));
+  for (const RunRecord& run : obs.runs()) {
+    append_u32le(out, static_cast<std::uint32_t>(run.label.size()));
+    out += run.label;
+    append_u64le(out, run.events.size());
+    for (const TraceEvent& e : run.events) {
+      append_u64le(out, e.time);
+      append_u32le(out, e.proc);
+      append_u64le(out, e.thread);
+      out += static_cast<char>(e.kind);
+      out.append(3, '\0');
+      append_u32le(out, e.site);
+      append_u64le(out, e.arg0);
+      append_u64le(out, e.arg1);
+    }
+  }
+  return write_file(path, out, err);
+}
+
+std::string stats_json(const Observer& obs) {
+  std::string out;
+  out.reserve(1 << 14);
+  out += "{\"schema_version\":";
+  out += std::to_string(kStatsSchemaVersion);
+  out += ",\"generator\":\"olden-trace\",\"runs\":[";
+  bool first_run = true;
+  for (const RunRecord& run : obs.runs()) {
+    if (!first_run) out += ",";
+    first_run = false;
+    out += "\n{\"label\":\"";
+    append_escaped(out, run.label);
+    out += "\",\"config\":{";
+    append_kv(out, "nprocs", run.nprocs);
+    out += "\"scheme\":\"";
+    append_escaped(out, run.scheme);
+    out += "\",\"sequential_baseline\":";
+    out += run.sequential_baseline ? "true" : "false";
+    for (const auto& [k, v] : run.meta) {
+      out += ",\"";
+      append_escaped(out, k);
+      out += "\":\"";
+      append_escaped(out, v);
+      out += "\"";
+    }
+    out += "},";
+    append_kv(out, "makespan_cycles", run.makespan);
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "\"seconds\":%.9f,",
+                  cycles_to_seconds(run.makespan));
+    out += buf;
+    out += "\"counters\":{";
+    bool first = true;
+    for (const auto& [k, v] : run.counters) {
+      if (!first) out += ",";
+      first = false;
+      append_kv(out, k.c_str(), v, /*comma=*/false);
+    }
+    out += "},\"histograms\":{";
+    first = true;
+    for (std::size_t h = 0; h < kNumHists; ++h) {
+      if (run.hists[h].empty()) continue;
+      if (!first) out += ",";
+      first = false;
+      out += "\"";
+      out += to_string(static_cast<Hist>(h));
+      out += "\":";
+      append_histogram(out, run.hists[h]);
+    }
+    out += "},\"breakdown\":[";
+    for (ProcId p = 0; p < run.nprocs; ++p) {
+      if (p != 0) out += ",";
+      out += "{";
+      append_kv(out, "proc", p);
+      for (std::size_t b = 0; b < kNumBuckets; ++b) {
+        append_kv(out, to_string(static_cast<CycleBucket>(b)),
+                  run.breakdown[p][b]);
+      }
+      append_kv(out, "clock", run.proc_clock[p], /*comma=*/false);
+      out += "}";
+    }
+    out += "],\"events\":{\"counts\":{";
+    first = true;
+    for (std::size_t k = 0; k < kNumEventKinds; ++k) {
+      if (run.event_counts[k] == 0) continue;
+      if (!first) out += ",";
+      first = false;
+      append_kv(out, to_string(static_cast<EventKind>(k)),
+                run.event_counts[k], /*comma=*/false);
+    }
+    out += "},";
+    append_kv(out, "retained", run.events.size());
+    append_kv(out, "dropped", run.events_dropped, /*comma=*/false);
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool write_stats_json(const Observer& obs, const std::string& path,
+                      std::string* err) {
+  return write_file(path, stats_json(obs), err);
+}
+
+std::string breakdown_table(const RunRecord& run) {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof buf, "cycle breakdown: %s (makespan %" PRIu64
+                                 " cycles, %.6f s)\n",
+                run.label.c_str(), run.makespan,
+                cycles_to_seconds(run.makespan));
+  out += buf;
+  std::snprintf(buf, sizeof buf, "%-6s %12s %12s %12s %12s %12s %12s\n",
+                "proc", "compute", "migration", "cache_stall", "coherence",
+                "idle", "clock");
+  out += buf;
+  auto row = [&](const char* name, const BucketCycles& b, Cycles clock) {
+    std::snprintf(buf, sizeof buf,
+                  "%-6s %12" PRIu64 " %12" PRIu64 " %12" PRIu64 " %12" PRIu64
+                  " %12" PRIu64 " %12" PRIu64 "\n",
+                  name, b[0], b[1], b[2], b[3], b[4], clock);
+    out += buf;
+  };
+  Cycles clock_total = 0;
+  for (ProcId p = 0; p < run.nprocs; ++p) {
+    char name[16];
+    std::snprintf(name, sizeof name, "%u", p);
+    row(name, run.breakdown[p], run.proc_clock[p]);
+    clock_total += run.proc_clock[p];
+  }
+  const BucketCycles t = run.bucket_totals();
+  row("total", t, clock_total);
+  const std::uint64_t busy_total =
+      t[0] + t[1] + t[2] + t[3] + t[4];
+  if (busy_total > 0) {
+    std::snprintf(buf, sizeof buf,
+                  "%-6s %11.1f%% %11.1f%% %11.1f%% %11.1f%% %11.1f%%\n", "",
+                  100.0 * static_cast<double>(t[0]) / busy_total,
+                  100.0 * static_cast<double>(t[1]) / busy_total,
+                  100.0 * static_cast<double>(t[2]) / busy_total,
+                  100.0 * static_cast<double>(t[3]) / busy_total,
+                  100.0 * static_cast<double>(t[4]) / busy_total);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace olden::trace

@@ -1,0 +1,81 @@
+#include "olden/trace/observer.hpp"
+
+#include <utility>
+
+#include "olden/runtime/machine.hpp"
+
+namespace olden::trace {
+
+void Observer::begin_run(std::string label,
+                         std::map<std::string, std::string> meta) {
+  // A begin_run with no intervening machine just relabels the pending run.
+  cur_.label = std::move(label);
+  cur_.meta = std::move(meta);
+}
+
+void Observer::attach(const RunConfig& cfg) {
+  if (cur_.label.empty()) {
+    cur_.label = "run-" + std::to_string(runs_.size());
+  }
+  cur_.nprocs = cfg.nprocs;
+  cur_.scheme = to_string(cfg.scheme);
+  cur_.sequential_baseline = cfg.costs.sequential_baseline;
+  acct_.assign(cfg.nprocs, BucketCycles{});
+  page_heat_.clear();
+  run_open_ = true;
+}
+
+void Observer::finish(const Machine& m) {
+  if (!run_open_) return;
+  run_open_ = false;
+
+  cur_.makespan = m.makespan();
+  cur_.proc_clock.resize(m.nprocs());
+  cur_.breakdown = std::move(acct_);
+  for (ProcId p = 0; p < m.nprocs(); ++p) {
+    cur_.proc_clock[p] = m.proc_clock(p);
+    // A processor that went quiescent before the makespan was idle for
+    // the remainder of the run.
+    cur_.breakdown[p][static_cast<std::size_t>(CycleBucket::kIdle)] +=
+        cur_.makespan - m.proc_clock(p);
+  }
+
+  for (const auto& [key, heat] : page_heat_) {
+    (void)key;
+    cur_.hists[static_cast<std::size_t>(Hist::kPageHeat)].record(heat);
+  }
+  page_heat_.clear();
+
+  const MachineStats& s = m.stats();
+  auto& c = cur_.counters;
+  c["local_reads"] = s.local_reads;
+  c["local_writes"] = s.local_writes;
+  c["cacheable_reads"] = s.cacheable_reads;
+  c["cacheable_writes"] = s.cacheable_writes;
+  c["cacheable_reads_remote"] = s.cacheable_reads_remote;
+  c["cacheable_writes_remote"] = s.cacheable_writes_remote;
+  c["cache_hits"] = s.cache_hits;
+  c["cache_misses"] = s.cache_misses;
+  c["timestamp_checks"] = s.timestamp_checks;
+  c["timestamp_stalls"] = s.timestamp_stalls;
+  c["migrations"] = s.migrations;
+  c["return_migrations"] = s.return_migrations;
+  c["futurecalls"] = s.futurecalls;
+  c["futures_inlined"] = s.futures_inlined;
+  c["futures_stolen"] = s.futures_stolen;
+  c["touches_blocked"] = s.touches_blocked;
+  c["cache_flushes"] = s.cache_flushes;
+  c["lines_invalidated"] = s.lines_invalidated;
+  c["invalidation_messages"] = s.invalidation_messages;
+  c["tracked_writes"] = s.tracked_writes;
+  c["pages_cached"] = s.pages_cached;
+  c["allocations"] = s.allocations;
+  c["bytes_allocated"] = s.bytes_allocated;
+  c["threads_created"] = m.threads_created();
+  c["makespan_cycles"] = cur_.makespan;
+
+  runs_.push_back(std::move(cur_));
+  cur_ = RunRecord{};
+}
+
+}  // namespace olden::trace

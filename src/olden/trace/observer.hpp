@@ -1,0 +1,170 @@
+// trace::Observer — the single attachment point between the runtime and
+// the observability layer.
+//
+// A Machine holds an optional Observer*; every instrumentation hook in the
+// runtime is guarded by a null check, so with no observer installed the
+// hooks compile down to one predictable branch and touch nothing (and in
+// *virtual* time they are free either way: hooks only read the clocks the
+// runtime already advanced — see the determinism A/B test).
+//
+// Lifecycle, from a bench binary's point of view:
+//
+//   trace::Observer obs;
+//   obs.set_trace_enabled(true);          // collect TraceEvents
+//   obs.begin_run("TreeAdd/p=4/local");   // label the next machine run
+//   ... run a Machine constructed with RunConfig{.observer = &obs} ...
+//   trace::write_chrome_trace(obs, "out.json", &err);
+//   trace::write_stats_json(obs, "stats.json", &err);
+//
+// Machine calls attach() from its constructor and finish() when it goes
+// quiescent; each attach/finish pair closes one RunRecord.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "olden/support/types.hpp"
+#include "olden/trace/trace.hpp"
+
+namespace olden {
+class Machine;
+struct RunConfig;
+}  // namespace olden
+
+namespace olden::trace {
+
+/// Everything recorded about one Machine run.
+struct RunRecord {
+  std::string label;
+  /// Free-form configuration the bench binary wants exported alongside
+  /// (benchmark name, seed, paper_size, ...).
+  std::map<std::string, std::string> meta;
+  ProcId nprocs = 0;
+  std::string scheme;
+  bool sequential_baseline = false;
+
+  Cycles makespan = 0;
+  std::vector<Cycles> proc_clock;            ///< final clock per processor
+  std::vector<BucketCycles> breakdown;       ///< per-processor cycle buckets
+  /// Counter snapshot: every MachineStats field by name, plus makespan and
+  /// derived machine-level counts.
+  std::map<std::string, std::uint64_t> counters;
+  std::array<Histogram, kNumHists> hists{};
+  std::array<std::uint64_t, kNumEventKinds> event_counts{};
+
+  std::vector<TraceEvent> events;
+  std::uint64_t events_dropped = 0;
+
+  [[nodiscard]] BucketCycles bucket_totals() const {
+    BucketCycles t{};
+    for (const BucketCycles& b : breakdown) {
+      for (std::size_t i = 0; i < kNumBuckets; ++i) t[i] += b[i];
+    }
+    return t;
+  }
+};
+
+class Observer {
+ public:
+  // --- configuration (set before the first run) -------------------------
+
+  /// Collect per-event TraceEvents (for the Chrome/binary trace exports).
+  /// Counters, histograms and cycle accounting are always collected while
+  /// an observer is attached; event collection is opt-in because a full
+  /// table sweep emits tens of millions of events.
+  void set_trace_enabled(bool on) { trace_enabled_ = on; }
+  [[nodiscard]] bool trace_enabled() const { return trace_enabled_; }
+
+  /// Cap on retained TraceEvents across all runs; further events are
+  /// counted in `events_dropped` but not stored.
+  void set_event_limit(std::uint64_t n) { event_limit_ = n; }
+  [[nodiscard]] std::uint64_t event_limit() const { return event_limit_; }
+
+  // --- run lifecycle ------------------------------------------------------
+
+  /// Name the next Machine run (call before constructing the Machine).
+  void begin_run(std::string label,
+                 std::map<std::string, std::string> meta = {});
+
+  /// Called by Machine's constructor.
+  void attach(const RunConfig& cfg);
+  /// Called by Machine when it goes quiescent: snapshots stats, clocks,
+  /// cycle buckets and histograms into the current RunRecord.
+  void finish(const Machine& m);
+
+  [[nodiscard]] const std::vector<RunRecord>& runs() const { return runs_; }
+  [[nodiscard]] std::uint64_t events_retained() const {
+    return events_retained_;
+  }
+
+  // --- hot-path hooks (called by the runtime, observer non-null) ---------
+
+  void event(EventKind k, Cycles t, ProcId p, ThreadId th, SiteId site,
+             std::uint64_t a0 = 0, std::uint64_t a1 = 0) {
+    ++cur_.event_counts[static_cast<std::size_t>(k)];
+    if (!trace_enabled_) return;
+    if (events_retained_ >= event_limit_) {
+      ++cur_.events_dropped;
+      return;
+    }
+    cur_.events.push_back(TraceEvent{t, p, th, k, site, a0, a1});
+    ++events_retained_;
+  }
+
+  void account(ProcId p, Cycles c, CycleBucket b) {
+    acct_[p][static_cast<std::size_t>(b)] += c;
+  }
+
+  void record(Hist h, std::uint64_t v) {
+    cur_.hists[static_cast<std::size_t>(h)].record(v);
+  }
+
+  /// One software-cache access on processor p touching `page` (page heat;
+  /// folded into the kPageHeat histogram at finish()).
+  void touch_page(ProcId p, std::uint32_t page) {
+    ++page_heat_[(static_cast<std::uint64_t>(p) << 32) | page];
+  }
+
+ private:
+  bool trace_enabled_ = false;
+  std::uint64_t event_limit_ = 1'000'000;
+  std::uint64_t events_retained_ = 0;
+
+  bool run_open_ = false;
+  RunRecord cur_;
+  std::vector<BucketCycles> acct_;
+  std::unordered_map<std::uint64_t, std::uint64_t> page_heat_;
+  std::vector<RunRecord> runs_;
+};
+
+// --- exporters (export.cpp) -------------------------------------------------
+
+/// Chrome trace_event JSON (open in Perfetto / chrome://tracing): one
+/// process per run, one thread track per virtual processor; ts is virtual
+/// cycles displayed as microseconds.
+[[nodiscard]] std::string chrome_trace_json(const Observer& obs);
+bool write_chrome_trace(const Observer& obs, const std::string& path,
+                        std::string* err = nullptr);
+
+/// Compact binary log: "OLDNTRC1" magic, little-endian packed records.
+bool write_binary_trace(const Observer& obs, const std::string& path,
+                        std::string* err = nullptr);
+inline constexpr char kBinaryTraceMagic[8] = {'O', 'L', 'D', 'N',
+                                              'T', 'R', 'C', '1'};
+/// Size of one packed binary record (time, proc, thread, kind, site, args).
+inline constexpr std::size_t kBinaryRecordBytes = 8 + 4 + 8 + 1 + 3 + 4 + 8 + 8;
+
+/// The structured stats document (schema documented in
+/// docs/OBSERVABILITY.md and validated by tools/check_stats_schema.py).
+inline constexpr int kStatsSchemaVersion = 1;
+[[nodiscard]] std::string stats_json(const Observer& obs);
+bool write_stats_json(const Observer& obs, const std::string& path,
+                      std::string* err = nullptr);
+
+/// Human-readable per-processor cycle-breakdown table for one run.
+[[nodiscard]] std::string breakdown_table(const RunRecord& run);
+
+}  // namespace olden::trace

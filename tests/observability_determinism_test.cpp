@@ -1,0 +1,63 @@
+// The zero-overhead contract: attaching an observer — even with full event
+// tracing and an event limit small enough to exercise the drop path — must
+// not change a single virtual cycle or checksum. TreeAdd and EM3D are run
+// A/B (observer off vs on) across processor counts and all three coherence
+// schemes; any drift means an instrumentation hook touched the clocks.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "olden/bench/benchmark.hpp"
+#include "olden/trace/observer.hpp"
+
+namespace olden::bench {
+namespace {
+
+class ObservabilityAB
+    : public ::testing::TestWithParam<
+          std::tuple<const char*, ProcId, Coherence>> {};
+
+TEST_P(ObservabilityAB, TracingDoesNotPerturbTheRun) {
+  const auto [name, nprocs, scheme] = GetParam();
+  const Benchmark* b = find_benchmark(name);
+  ASSERT_NE(b, nullptr);
+
+  BenchConfig cfg{.nprocs = nprocs, .scheme = scheme};
+  const BenchResult off = b->run(cfg);
+
+  trace::Observer obs;
+  obs.set_trace_enabled(true);
+  obs.set_event_limit(1000);  // small: force the drop path mid-run
+  obs.begin_run(std::string(name) + "/ab");
+  cfg.observer = &obs;
+  const BenchResult on = b->run(cfg);
+
+  EXPECT_EQ(on.checksum, off.checksum);
+  EXPECT_EQ(on.total_cycles, off.total_cycles);
+  EXPECT_EQ(on.kernel_cycles, off.kernel_cycles);
+  EXPECT_EQ(on.build_cycles, off.build_cycles);
+  EXPECT_EQ(on.stats.migrations, off.stats.migrations);
+  EXPECT_EQ(on.stats.cache_misses, off.stats.cache_misses);
+  EXPECT_EQ(on.stats.futurecalls, off.stats.futurecalls);
+
+  // The observed run actually observed something.
+  ASSERT_GE(obs.runs().size(), 1u);
+  std::uint64_t events = 0;
+  for (const auto& r : obs.runs()) {
+    EXPECT_TRUE(r.counters.contains("makespan_cycles")) << r.label;
+    events += r.events.size() + r.events_dropped;
+  }
+  EXPECT_GT(events, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TreeAddAndEm3d, ObservabilityAB,
+    ::testing::Combine(::testing::Values("TreeAdd", "EM3D"),
+                       ::testing::Values(ProcId{1}, ProcId{4}, ProcId{8}),
+                       ::testing::Values(Coherence::kLocalKnowledge,
+                                         Coherence::kEagerGlobal,
+                                         Coherence::kBilateral)));
+
+}  // namespace
+}  // namespace olden::bench

@@ -1,0 +1,177 @@
+// MachineStats structural invariants: unit tests for the counter
+// relations, the Table-3 remote-miss percentage (which must not
+// double-count an access that both revalidated and fetched), and
+// whole-run checks that real machine runs keep the invariants.
+#include <gtest/gtest.h>
+
+#include "olden/olden.hpp"
+
+namespace olden {
+namespace {
+
+MachineStats consistent_stats() {
+  MachineStats s;
+  s.cacheable_reads = 100;
+  s.cacheable_reads_remote = 40;
+  s.cache_hits = 30;
+  s.cache_misses = 10;
+  s.cacheable_writes = 50;
+  s.cacheable_writes_remote = 20;
+  s.timestamp_checks = 8;
+  s.timestamp_stalls = 5;
+  s.futurecalls = 6;
+  s.futures_inlined = 4;
+  s.futures_stolen = 2;
+  s.touches_blocked = 3;
+  return s;
+}
+
+TEST(StatsInvariants, ConsistentCountersPass) {
+  consistent_stats().check_invariants();  // must not abort
+}
+
+TEST(StatsInvariants, EmptyStatsPass) {
+  MachineStats{}.check_invariants();
+}
+
+// OLDEN_REQUIRE aborts with a diagnostic on stderr; each violated relation
+// must be caught, not silently folded into a percentage.
+
+using StatsInvariantsDeath = ::testing::Test;
+
+TEST(StatsInvariantsDeath, HitMissPartitionViolated) {
+  MachineStats s = consistent_stats();
+  s.cache_hits += 1;  // hits + misses no longer equals remote reads
+  EXPECT_DEATH(s.check_invariants(), "hit xor a miss");
+}
+
+TEST(StatsInvariantsDeath, RemoteReadsExceedTotal) {
+  MachineStats s = consistent_stats();
+  s.cacheable_reads_remote = s.cacheable_reads + 1;
+  s.cache_hits = s.cacheable_reads_remote - s.cache_misses;
+  EXPECT_DEATH(s.check_invariants(), "remote cacheable reads exceed");
+}
+
+TEST(StatsInvariantsDeath, RemoteWritesExceedTotal) {
+  MachineStats s = consistent_stats();
+  s.cacheable_writes_remote = s.cacheable_writes + 1;
+  EXPECT_DEATH(s.check_invariants(), "remote cacheable writes exceed");
+}
+
+TEST(StatsInvariantsDeath, MoreStallsThanChecks) {
+  MachineStats s = consistent_stats();
+  s.timestamp_stalls = s.timestamp_checks + 1;
+  EXPECT_DEATH(s.check_invariants(), "more stalled accesses");
+}
+
+TEST(StatsInvariantsDeath, FutureConsumedTwice) {
+  MachineStats s = consistent_stats();
+  s.futures_inlined = s.futurecalls;
+  s.futures_stolen = 1;
+  EXPECT_DEATH(s.check_invariants(), "consumed both inline and by stealing");
+}
+
+TEST(StatsInvariantsDeath, MoreBlockedTouchesThanFutures) {
+  MachineStats s = consistent_stats();
+  s.touches_blocked = s.futurecalls + 1;
+  EXPECT_DEATH(s.check_invariants(), "more blocked touches");
+}
+
+// --- remote_miss_percent -------------------------------------------------
+
+TEST(StatsInvariants, RemoteMissPercentCountsStallsOnce) {
+  MachineStats s;
+  s.cacheable_reads = 100;
+  s.cacheable_reads_remote = 50;
+  s.cacheable_writes = 60;
+  s.cacheable_writes_remote = 30;
+  s.cache_hits = 40;
+  s.cache_misses = 10;
+  s.timestamp_checks = 20;
+  // 6 accesses revalidated without fetching a line. Because stalls are
+  // disjoint from misses by construction, the percentage is (10 + 6) / 80,
+  // not (10 + 16) / 80 as the old double-counting formula produced.
+  s.timestamp_stalls = 6;
+  s.check_invariants();
+  EXPECT_DOUBLE_EQ(s.remote_miss_percent(), 100.0 * 16.0 / 80.0);
+}
+
+TEST(StatsInvariants, RemoteMissPercentZeroWhenNoRemoteTraffic) {
+  MachineStats s;
+  s.cache_misses = 0;
+  EXPECT_DOUBLE_EQ(s.remote_miss_percent(), 0.0);
+}
+
+// --- whole-run invariant checks ------------------------------------------
+
+struct TNode {
+  std::int64_t val;
+  GPtr<TNode> left, right;
+};
+enum TSite : SiteId { kTVal, kTLeft, kTRight };
+
+Task<GPtr<TNode>> build_tree(Machine& m, int depth, ProcId proc) {
+  if (depth == 0) co_return GPtr<TNode>{};
+  auto n = m.alloc<TNode>(proc);
+  co_await wr(n, &TNode::val, std::int64_t{1}, kTVal);
+  auto l = co_await build_tree(
+      m, depth - 1, static_cast<ProcId>((proc * 2 + 1) % m.nprocs()));
+  auto r = co_await build_tree(
+      m, depth - 1, static_cast<ProcId>((proc * 2 + 2) % m.nprocs()));
+  co_await wr(n, &TNode::left, l, kTLeft);
+  co_await wr(n, &TNode::right, r, kTRight);
+  co_return n;
+}
+
+Task<std::int64_t> tree_sum(Machine& m, GPtr<TNode> t) {
+  if (!t) co_return 0;
+  auto l = co_await rd(t, &TNode::left, kTLeft);
+  auto r = co_await rd(t, &TNode::right, kTRight);
+  auto fl = co_await futurecall(tree_sum(m, l));
+  std::int64_t rs = co_await tree_sum(m, r);
+  std::int64_t ls = co_await touch(fl);
+  m.work(6);
+  co_return ls + rs + co_await rd(t, &TNode::val, kTVal);
+}
+
+Task<std::int64_t> tree_root(Machine& m, int depth) {
+  auto t = co_await build_tree(m, depth, 0);
+  co_return co_await tree_sum(m, t);
+}
+
+class RunInvariants
+    : public ::testing::TestWithParam<std::tuple<Coherence, Mechanism>> {};
+
+TEST_P(RunInvariants, HoldAtQuiescence) {
+  const auto [scheme, mech] = GetParam();
+  Machine m({.nprocs = 8, .scheme = scheme});
+  m.set_site_mechanisms({mech, mech, mech});
+  auto r = run_program(m, tree_root(m, 9));
+  EXPECT_EQ(r, (1 << 9) - 1);
+  const MachineStats& s = m.stats();
+  s.check_invariants();
+  // At quiescence every future has been consumed exactly once.
+  EXPECT_EQ(s.futures_inlined + s.futures_stolen, s.futurecalls);
+  if (mech == Mechanism::kCache) {
+    // A pure-caching program never migrates, so the remote-miss percentage
+    // is meaningful and bounded.
+    EXPECT_EQ(s.migrations, 0u);
+    EXPECT_LE(s.remote_miss_percent(), 100.0);
+  }
+  if (scheme != Coherence::kBilateral) {
+    // Timestamps exist only under the bilateral protocol.
+    EXPECT_EQ(s.timestamp_checks, 0u);
+    EXPECT_EQ(s.timestamp_stalls, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesAndMechanisms, RunInvariants,
+    ::testing::Combine(::testing::Values(Coherence::kLocalKnowledge,
+                                         Coherence::kEagerGlobal,
+                                         Coherence::kBilateral),
+                       ::testing::Values(Mechanism::kCache,
+                                         Mechanism::kMigrate)));
+
+}  // namespace
+}  // namespace olden

@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Validate a --stats-json document produced by the Olden bench binaries.
+
+Usage: check_stats_schema.py STATS.json [STATS2.json ...]
+
+Checks the structural schema (version 1, documented in
+docs/OBSERVABILITY.md) and the arithmetic invariants the exporter
+promises: per-processor cycle buckets sum to the makespan, histogram
+bucket counts sum to the histogram count, and event retention arithmetic
+is consistent. Exits non-zero with a message on the first violation.
+
+Stdlib only, so it can run in any CI image.
+"""
+
+import json
+import sys
+
+SCHEMA_VERSION = 1
+
+COUNTER_KEYS = {
+    "local_reads", "local_writes",
+    "cacheable_reads", "cacheable_writes",
+    "cacheable_reads_remote", "cacheable_writes_remote",
+    "cache_hits", "cache_misses",
+    "timestamp_checks", "timestamp_stalls",
+    "migrations", "return_migrations",
+    "futurecalls", "futures_inlined", "futures_stolen", "touches_blocked",
+    "cache_flushes", "lines_invalidated", "invalidation_messages",
+    "tracked_writes", "pages_cached",
+    "allocations", "bytes_allocated",
+    "threads_created", "makespan_cycles",
+}
+
+BUCKET_KEYS = ["compute", "migration", "cache_stall", "coherence", "idle"]
+
+HIST_KEYS = {
+    "migration_latency_cycles", "return_stub_latency_cycles",
+    "miss_fill_cycles", "ready_queue_depth", "worklist_depth", "page_heat",
+}
+
+SCHEMES = {"local", "global", "bilateral"}
+
+
+class SchemaError(Exception):
+    pass
+
+
+def require(cond, msg):
+    if not cond:
+        raise SchemaError(msg)
+
+
+def check_counter(obj, key, ctx):
+    require(key in obj, f"{ctx}: missing {key!r}")
+    require(isinstance(obj[key], int) and obj[key] >= 0,
+            f"{ctx}: {key!r} must be a non-negative integer")
+
+
+def check_histogram(name, h, ctx):
+    ctx = f"{ctx} histogram {name!r}"
+    for key in ("count", "sum", "min", "max"):
+        check_counter(h, key, ctx)
+    require(isinstance(h.get("mean"), (int, float)), f"{ctx}: missing mean")
+    require(isinstance(h.get("buckets"), list), f"{ctx}: missing buckets")
+    total = 0
+    prev_hi = -1
+    for b in h["buckets"]:
+        for key in ("lo", "hi", "count"):
+            check_counter(b, key, ctx + " bucket")
+        require(b["lo"] <= b["hi"], f"{ctx}: bucket lo > hi")
+        require(b["lo"] > prev_hi, f"{ctx}: buckets overlap or out of order")
+        prev_hi = b["hi"]
+        total += b["count"]
+    require(total == h["count"],
+            f"{ctx}: bucket counts sum to {total}, header says {h['count']}")
+    if h["count"] > 0:
+        require(h["min"] <= h["max"], f"{ctx}: min > max")
+
+
+def check_run(run, idx):
+    ctx = f"run[{idx}]"
+    require(isinstance(run.get("label"), str) and run["label"],
+            f"{ctx}: missing label")
+    ctx = f"run[{idx}] ({run['label']})"
+
+    cfg = run.get("config")
+    require(isinstance(cfg, dict), f"{ctx}: missing config")
+    check_counter(cfg, "nprocs", ctx)
+    require(cfg["nprocs"] >= 1, f"{ctx}: nprocs must be >= 1")
+    require(cfg.get("scheme") in SCHEMES,
+            f"{ctx}: scheme must be one of {sorted(SCHEMES)}")
+    require(isinstance(cfg.get("sequential_baseline"), bool),
+            f"{ctx}: missing sequential_baseline")
+
+    check_counter(run, "makespan_cycles", ctx)
+    require(isinstance(run.get("seconds"), (int, float)),
+            f"{ctx}: missing seconds")
+
+    counters = run.get("counters")
+    require(isinstance(counters, dict), f"{ctx}: missing counters")
+    for key in COUNTER_KEYS:
+        check_counter(counters, key, ctx + " counters")
+    require(counters["makespan_cycles"] == run["makespan_cycles"],
+            f"{ctx}: counters.makespan_cycles disagrees with run")
+    require(counters["cache_hits"] + counters["cache_misses"]
+            == counters["cacheable_reads_remote"],
+            f"{ctx}: hits + misses != remote cacheable reads")
+    require(counters["timestamp_stalls"] <= counters["timestamp_checks"],
+            f"{ctx}: timestamp_stalls > timestamp_checks")
+
+    hists = run.get("histograms")
+    require(isinstance(hists, dict), f"{ctx}: missing histograms")
+    for name, h in hists.items():
+        require(name in HIST_KEYS, f"{ctx}: unknown histogram {name!r}")
+        check_histogram(name, h, ctx)
+
+    breakdown = run.get("breakdown")
+    require(isinstance(breakdown, list), f"{ctx}: missing breakdown")
+    require(len(breakdown) == cfg["nprocs"],
+            f"{ctx}: breakdown has {len(breakdown)} rows, nprocs is "
+            f"{cfg['nprocs']}")
+    for row in breakdown:
+        check_counter(row, "proc", ctx + " breakdown")
+        check_counter(row, "clock", ctx + " breakdown")
+        total = 0
+        for key in BUCKET_KEYS:
+            check_counter(row, key, ctx + " breakdown")
+            total += row[key]
+        require(total == run["makespan_cycles"],
+                f"{ctx}: proc {row['proc']} buckets sum to {total}, "
+                f"makespan is {run['makespan_cycles']}")
+        require(row["clock"] <= run["makespan_cycles"],
+                f"{ctx}: proc {row['proc']} clock exceeds makespan")
+
+    events = run.get("events")
+    require(isinstance(events, dict), f"{ctx}: missing events")
+    require(isinstance(events.get("counts"), dict),
+            f"{ctx}: missing events.counts")
+    check_counter(events, "retained", ctx + " events")
+    check_counter(events, "dropped", ctx + " events")
+
+
+def check_document(doc, path):
+    require(isinstance(doc, dict), f"{path}: top level must be an object")
+    require(doc.get("schema_version") == SCHEMA_VERSION,
+            f"{path}: schema_version must be {SCHEMA_VERSION}, "
+            f"got {doc.get('schema_version')!r}")
+    require(doc.get("generator") == "olden-trace",
+            f"{path}: generator must be 'olden-trace'")
+    runs = doc.get("runs")
+    require(isinstance(runs, list), f"{path}: missing runs array")
+    for idx, run in enumerate(runs):
+        check_run(run, idx)
+    return len(runs)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                doc = json.load(f)
+            n = check_document(doc, path)
+        except (OSError, json.JSONDecodeError, SchemaError) as e:
+            print(f"FAIL {path}: {e}", file=sys.stderr)
+            return 1
+        print(f"OK   {path}: {n} run(s), schema v{SCHEMA_VERSION}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
