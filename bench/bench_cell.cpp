@@ -1,0 +1,158 @@
+// bench_cell: run individual (benchmark x coherence-scheme) cells with
+// checksum validation — the execution backend of the regression harness
+// (tools/bench_runner.py).
+//
+//   bench_cell --benchmark=TreeAdd [--schemes=local,global,bilateral]
+//              [--nprocs=8] [--tiny | --paper-size] [--list]
+//
+// Each cell runs the simulated machine at a deterministic pinned size,
+// validates the result checksum against the host-side sequential
+// reference, and labels the observer run "BENCH/<name>/p=N/<scheme>" so
+// the stats / binary-trace exports carry one run per cell. Exits 1 on any
+// checksum mismatch (a correctness regression is worse than a slow one).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "olden/bench/benchmark.hpp"
+#include "olden/bench/obs_cli.hpp"
+
+namespace {
+
+using namespace olden;
+using namespace olden::bench;
+
+bool scheme_from_name(const std::string& name, Coherence* out) {
+  if (name == "local") { *out = Coherence::kLocalKnowledge; return true; }
+  if (name == "global") { *out = Coherence::kEagerGlobal; return true; }
+  if (name == "bilateral") { *out = Coherence::kBilateral; return true; }
+  return false;
+}
+
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+bool flag_value(const char* arg, const char* name, std::string* out) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  *out = arg + n + 1;
+  return true;
+}
+
+void usage(std::FILE* to) {
+  std::fprintf(to,
+               "usage: bench_cell --benchmark=NAME [options]\n"
+               "  --benchmark=NAME   suite benchmark to run (see --list)\n"
+               "  --schemes=A,B      coherence schemes (default "
+               "local,global,bilateral)\n"
+               "  --nprocs=N         processors per cell (default 8)\n"
+               "  --tiny             pinned tiny size (regression harness)\n"
+               "  --paper-size       original paper problem size\n"
+               "  --list             print suite benchmark names and exit\n"
+               "%s",
+               ObsCli::usage());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ObsCli obs;
+  obs.parse(&argc, argv,
+            {"--benchmark", "--schemes", "--nprocs", "--tiny", "--paper-size",
+             "--list"});
+
+  std::string bench_name;
+  std::string schemes_str = "local,global,bilateral";
+  unsigned nprocs = 8;
+  bool tiny = false;
+  bool paper_size = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (flag_value(argv[i], "--benchmark", &v)) {
+      bench_name = v;
+    } else if (flag_value(argv[i], "--schemes", &v)) {
+      schemes_str = v;
+    } else if (flag_value(argv[i], "--nprocs", &v)) {
+      nprocs = static_cast<unsigned>(std::strtoul(v.c_str(), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--tiny") == 0) {
+      tiny = true;
+    } else if (std::strcmp(argv[i], "--paper-size") == 0) {
+      paper_size = true;
+    } else if (std::strcmp(argv[i], "--list") == 0) {
+      for (const Benchmark* b : suite()) std::printf("%s\n", b->name().c_str());
+      return 0;
+    } else {
+      usage(stderr);
+      return 2;
+    }
+  }
+  if (bench_name.empty()) {
+    usage(stderr);
+    return 2;
+  }
+  const Benchmark* b = find_benchmark(bench_name);
+  if (b == nullptr) {
+    std::fprintf(stderr, "bench_cell: unknown benchmark '%s' (try --list)\n",
+                 bench_name.c_str());
+    return 2;
+  }
+  if (nprocs == 0 || nprocs > kMaxProcs) {
+    std::fprintf(stderr, "bench_cell: --nprocs must be in [1, %u]\n",
+                 static_cast<unsigned>(kMaxProcs));
+    return 2;
+  }
+
+  bool ok = true;
+  for (const std::string& sname : split_commas(schemes_str)) {
+    Coherence scheme;
+    if (!scheme_from_name(sname, &scheme)) {
+      std::fprintf(stderr,
+                   "bench_cell: unknown scheme '%s' (local, global, "
+                   "bilateral)\n",
+                   sname.c_str());
+      return 2;
+    }
+    BenchConfig cfg;
+    cfg.nprocs = nprocs;
+    cfg.scheme = scheme;
+    cfg.tiny = tiny;
+    cfg.paper_size = paper_size;
+    cfg.observer = obs.observer();
+    obs.begin_run("BENCH/" + b->name() + "/p=" + std::to_string(nprocs) + "/" +
+                      sname,
+                  {{"benchmark", b->name()},
+                   {"scheme", sname},
+                   {"size", tiny ? "tiny" : (paper_size ? "paper" : "default")}});
+    const BenchResult r = b->run(cfg);
+    const std::uint64_t want = b->reference_checksum(cfg);
+    const bool match = r.checksum == want;
+    ok = ok && match;
+    std::printf("%-12s %-9s p=%-2u makespan %12llu cycles  checksum %s\n",
+                b->name().c_str(), sname.c_str(), nprocs,
+                static_cast<unsigned long long>(r.total_cycles),
+                match ? "ok" : "MISMATCH");
+    if (!match) {
+      std::fprintf(stderr,
+                   "bench_cell: %s/%s checksum mismatch: got %llu, want "
+                   "%llu\n",
+                   b->name().c_str(), sname.c_str(),
+                   static_cast<unsigned long long>(r.checksum),
+                   static_cast<unsigned long long>(want));
+    }
+  }
+  if (!obs.finish()) ok = false;
+  return ok ? 0 : 1;
+}

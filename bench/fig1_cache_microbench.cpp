@@ -121,7 +121,7 @@ int main(int argc, char** argv) {
   // observability flags are accepted (and stripped before google-benchmark
   // sees argv) but produce documents with zero runs.
   olden::bench::ObsCli obs;
-  obs.parse(&argc, argv);
+  obs.parse(&argc, argv, {"--benchmark_"});
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   report_chains();

@@ -143,7 +143,7 @@ int main(int argc, char** argv) {
   // observability flags are accepted (and stripped before google-benchmark
   // parses argv) but produce documents with zero runs.
   olden::bench::ObsCli obs;
-  obs.parse(&argc, argv);
+  obs.parse(&argc, argv, {"--benchmark_"});
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -48,7 +48,7 @@ double timed_seconds(const Benchmark& b, const BenchResult& r) {
 
 int main(int argc, char** argv) {
   ObsCli obs;
-  obs.parse(&argc, argv);
+  obs.parse(&argc, argv, {"--paper-size"});
   bool paper_size = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--paper-size") == 0) {

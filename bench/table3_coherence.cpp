@@ -42,7 +42,7 @@ const char* kMCBenchmarks[] = {"Bisort",     "Voronoi",   "EM3D",
 
 int main(int argc, char** argv) {
   ObsCli obs;
-  obs.parse(&argc, argv);
+  obs.parse(&argc, argv, {"--paper-size"});
   bool paper_size = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--paper-size") == 0) {

@@ -1,0 +1,201 @@
+#include "olden/analyze/critical_path.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+namespace olden::analyze {
+
+namespace {
+
+using trace::CycleBucket;
+using trace::EventKind;
+using trace::TraceEvent;
+
+/// What one same-processor gap ending at `dst` was spent on.
+CycleBucket classify_dst(const TraceEvent& dst) {
+  switch (dst.kind) {
+    case EventKind::kCacheMiss:
+    case EventKind::kCacheLineFill:
+      return CycleBucket::kCacheStall;
+    case EventKind::kLineInvalidate:
+    case EventKind::kTimestampCheck:
+      return CycleBucket::kCoherence;
+    // An acquire-time flush / suspect-marking that dropped or marked
+    // nothing did no coherence work; the gap leading to it was the thread
+    // computing (local work emits no events, so such gaps can be long).
+    case EventKind::kCacheFlush:
+    case EventKind::kMarkSuspect:
+      return dst.arg0 > 0 ? CycleBucket::kCoherence : CycleBucket::kCompute;
+    // Reaching an arrival / steal along the processor's own timeline means
+    // the processor sat between its previous event and the hand-off.
+    case EventKind::kMigrationArrive:
+    case EventKind::kReturnStubArrive:
+    case EventKind::kFutureSteal:
+      return CycleBucket::kIdle;
+    default:
+      return CycleBucket::kCompute;
+  }
+}
+
+/// What a same-processor gap between consecutive events was spent on.
+/// After an event that removed the running thread from the processor
+/// (a blocked touch, a migration or return-stub departure), whatever
+/// follows on this processor waited — the gap is idle no matter what the
+/// next event is; otherwise the destination kind names the work.
+CycleBucket classify_chain(const TraceEvent& src, const TraceEvent& dst) {
+  switch (src.kind) {
+    case EventKind::kTouchBlock:
+    case EventKind::kMigrationDepart:
+    case EventKind::kReturnStubSend:
+      return CycleBucket::kIdle;
+    default:
+      return classify_dst(dst);
+  }
+}
+
+/// What a causal (parent -> child) gap was spent on.
+CycleBucket classify_causal(const TraceEvent& src, const TraceEvent& dst) {
+  switch (dst.kind) {
+    case EventKind::kMigrationArrive:
+    case EventKind::kReturnStubArrive:
+      return CycleBucket::kMigration;  // depart -> arrive transit
+    case EventKind::kFutureSteal:
+      // Resolve-created steals waited on the resolution message; idle
+      // steals waited for the continuation to age in the work list.
+      return src.kind == EventKind::kFutureResolve ? CycleBucket::kMigration
+                                                   : CycleBucket::kIdle;
+    default:
+      // A touch wake-up: the waiter's next step waited on the resolve's
+      // delivery. Any other causal gap is sequential work.
+      if (src.kind == EventKind::kFutureResolve) return CycleBucket::kMigration;
+      return classify_dst(dst);
+  }
+}
+
+struct Edge {
+  std::size_t dst;
+  Cycles weight;
+  CycleBucket bucket;
+};
+
+}  // namespace
+
+CriticalPath critical_path(const TraceRun& run) {
+  CriticalPath out;
+  const std::size_t n = run.events.size();
+  const std::size_t kSource = n;
+  const std::size_t kSink = n + 1;
+
+  // node time accessor (SOURCE = 0, SINK = makespan)
+  auto time_of = [&](std::size_t node) -> Cycles {
+    if (node == kSource) return 0;
+    if (node == kSink) return run.makespan;
+    return run.events[node].time;
+  };
+
+  // Topological order: SOURCE, events by (time, id), SINK. Parent links
+  // always point at earlier-emitted (smaller-id) events, so (time, id)
+  // sorts every retained edge source before its destination.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const TraceEvent& ea = run.events[a];
+    const TraceEvent& eb = run.events[b];
+    if (ea.time != eb.time) return ea.time < eb.time;
+    return ea.id < eb.id;
+  });
+
+  std::vector<std::vector<Edge>> outgoing(n + 2);
+  auto add_edge = [&](std::size_t src, std::size_t dst, CycleBucket bucket) {
+    const Cycles ts = time_of(src);
+    const Cycles td = time_of(dst);
+    if (td < ts) return;  // would break the tight-edge invariant
+    outgoing[src].push_back(Edge{dst, td - ts, bucket});
+  };
+
+  // Per-processor chains + boundary edges. `order` is already sorted by
+  // (time, id), so walking it per processor yields each chain in order.
+  std::vector<std::size_t> last_on_proc(run.nprocs, kSource);
+  for (std::size_t idx : order) {
+    const TraceEvent& e = run.events[idx];
+    if (e.proc >= run.nprocs) continue;  // defensive: corrupt record
+    const std::size_t prev = last_on_proc[e.proc];
+    if (prev == kSource) {
+      // Processor 0 runs the root from t = 0; every other processor is
+      // idle until something reaches it.
+      add_edge(kSource, idx,
+               e.proc == 0 ? classify_dst(e) : CycleBucket::kIdle);
+    } else {
+      add_edge(prev, idx, classify_chain(run.events[prev], e));
+    }
+    last_on_proc[e.proc] = idx;
+  }
+  bool any_event = false;
+  for (ProcId p = 0; p < run.nprocs; ++p) {
+    if (last_on_proc[p] == kSource) continue;
+    any_event = true;
+    add_edge(last_on_proc[p], kSink, CycleBucket::kIdle);
+  }
+  if (!any_event) {
+    // Nothing traced: the whole run is one opaque edge.
+    add_edge(kSource, kSink, CycleBucket::kIdle);
+  }
+
+  // Causal edges from the recorded parent links.
+  std::unordered_map<std::uint64_t, std::size_t> by_id;
+  by_id.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) by_id.emplace(run.events[i].id, i);
+  for (std::size_t i = 0; i < n; ++i) {
+    const TraceEvent& e = run.events[i];
+    if (e.parent == trace::kNoEvent) continue;
+    const auto it = by_id.find(e.parent);
+    if (it == by_id.end()) continue;  // parent dropped at the trace limit
+    add_edge(it->second, i, classify_causal(run.events[it->second], e));
+  }
+
+  // DP: minimize idle-attributed cycles from SOURCE. Every path has the
+  // same total weight (tight edges telescope), so "least idle" picks the
+  // chain of work that actually determined the makespan.
+  constexpr Cycles kInf = std::numeric_limits<Cycles>::max();
+  std::vector<Cycles> idle_cost(n + 2, kInf);
+  std::vector<std::size_t> pred(n + 2, kSource);
+  std::vector<Edge> pred_edge(n + 2);
+  idle_cost[kSource] = 0;
+
+  auto relax_from = [&](std::size_t src) {
+    if (idle_cost[src] == kInf) return;
+    for (const Edge& e : outgoing[src]) {
+      const Cycles add = e.bucket == CycleBucket::kIdle ? e.weight : 0;
+      const Cycles cand = idle_cost[src] + add;
+      if (cand < idle_cost[e.dst]) {
+        idle_cost[e.dst] = cand;
+        pred[e.dst] = src;
+        pred_edge[e.dst] = e;
+      }
+    }
+  };
+  relax_from(kSource);
+  for (std::size_t idx : order) relax_from(idx);
+
+  // Reconstruct SINK -> SOURCE, then reverse.
+  out.attribution.fill(0);
+  if (idle_cost[kSink] == kInf) return out;  // unreachable: no edges at all
+  std::size_t node = kSink;
+  while (node != kSource) {
+    const Edge& e = pred_edge[node];
+    PathStep step;
+    step.src = pred[node] == kSource ? PathStep::kSourceStep : pred[node];
+    step.event = node == kSink ? PathStep::kSinkStep : node;
+    step.weight = e.weight;
+    step.bucket = e.bucket;
+    out.steps.push_back(step);
+    out.total_cycles += e.weight;
+    out.attribution[static_cast<std::size_t>(e.bucket)] += e.weight;
+    node = pred[node];
+  }
+  std::reverse(out.steps.begin(), out.steps.end());
+  return out;
+}
+
+}  // namespace olden::analyze

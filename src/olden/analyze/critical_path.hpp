@@ -1,0 +1,60 @@
+// Critical-path extraction over the causal event DAG of one traced run.
+//
+// The DAG's nodes are the run's retained events plus a synthetic SOURCE
+// (t = 0) and SINK (t = makespan). Every edge is "tight": its weight is
+// exactly dst.time - src.time. Edges come from three places:
+//
+//   * per-processor order: consecutive events on the same processor
+//     (sorted by (time, id)),
+//   * causality: each event's recorded parent link, skipped when the
+//     parent was dropped at the trace limit or timestamps would make the
+//     edge negative (per-processor streams are not globally monotone:
+//     arrivals are stamped with message delivery time while flush events
+//     use the processor clock),
+//   * boundaries: SOURCE -> first event on each processor, last event on
+//     each processor -> SINK.
+//
+// Because every edge is tight, *any* SOURCE -> SINK path telescopes to
+// exactly the makespan — the acceptance invariant "critical-path weight
+// equals the traced makespan" holds by construction. What distinguishes
+// the critical path is its attribution: each edge is classified into the
+// runtime's CycleBucket vocabulary (compute / migration / cache_stall /
+// coherence / idle) from its type and endpoint kinds, and the extractor
+// picks the path that minimizes idle-attributed cycles — the chain of
+// work that actually kept the makespan from shrinking.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "olden/analyze/trace_reader.hpp"
+#include "olden/trace/trace.hpp"
+
+namespace olden::analyze {
+
+/// One edge of the chosen path, ending at `event` (index into
+/// TraceRun::events, or kSinkStep for the final edge into SINK).
+struct PathStep {
+  static constexpr std::size_t kSinkStep = ~std::size_t{0};
+  /// Index of the edge's tail event, or kSourceStep for SOURCE.
+  static constexpr std::size_t kSourceStep = ~std::size_t{0} - 1;
+  std::size_t src = kSourceStep;
+  std::size_t event = kSinkStep;
+  Cycles weight = 0;
+  trace::CycleBucket bucket = trace::CycleBucket::kCompute;
+};
+
+struct CriticalPath {
+  /// Total path weight; equals the run's makespan whenever the run has at
+  /// least one event (and the makespan alone when it has none).
+  Cycles total_cycles = 0;
+  /// Per-bucket attribution; sums to total_cycles.
+  trace::BucketCycles attribution{};
+  /// SOURCE -> SINK, in order. steps[i].event names the edge's head.
+  std::vector<PathStep> steps;
+};
+
+/// Extract the minimum-idle critical path of one run.
+[[nodiscard]] CriticalPath critical_path(const TraceRun& run);
+
+}  // namespace olden::analyze

@@ -1,0 +1,295 @@
+#include "olden/analyze/report.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace olden::analyze {
+
+namespace {
+
+using trace::CycleBucket;
+using trace::EventKind;
+using trace::TraceEvent;
+
+void append_kv(std::string& out, const char* key, std::uint64_t v,
+               bool comma = true) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "\"%s\":%" PRIu64 "%s", key, v,
+                comma ? "," : "");
+  out += buf;
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+RunReport analyze_run(const TraceRun& run, std::size_t top_n) {
+  RunReport rep;
+  rep.path = critical_path(run);
+
+  // --- hottest migration sites -------------------------------------------
+  std::unordered_map<std::uint64_t, std::size_t> by_id;
+  by_id.reserve(run.events.size());
+  for (std::size_t i = 0; i < run.events.size(); ++i) {
+    by_id.emplace(run.events[i].id, i);
+  }
+  // Ordered map so ties rank deterministically by site id.
+  std::map<SiteId, SiteStats> sites;
+  for (const TraceEvent& e : run.events) {
+    if (e.kind == EventKind::kMigrationDepart) {
+      SiteStats& s = sites[e.site];
+      s.site = e.site;
+      ++s.departs;
+    } else if (e.kind == EventKind::kMigrationArrive &&
+               e.parent != trace::kNoEvent) {
+      const auto it = by_id.find(e.parent);
+      if (it == by_id.end()) continue;
+      const TraceEvent& dep = run.events[it->second];
+      if (dep.kind != EventKind::kMigrationDepart) continue;
+      SiteStats& s = sites[dep.site];
+      s.site = dep.site;
+      ++s.arrives_matched;
+      s.transit_cycles += e.arg1;
+    }
+  }
+  for (const auto& [site, s] : sites) rep.hot_sites.push_back(s);
+  std::stable_sort(rep.hot_sites.begin(), rep.hot_sites.end(),
+                   [](const SiteStats& a, const SiteStats& b) {
+                     return a.departs > b.departs;
+                   });
+  if (rep.hot_sites.size() > top_n) rep.hot_sites.resize(top_n);
+
+  // --- page heat and ping-pong -------------------------------------------
+  struct PageAcc {
+    PageStats stats;
+    std::set<ProcId> sharers;
+    /// Processors holding a pending invalidate for this page: the next
+    /// fill there completes an invalidate-then-refill round trip.
+    std::unordered_set<ProcId> invalidated_on;
+  };
+  std::map<std::uint64_t, PageAcc> pages;
+  for (const TraceEvent& e : run.events) {
+    switch (e.kind) {
+      case EventKind::kCacheHit:
+      case EventKind::kCacheMiss: {
+        PageAcc& a = pages[e.arg0];
+        a.stats.page = e.arg0;
+        ++a.stats.heat;
+        break;
+      }
+      case EventKind::kCacheLineFill: {
+        PageAcc& a = pages[e.arg0];
+        a.stats.page = e.arg0;
+        ++a.stats.fills;
+        a.sharers.insert(e.proc);
+        if (a.invalidated_on.erase(e.proc) > 0) ++a.stats.ping_pongs;
+        break;
+      }
+      case EventKind::kLineInvalidate:
+      case EventKind::kTimestampCheck: {
+        if (e.arg1 == 0) break;  // nothing was actually dropped
+        PageAcc& a = pages[e.arg0];
+        a.stats.page = e.arg0;
+        ++a.stats.invalidates;
+        a.invalidated_on.insert(e.proc);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  rep.pages_tracked = pages.size();
+  for (auto& [page, a] : pages) {
+    a.stats.sharers = static_cast<std::uint32_t>(a.sharers.size());
+    a.stats.false_sharing_suspect =
+        a.stats.ping_pongs > 0 && a.stats.sharers >= 2;
+    rep.ping_pong_total += a.stats.ping_pongs;
+    rep.hot_pages.push_back(a.stats);
+  }
+  std::stable_sort(rep.hot_pages.begin(), rep.hot_pages.end(),
+                   [](const PageStats& a, const PageStats& b) {
+                     return a.heat > b.heat;
+                   });
+  if (rep.hot_pages.size() > top_n) rep.hot_pages.resize(top_n);
+  return rep;
+}
+
+std::string human_report(const TraceRun& run, const RunReport& rep) {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "run: %s (%u procs, makespan %" PRIu64 " cycles, %zu events%s)\n",
+                run.label.c_str(), run.nprocs, run.makespan,
+                run.events.size(),
+                run.truncated() ? ", TRUNCATED" : "");
+  out += buf;
+
+  out += "critical path:\n";
+  std::snprintf(buf, sizeof buf, "  total %" PRIu64 " cycles over %zu edges\n",
+                rep.path.total_cycles, rep.path.steps.size());
+  out += buf;
+  for (std::size_t b = 0; b < trace::kNumBuckets; ++b) {
+    const std::uint64_t w = rep.path.attribution[b];
+    const double pct = rep.path.total_cycles == 0
+                           ? 0.0
+                           : 100.0 * static_cast<double>(w) /
+                                 static_cast<double>(rep.path.total_cycles);
+    std::snprintf(buf, sizeof buf, "  %-12s %12" PRIu64 "  %5.1f%%\n",
+                  to_string(static_cast<CycleBucket>(b)), w, pct);
+    out += buf;
+  }
+
+  // The handful of edges that dominate the path usually name the fix.
+  std::vector<std::size_t> heavy(rep.path.steps.size());
+  for (std::size_t i = 0; i < heavy.size(); ++i) heavy[i] = i;
+  std::stable_sort(heavy.begin(), heavy.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return rep.path.steps[a].weight > rep.path.steps[b].weight;
+                   });
+  if (heavy.size() > 5) heavy.resize(5);
+  out += "  heaviest edges:\n";
+  for (std::size_t i : heavy) {
+    const PathStep& s = rep.path.steps[i];
+    const char* src_name = "SOURCE";
+    if (s.src != PathStep::kSourceStep) {
+      src_name = to_string(run.events[s.src].kind);
+    }
+    const char* dst_name = "SINK";
+    char where[64] = "";
+    if (s.event != PathStep::kSinkStep) {
+      const TraceEvent& e = run.events[s.event];
+      dst_name = to_string(e.kind);
+      std::snprintf(where, sizeof where, " @ proc %u t=%" PRIu64, e.proc,
+                    e.time);
+    }
+    std::snprintf(buf, sizeof buf, "    %10" PRIu64 " %-12s %s -> %s%s\n",
+                  s.weight, to_string(s.bucket), src_name, dst_name, where);
+    out += buf;
+  }
+
+  out += "hottest migration sites:\n";
+  if (rep.hot_sites.empty()) out += "  (no migrations traced)\n";
+  for (const SiteStats& s : rep.hot_sites) {
+    const double mean =
+        s.arrives_matched == 0
+            ? 0.0
+            : static_cast<double>(s.transit_cycles) /
+                  static_cast<double>(s.arrives_matched);
+    char site_name[32];
+    if (s.site == trace::kNoSite) {
+      std::snprintf(site_name, sizeof site_name, "(no site)");
+    } else {
+      std::snprintf(site_name, sizeof site_name, "site %u", s.site);
+    }
+    std::snprintf(buf, sizeof buf,
+                  "  %-12s %8" PRIu64 " departs, %8" PRIu64
+                  " transit cycles (mean %.1f)\n",
+                  site_name, s.departs, s.transit_cycles, mean);
+    out += buf;
+  }
+
+  std::snprintf(buf, sizeof buf,
+                "pages: %" PRIu64 " tracked, %" PRIu64 " ping-pongs\n",
+                rep.pages_tracked, rep.ping_pong_total);
+  out += buf;
+  for (const PageStats& p : rep.hot_pages) {
+    std::snprintf(buf, sizeof buf,
+                  "  page %-8" PRIu64 " heat %8" PRIu64 " fills %6" PRIu64
+                  " invals %6" PRIu64 " ping-pongs %4" PRIu64
+                  " sharers %2u%s\n",
+                  p.page, p.heat, p.fills, p.invalidates, p.ping_pongs,
+                  p.sharers, p.false_sharing_suspect ? "  FALSE-SHARING?" : "");
+    out += buf;
+  }
+  return out;
+}
+
+std::string json_report(const TraceFile& file,
+                        const std::vector<RunReport>& reports) {
+  std::string out;
+  out.reserve(1 << 14);
+  out += "{\"analysis_schema_version\":";
+  out += std::to_string(kAnalysisSchemaVersion);
+  out += ",\"generator\":\"olden-analyze\",";
+  append_kv(out, "trace_version", static_cast<std::uint64_t>(file.version));
+  out += "\"runs\":[";
+  for (std::size_t r = 0; r < file.runs.size() && r < reports.size(); ++r) {
+    const TraceRun& run = file.runs[r];
+    const RunReport& rep = reports[r];
+    if (r != 0) out += ",";
+    out += "\n{\"label\":\"";
+    append_escaped(out, run.label);
+    out += "\",";
+    append_kv(out, "nprocs", run.nprocs);
+    append_kv(out, "makespan_cycles", run.makespan);
+    append_kv(out, "events", run.events.size());
+    append_kv(out, "events_dropped", run.events_dropped);
+    out += "\"truncated\":";
+    out += run.truncated() ? "true" : "false";
+    out += ",\"critical_path\":{";
+    append_kv(out, "total_cycles", rep.path.total_cycles);
+    append_kv(out, "edges", rep.path.steps.size());
+    out += "\"attribution\":{";
+    for (std::size_t b = 0; b < trace::kNumBuckets; ++b) {
+      append_kv(out, to_string(static_cast<CycleBucket>(b)),
+                rep.path.attribution[b], b + 1 < trace::kNumBuckets);
+    }
+    out += "}},\"hot_sites\":[";
+    for (std::size_t i = 0; i < rep.hot_sites.size(); ++i) {
+      const SiteStats& s = rep.hot_sites[i];
+      if (i != 0) out += ",";
+      out += "{";
+      append_kv(out, "site", s.site);
+      append_kv(out, "departs", s.departs);
+      append_kv(out, "arrives_matched", s.arrives_matched);
+      append_kv(out, "transit_cycles", s.transit_cycles, /*comma=*/false);
+      out += "}";
+    }
+    out += "],\"pages\":{";
+    append_kv(out, "tracked", rep.pages_tracked);
+    append_kv(out, "ping_pong_total", rep.ping_pong_total);
+    out += "\"top\":[";
+    for (std::size_t i = 0; i < rep.hot_pages.size(); ++i) {
+      const PageStats& p = rep.hot_pages[i];
+      if (i != 0) out += ",";
+      out += "{";
+      append_kv(out, "page", p.page);
+      append_kv(out, "heat", p.heat);
+      append_kv(out, "fills", p.fills);
+      append_kv(out, "invalidates", p.invalidates);
+      append_kv(out, "ping_pongs", p.ping_pongs);
+      append_kv(out, "sharers", p.sharers);
+      out += "\"false_sharing_suspect\":";
+      out += p.false_sharing_suspect ? "true" : "false";
+      out += "}";
+    }
+    out += "]}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace olden::analyze

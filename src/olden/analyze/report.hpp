@@ -1,0 +1,62 @@
+// Run-level analyses over a parsed trace, and their human/JSON renderings.
+//
+// Built on the causal fields of binary log v2:
+//   * hottest migration sites — departures grouped by dereference site,
+//     with transit cycles recovered by matching each arrival to its
+//     departure through the parent link,
+//   * per-page heat and ping-pong detection — a page that is invalidated
+//     on a processor and later refilled there ping-ponged; pages that
+//     ping-pong while multiple processors fill them are flagged as
+//     false-sharing suspects,
+//   * the critical path (see critical_path.hpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "olden/analyze/critical_path.hpp"
+#include "olden/analyze/trace_reader.hpp"
+
+namespace olden::analyze {
+
+/// Schema version of the JSON document json_report() emits.
+inline constexpr int kAnalysisSchemaVersion = 1;
+
+struct SiteStats {
+  SiteId site = trace::kNoSite;
+  std::uint64_t departs = 0;         ///< migration departures at this site
+  std::uint64_t arrives_matched = 0; ///< arrivals whose depart was retained
+  std::uint64_t transit_cycles = 0;  ///< summed transit of matched arrivals
+};
+
+struct PageStats {
+  std::uint64_t page = 0;
+  std::uint64_t heat = 0;         ///< cached accesses (hits + misses)
+  std::uint64_t fills = 0;        ///< cache_line_fill events
+  std::uint64_t invalidates = 0;  ///< line_invalidate events dropping lines
+  /// invalidate-then-refill round trips (summed over processors).
+  std::uint64_t ping_pongs = 0;
+  std::uint32_t sharers = 0;  ///< distinct processors that filled the page
+  bool false_sharing_suspect = false;
+};
+
+struct RunReport {
+  CriticalPath path;
+  std::vector<SiteStats> hot_sites;  ///< sorted by departs, then site
+  std::vector<PageStats> hot_pages;  ///< sorted by heat, then page
+  std::uint64_t pages_tracked = 0;
+  std::uint64_t ping_pong_total = 0;
+};
+
+/// Analyze one run, keeping the top_n hottest sites and pages.
+[[nodiscard]] RunReport analyze_run(const TraceRun& run, std::size_t top_n);
+
+/// Human-readable report for one run.
+[[nodiscard]] std::string human_report(const TraceRun& run,
+                                       const RunReport& rep);
+
+/// Schema-versioned JSON for a whole trace file (one entry per run).
+[[nodiscard]] std::string json_report(const TraceFile& file,
+                                      const std::vector<RunReport>& reports);
+
+}  // namespace olden::analyze

@@ -1,0 +1,158 @@
+#include "olden/analyze/trace_reader.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "olden/trace/observer.hpp"
+
+namespace olden::analyze {
+
+namespace {
+
+/// Little-endian cursor over the raw bytes; every read is bounds-checked
+/// so a truncated or corrupt log fails cleanly instead of reading past
+/// the buffer.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view bytes) : bytes_(bytes) {}
+
+  bool u8(std::uint8_t* v) {
+    if (pos_ + 1 > bytes_.size()) return false;
+    *v = static_cast<std::uint8_t>(bytes_[pos_++]);
+    return true;
+  }
+  bool u32(std::uint32_t* v) {
+    if (pos_ + 4 > bytes_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<std::uint32_t>(
+                static_cast<std::uint8_t>(bytes_[pos_ + i]))
+            << (8 * i);
+    }
+    pos_ += 4;
+    return true;
+  }
+  bool u64(std::uint64_t* v) {
+    if (pos_ + 8 > bytes_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<std::uint64_t>(
+                static_cast<std::uint8_t>(bytes_[pos_ + i]))
+            << (8 * i);
+    }
+    pos_ += 8;
+    return true;
+  }
+  bool skip(std::size_t n) {
+    if (pos_ + n > bytes_.size()) return false;
+    pos_ += n;
+    return true;
+  }
+  bool str(std::size_t n, std::string* v) {
+    if (pos_ + n > bytes_.size()) return false;
+    v->assign(bytes_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  [[nodiscard]] std::size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+bool fail(std::string* err, const std::string& msg) {
+  if (err != nullptr) *err = msg;
+  return false;
+}
+
+}  // namespace
+
+bool parse_binary_trace(std::string_view bytes, TraceFile* out,
+                        std::string* err) {
+  if (bytes.size() < 8) return fail(err, "trace too short for magic");
+  if (std::memcmp(bytes.data(), trace::kBinaryTraceMagicV1, 8) == 0) {
+    return fail(err,
+                "binary trace is format v1 (OLDNTRC1); this analyzer "
+                "requires v2 (OLDNTRC2) — regenerate the trace with a "
+                "current bench binary");
+  }
+  if (std::memcmp(bytes.data(), trace::kBinaryTraceMagic, 8) != 0) {
+    return fail(err, "not an Olden binary trace (bad magic)");
+  }
+
+  Cursor c(bytes);
+  (void)c.skip(8);
+  std::uint32_t version = 0;
+  std::uint32_t nruns = 0;
+  if (!c.u32(&version) || !c.u32(&nruns)) {
+    return fail(err, "truncated trace header");
+  }
+  if (version != static_cast<std::uint32_t>(trace::kBinaryTraceVersion)) {
+    return fail(err, "unsupported binary trace version " +
+                         std::to_string(version) + " (expected " +
+                         std::to_string(trace::kBinaryTraceVersion) + ")");
+  }
+
+  out->version = static_cast<int>(version);
+  out->runs.clear();
+  out->runs.reserve(nruns);
+  for (std::uint32_t r = 0; r < nruns; ++r) {
+    TraceRun run;
+    std::uint32_t label_len = 0;
+    if (!c.u32(&label_len) || !c.str(label_len, &run.label)) {
+      return fail(err, "truncated run header (run " + std::to_string(r) + ")");
+    }
+    std::uint32_t nprocs = 0;
+    std::uint64_t nevents = 0;
+    if (!c.u32(&nprocs) || !c.u64(&run.makespan) ||
+        !c.u64(&run.events_dropped) || !c.u64(&nevents)) {
+      return fail(err, "truncated run header (run " + std::to_string(r) + ")");
+    }
+    run.nprocs = nprocs;
+    if (nevents > c.remaining() / trace::kBinaryRecordBytes) {
+      return fail(err, "event count exceeds file size (run " +
+                           std::to_string(r) + ")");
+    }
+    run.events.reserve(nevents);
+    for (std::uint64_t i = 0; i < nevents; ++i) {
+      trace::TraceEvent e;
+      std::uint32_t proc = 0;
+      std::uint8_t kind = 0;
+      std::uint32_t site = 0;
+      const bool ok = c.u64(&e.time) && c.u32(&proc) && c.u64(&e.thread) &&
+                      c.u8(&kind) && c.skip(3) && c.u32(&site) &&
+                      c.u64(&e.arg0) && c.u64(&e.arg1) && c.u64(&e.id) &&
+                      c.u64(&e.chain) && c.u64(&e.parent);
+      if (!ok) return fail(err, "truncated event record");
+      if (kind >= trace::kNumEventKinds) {
+        return fail(err, "event record with out-of-range kind " +
+                             std::to_string(kind));
+      }
+      e.proc = proc;
+      e.kind = static_cast<trace::EventKind>(kind);
+      e.site = site;
+      run.events.push_back(e);
+    }
+    out->runs.push_back(std::move(run));
+  }
+  return true;
+}
+
+bool read_binary_trace(const std::string& path, TraceFile* out,
+                       std::string* err) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return fail(err, "cannot open " + path);
+  std::string body;
+  char buf[1 << 16];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) body.append(buf, got);
+  std::fclose(f);
+  if (!parse_binary_trace(body, out, err)) {
+    if (err != nullptr) *err = path + ": " + *err;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace olden::analyze

@@ -1,0 +1,46 @@
+// Offline reader for the binary trace log (format v2, "OLDNTRC2").
+//
+// The reader is the bridge between the runtime's observability layer and
+// the analysis engine: it parses the bytes write_binary_trace() produced
+// back into TraceEvents plus the per-run header (nprocs, makespan,
+// dropped-event count) the analyses need. v1 logs are detected by magic
+// and rejected with a versioned error, never mis-parsed.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "olden/trace/trace.hpp"
+
+namespace olden::analyze {
+
+/// One run parsed back out of a binary trace log.
+struct TraceRun {
+  std::string label;
+  ProcId nprocs = 0;
+  Cycles makespan = 0;
+  /// Events the observer discarded at its retention limit. When non-zero
+  /// the event stream is incomplete and analyses flag the run truncated.
+  std::uint64_t events_dropped = 0;
+  std::vector<trace::TraceEvent> events;
+
+  [[nodiscard]] bool truncated() const { return events_dropped > 0; }
+};
+
+struct TraceFile {
+  int version = 0;  ///< always kBinaryTraceVersion after a successful parse
+  std::vector<TraceRun> runs;
+};
+
+/// Parse an in-memory binary trace. Returns false and sets *err on any
+/// malformed input: wrong magic, v1 logs (named explicitly), truncated
+/// framing, or out-of-range event kinds.
+bool parse_binary_trace(std::string_view bytes, TraceFile* out,
+                        std::string* err);
+
+/// Read and parse a binary trace file.
+bool read_binary_trace(const std::string& path, TraceFile* out,
+                       std::string* err);
+
+}  // namespace olden::analyze

@@ -72,7 +72,10 @@ enum Site : SiteId {
   kNumSites
 };
 
-int bodies_for(const BenchConfig& cfg) { return cfg.paper_size ? 8192 : 4096; }
+int bodies_for(const BenchConfig& cfg) {
+  if (cfg.tiny) return 512;
+  return cfg.paper_size ? 8192 : 4096;
+}
 constexpr int kSteps = 2;
 
 // --- shared spec ---------------------------------------------------------

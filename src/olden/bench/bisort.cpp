@@ -44,6 +44,7 @@ enum Site : SiteId {
 };
 
 int leaves_for(const BenchConfig& cfg) {
+  if (cfg.tiny) return 4096;
   return cfg.paper_size ? 131072 : 32768;
 }
 

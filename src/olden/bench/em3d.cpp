@@ -257,6 +257,11 @@ Task<RootOut> root(Machine& m, const GraphSpec& spec, int steps) {
 
 GraphParams params_for(const BenchConfig& cfg) {
   GraphParams gp;
+  if (cfg.tiny) {
+    gp.nodes_per_side = 200;
+    gp.steps = 10;
+    return gp;
+  }
   if (!cfg.paper_size) {
     gp.nodes_per_side = 1000;
     gp.steps = 100;

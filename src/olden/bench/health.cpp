@@ -447,6 +447,11 @@ struct RefSim {
 
 SimParams params_for(const BenchConfig& cfg) {
   SimParams sp;
+  if (cfg.tiny) {
+    sp.levels = 4;
+    sp.steps = 15;
+    return sp;
+  }
   if (!cfg.paper_size) sp.steps = 60;
   else sp.steps = 120;
   return sp;

@@ -71,7 +71,10 @@ std::int32_t edge_weight(std::int32_t a, std::int32_t b) {
   return static_cast<std::int32_t>(x % 100000) + 1;
 }
 
-int vertices_for(const BenchConfig& cfg) { return cfg.paper_size ? 1024 : 1024; }
+int vertices_for(const BenchConfig& cfg) {
+  if (cfg.tiny) return 256;
+  return cfg.paper_size ? 1024 : 1024;
+}
 
 struct Built {
   std::vector<GPtr<Block>> blocks;  // root-local dispatch array

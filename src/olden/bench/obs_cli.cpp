@@ -25,10 +25,18 @@ void env_default(std::string* opt, const char* var) {
 
 }  // namespace
 
-void ObsCli::parse(int* argc, char** argv) {
+void ObsCli::parse(int* argc, char** argv,
+                   std::initializer_list<const char*> passthrough) {
   std::string limit_str;
   bool breakdown_env =
       std::getenv("OLDEN_BREAKDOWN") != nullptr;
+  auto passes_through = [&](const char* arg) {
+    if (std::strcmp(arg, "--help") == 0) return true;
+    for (const char* prefix : passthrough) {
+      if (std::strncmp(arg, prefix, std::strlen(prefix)) == 0) return true;
+    }
+    return false;
+  };
   int kept = 1;
   for (int i = 1; i < *argc; ++i) {
     std::string v;
@@ -42,6 +50,19 @@ void ObsCli::parse(int* argc, char** argv) {
       limit_str = v;
     } else if (std::strcmp(argv[i], "--breakdown") == 0) {
       breakdown_ = true;
+    } else if (std::strcmp(argv[i], "--version") == 0) {
+      std::printf("%s: stats schema v%d, binary trace format v%d\n",
+                  argv[0] != nullptr ? argv[0] : "olden-bench",
+                  trace::kStatsSchemaVersion, trace::kBinaryTraceVersion);
+      std::exit(0);
+    } else if (std::strncmp(argv[i], "--", 2) == 0 &&
+               !passes_through(argv[i])) {
+      std::fprintf(stderr,
+                   "%s: unknown flag '%s'\n"
+                   "observability flags:\n%s",
+                   argv[0] != nullptr ? argv[0] : "olden-bench", argv[i],
+                   usage());
+      std::exit(2);
     } else {
       argv[kept++] = argv[i];
     }
@@ -114,6 +135,7 @@ const char* ObsCli::usage() {
          "  --stats-json=FILE  write the structured stats document\n"
          "  --trace-limit=N    cap retained trace events (default 1000000)\n"
          "  --breakdown        print per-processor cycle breakdowns\n"
+         "  --version          print stats/trace schema versions and exit\n"
          "  (env: OLDEN_TRACE, OLDEN_TRACE_BIN, OLDEN_STATS_JSON, "
          "OLDEN_TRACE_LIMIT, OLDEN_BREAKDOWN)\n";
 }

@@ -2,7 +2,7 @@
 // shares:
 //
 //   --trace=FILE        Chrome trace_event JSON (Perfetto / chrome://tracing)
-//   --trace-bin=FILE    compact binary event log ("OLDNTRC1")
+//   --trace-bin=FILE    compact binary event log ("OLDNTRC2")
 //   --stats-json=FILE   structured stats document (schema_version'd)
 //   --trace-limit=N     cap on retained trace events (default 1000000)
 //   --breakdown         print per-processor cycle-breakdown tables
@@ -12,6 +12,7 @@
 // so wrappers can enable collection without editing command lines.
 #pragma once
 
+#include <initializer_list>
 #include <map>
 #include <string>
 
@@ -23,7 +24,15 @@ class ObsCli {
  public:
   /// Parse and remove the recognized flags from argv in place, so binaries
   /// that forward argv elsewhere (google-benchmark) see only the rest.
-  void parse(int* argc, char** argv);
+  ///
+  /// Any other "--" argument is rejected with a message on stderr and
+  /// exit code 2, unless it starts with one of the `passthrough` prefixes
+  /// (e.g. "--paper-size" for the table binaries, "--benchmark_" for
+  /// google-benchmark ones). "--help" is always passed through so the
+  /// binary can print its own usage, and "--version" prints the stats /
+  /// trace schema versions and exits 0.
+  void parse(int* argc, char** argv,
+             std::initializer_list<const char*> passthrough = {});
 
   /// The observer to install via BenchConfig/RunConfig — null when no
   /// observability output was requested, which keeps every runtime hook a

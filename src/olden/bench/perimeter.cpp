@@ -228,7 +228,10 @@ Task<RootOut> root(Machine& m, const Image& img) {
   co_return out;
 }
 
-int image_size_for(const BenchConfig& cfg) { return cfg.paper_size ? 4096 : 1024; }
+int image_size_for(const BenchConfig& cfg) {
+  if (cfg.tiny) return 256;
+  return cfg.paper_size ? 4096 : 1024;
+}
 
 class Perimeter final : public Benchmark {
  public:

@@ -72,7 +72,10 @@ struct Demand {
   double p = 0, q = 0;
 };
 
-int passes_for(const BenchConfig& cfg) { return cfg.paper_size ? 40 : 15; }
+int passes_for(const BenchConfig& cfg) {
+  if (cfg.tiny) return 3;
+  return cfg.paper_size ? 40 : 15;
+}
 
 // ---------------------------------------------------------------------------
 

@@ -30,6 +30,7 @@ enum Site : SiteId {
 
 constexpr int kPaperDepth = 20;    // 1024K nodes
 constexpr int kDefaultDepth = 18;  // 256K nodes: full table in seconds
+constexpr int kTinyDepth = 12;     // 4K nodes: regression-harness size
 constexpr Cycles kWorkPerNode = 120;
 
 /// Node value: a layout-independent function of the node's position, so
@@ -139,7 +140,8 @@ class TreeAdd final : public Benchmark {
   }
 
   BenchResult run(const BenchConfig& cfg) const override {
-    const int depth = cfg.paper_size ? kPaperDepth : kDefaultDepth;
+    const int depth =
+        cfg.tiny ? kTinyDepth : cfg.paper_size ? kPaperDepth : kDefaultDepth;
     BenchResult res;
     Machine m({.nprocs = cfg.nprocs,
                .scheme = cfg.scheme,
@@ -156,7 +158,8 @@ class TreeAdd final : public Benchmark {
   }
 
   std::uint64_t reference_checksum(const BenchConfig& cfg) const override {
-    const int depth = cfg.paper_size ? kPaperDepth : kDefaultDepth;
+    const int depth =
+        cfg.tiny ? kTinyDepth : cfg.paper_size ? kPaperDepth : kDefaultDepth;
     return static_cast<std::uint64_t>(reference(depth, 0));
   }
 };

@@ -416,7 +416,10 @@ struct Ref {
   }
 };
 
-int cities_for(const BenchConfig& cfg) { return cfg.paper_size ? 32768 : 16384; }
+int cities_for(const BenchConfig& cfg) {
+  if (cfg.tiny) return 512;
+  return cfg.paper_size ? 32768 : 16384;
+}
 
 class Tsp final : public Benchmark {
  public:

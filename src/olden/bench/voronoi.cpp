@@ -52,7 +52,10 @@ enum Site : SiteId {
   kNumSites
 };
 
-int points_for(const BenchConfig& cfg) { return cfg.paper_size ? 65536 : 16384; }
+int points_for(const BenchConfig& cfg) {
+  if (cfg.tiny) return 1024;
+  return cfg.paper_size ? 65536 : 16384;
+}
 
 // --- edge-reference arithmetic (shared by both implementations) ----------
 

@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "olden/support/types.hpp"
+#include "olden/trace/trace.hpp"
 
 namespace olden {
 
@@ -62,6 +63,14 @@ struct FutureCell {
   /// Touched (value consumed, body frame destroyed) but still pinned by
   /// item.in_worklist; freed when the work list lets go.
   bool zombie = false;
+
+  /// Causal-chain bookkeeping (observability only): the ids of this cell's
+  /// future_create and future_resolve events. A steal of the saved
+  /// continuation parents on the create (idle steal) or the resolve
+  /// (resolve-created steal); a blocked toucher's wake parents on the
+  /// resolve.
+  std::uint64_t obs_create_event = trace::kNoEvent;
+  std::uint64_t obs_resolve_event = trace::kNoEvent;
 };
 
 }  // namespace olden

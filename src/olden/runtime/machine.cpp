@@ -194,7 +194,7 @@ void Machine::cached_access(ProcId p, GlobalAddr a, void* buf,
       std::memcpy(e->frame.get() + line * kLineBytes,
                   heap_.line_home(line_base), kLineBytes);
       e->valid |= bit;
-      note_event(EventKind::kCacheLineFill, p, cur_thread_->id, site, page_id,
+      note_event(EventKind::kCacheLineFill, p, cur_thread_, site, page_id,
                  line);
       HomePageInfo& info = directory_.page(page_id);
       info.sharers.add(p);
@@ -225,7 +225,7 @@ void Machine::cached_access(ProcId p, GlobalAddr a, void* buf,
     track_write(a, size);
   } else if (any_miss) {
     ++stats_.cache_misses;
-    note_event(EventKind::kCacheMiss, p, cur_thread_->id, site, a.page_id(),
+    note_event(EventKind::kCacheMiss, p, cur_thread_, site, a.page_id(),
                lines_fetched);
     if (obs_ != nullptr) {
       obs_->record(trace::Hist::kMissFillCycles, stall_cycles);
@@ -233,7 +233,7 @@ void Machine::cached_access(ProcId p, GlobalAddr a, void* buf,
   } else {
     ++stats_.cache_hits;
     if (any_check) ++stats_.timestamp_stalls;
-    note_event(EventKind::kCacheHit, p, cur_thread_->id, site, a.page_id());
+    note_event(EventKind::kCacheHit, p, cur_thread_, site, a.page_id());
   }
 }
 
@@ -258,9 +258,8 @@ bool Machine::revalidate_suspect_page(ProcId p,
   stats_.lines_invalidated += dropped;
   entry.version = info.version;
   entry.suspect = false;
-  note_event(EventKind::kTimestampCheck, p,
-             cur_thread_ != nullptr ? cur_thread_->id : trace::kNoThread,
-             trace::kNoSite, entry.page_id, dropped);
+  note_event(EventKind::kTimestampCheck, p, cur_thread_, trace::kNoSite,
+             entry.page_id, dropped);
   return true;
 }
 
@@ -292,8 +291,8 @@ void Machine::on_release(ThreadState& t) {
         const std::uint64_t dropped =
             procs_[s].cache.invalidate_lines(page, mask);
         stats_.lines_invalidated += dropped;
-        note_event(EventKind::kLineInvalidate, s, t.id, trace::kNoSite, page,
-                   dropped);
+        note_side_event(EventKind::kLineInvalidate, s, &t, trace::kNoSite,
+                        page, dropped);
       });
       info.dirty_since_bump = 0;
     });
@@ -314,9 +313,7 @@ void Machine::on_release(ThreadState& t) {
   t.write_log.clear();
 }
 
-void Machine::on_acquire(ProcId p, const ProcSet* writers) {
-  const ThreadId tid =
-      cur_thread_ != nullptr ? cur_thread_->id : trace::kNoThread;
+void Machine::on_acquire(ProcId p, const ProcSet* writers, ThreadState* t) {
   switch (cfg_.scheme) {
     case Coherence::kLocalKnowledge: {
       ++stats_.cache_flushes;
@@ -327,14 +324,14 @@ void Machine::on_acquire(ProcId p, const ProcSet* writers) {
         dropped = procs_[p].cache.invalidate_all();
       }
       stats_.lines_invalidated += dropped;
-      note_event(EventKind::kCacheFlush, p, tid, trace::kNoSite, dropped);
+      note_event(EventKind::kCacheFlush, p, t, trace::kNoSite, dropped);
       break;
     }
     case Coherence::kEagerGlobal:
       break;  // invalidations were pushed at the matching release
     case Coherence::kBilateral:
       procs_[p].cache.mark_all_suspect();
-      note_event(EventKind::kMarkSuspect, p, tid, trace::kNoSite,
+      note_event(EventKind::kMarkSuspect, p, t, trace::kNoSite,
                  procs_[p].cache.pages_live());
       break;
   }
@@ -357,7 +354,8 @@ void Machine::migrate_to(ProcId target, std::coroutine_handle<> h,
     t->obs_depart_proc = t->proc;
   }
   charge_to(t->proc, cfg_.costs.migration_send, CycleBucket::kMigration);
-  note_event(EventKind::kMigrationDepart, t->proc, t->id, site, target);
+  t->obs_depart_event =
+      note_event(EventKind::kMigrationDepart, t->proc, t, site, target);
   schedule(Event{.time = src.clock + cfg_.costs.migration_wire,
                  .seq = next_seq_++,
                  .kind = MsgKind::kMigrationArrive,
@@ -379,8 +377,8 @@ void Machine::on_task_final(std::coroutine_handle<> cont, ProcId call_proc,
     if (t->proc == cell->home) {
       cell->resolved = true;
       cell->writer_written = t->written;
-      note_event(EventKind::kFutureResolve, t->proc, t->id, trace::kNoSite,
-                 cell->serial, 0);
+      cell->obs_resolve_event = note_event(EventKind::kFutureResolve, t->proc,
+                                           t, trace::kNoSite, cell->serial, 0);
       if (!cell->item.taken) {
         // Lazy task creation pay-off: nothing migrated the body away from
         // this processor for long enough for the continuation to be
@@ -393,6 +391,9 @@ void Machine::on_task_final(std::coroutine_handle<> cont, ProcId call_proc,
       if (cell->waiter) {
         const auto waiter = cell->waiter;
         cell->waiter = nullptr;
+        // The wake crosses threads: the waiter's next event is caused by
+        // this resolve, not by whatever the waiter last did.
+        cell->waiter_thread->obs_next_parent = cell->obs_resolve_event;
         push_ready(cell->waiter_proc,
                    ReadyItem{waiter, cell->waiter_thread, procs_[t->proc].clock});
       }
@@ -404,8 +405,8 @@ void Machine::on_task_final(std::coroutine_handle<> cont, ProcId call_proc,
     cell->writer_written = t->written;
     Proc& src = procs_[t->proc];
     charge_to(t->proc, cfg_.costs.future_resolve_msg, CycleBucket::kMigration);
-    note_event(EventKind::kFutureResolve, t->proc, t->id, trace::kNoSite,
-               cell->serial, 1);
+    cell->obs_resolve_event = note_event(EventKind::kFutureResolve, t->proc, t,
+                                         trace::kNoSite, cell->serial, 1);
     schedule(Event{.time = src.clock,
                    .seq = next_seq_++,
                    .kind = MsgKind::kResolveFuture,
@@ -432,8 +433,8 @@ void Machine::on_task_final(std::coroutine_handle<> cont, ProcId call_proc,
       t->obs_depart_proc = t->proc;
     }
     charge_to(t->proc, cfg_.costs.return_send, CycleBucket::kMigration);
-    note_event(EventKind::kReturnStubSend, t->proc, t->id, trace::kNoSite,
-               call_proc);
+    t->obs_depart_event = note_event(EventKind::kReturnStubSend, t->proc, t,
+                                     trace::kNoSite, call_proc);
     schedule(Event{.time = src.clock + cfg_.costs.return_wire,
                    .seq = next_seq_++,
                    .kind = MsgKind::kReturnArrive,
@@ -460,8 +461,8 @@ FutureCell* Machine::make_future_cell(std::coroutine_handle<> caller_cont,
   cell->item = WorkItem{caller_cont, cell, false, true};
   procs_[cur_proc()].worklist.push_back(&cell->item);
   ++cells_live_;
-  note_event(EventKind::kFutureCreate, cur_proc(), cur_thread_->id,
-             trace::kNoSite, cell->serial);
+  cell->obs_create_event = note_event(EventKind::kFutureCreate, cur_proc(),
+                                      cur_thread_, trace::kNoSite, cell->serial);
   if (obs_ != nullptr) {
     obs_->record(trace::Hist::kWorklistDepth,
                  procs_[cur_proc()].worklist.size());
@@ -480,14 +481,14 @@ void Machine::block_on_future(FutureCell* cell, std::coroutine_handle<> h) {
   cell->waiter = h;
   cell->waiter_thread = cur_thread_;
   cell->waiter_proc = cur_proc();
-  note_event(EventKind::kTouchBlock, cur_proc(), cur_thread_->id,
+  note_event(EventKind::kTouchBlock, cur_proc(), cur_thread_,
              trace::kNoSite, cell->serial);
 }
 
 void Machine::on_touch_consume(FutureCell* cell) {
   if (baseline()) return;
   if (cell->resolved_remotely) {
-    on_acquire(cur_proc(), &cell->writer_written);
+    on_acquire(cur_proc(), &cell->writer_written, cur_thread_);
   }
   // The toucher now carries responsibility for the body's writes: its own
   // later return-stub / resolution invalidations must cover them, or a
@@ -526,7 +527,9 @@ void Machine::resolve_future_at_home(FutureCell* cell) {
     cell->item.taken = true;
     ThreadState* nt = new_thread(home);
     ++stats_.futures_stolen;
-    note_event(EventKind::kFutureSteal, home, nt->id, trace::kNoSite,
+    // The steal exists because the resolution message arrived.
+    nt->obs_next_parent = cell->obs_resolve_event;
+    note_event(EventKind::kFutureSteal, home, nt, trace::kNoSite,
                cell->serial, 1);
     push_ready(home, ReadyItem{cell->item.cont, nt, procs_[home].clock});
     return;
@@ -534,6 +537,7 @@ void Machine::resolve_future_at_home(FutureCell* cell) {
   if (cell->waiter) {
     const auto waiter = cell->waiter;
     cell->waiter = nullptr;
+    cell->waiter_thread->obs_next_parent = cell->obs_resolve_event;
     push_ready(cell->waiter_proc,
                ReadyItem{waiter, cell->waiter_thread, procs_[home].clock});
   }
@@ -548,6 +552,9 @@ ThreadState* Machine::new_thread(ProcId p) {
   ThreadState& t = threads_.back();
   t.id = next_thread_id_++;
   t.proc = p;
+  // Every thread opens a fresh causal chain (thread lineage). Observability
+  // only: chain ids never feed back into scheduling or costs.
+  if (obs_ != nullptr) t.obs_chain = obs_->new_chain();
   return &t;
 }
 
@@ -565,12 +572,15 @@ void Machine::apply(const Event& e) {
       charge_to(e.target, cfg_.costs.migration_recv, CycleBucket::kMigration);
       if (obs_ != nullptr) {
         const Cycles latency = e.time - e.thread->obs_depart_time;
-        obs_->event(EventKind::kMigrationArrive, e.time, e.target,
-                    e.thread->id, trace::kNoSite, e.thread->obs_depart_proc,
-                    latency);
+        // The arrive's causal parent is the matching depart: that edge is
+        // the migration transit the critical path charges to kMigration.
+        e.thread->obs_last_event = obs_->event(
+            EventKind::kMigrationArrive, e.time, e.target, e.thread->id,
+            trace::kNoSite, e.thread->obs_depart_proc, latency,
+            e.thread->obs_chain, e.thread->obs_depart_event);
         obs_->record(trace::Hist::kMigrationLatency, latency);
       }
-      on_acquire(e.target, nullptr);
+      on_acquire(e.target, nullptr, e.thread);
       push_ready(e.target, ReadyItem{e.h, e.thread, e.time});
       break;
     }
@@ -579,12 +589,13 @@ void Machine::apply(const Event& e) {
       charge_to(e.target, cfg_.costs.return_recv, CycleBucket::kMigration);
       if (obs_ != nullptr) {
         const Cycles latency = e.time - e.thread->obs_depart_time;
-        obs_->event(EventKind::kReturnStubArrive, e.time, e.target,
-                    e.thread->id, trace::kNoSite, e.thread->obs_depart_proc,
-                    latency);
+        e.thread->obs_last_event = obs_->event(
+            EventKind::kReturnStubArrive, e.time, e.target, e.thread->id,
+            trace::kNoSite, e.thread->obs_depart_proc, latency,
+            e.thread->obs_chain, e.thread->obs_depart_event);
         obs_->record(trace::Hist::kReturnLatency, latency);
       }
-      on_acquire(e.target, &e.thread->written);
+      on_acquire(e.target, &e.thread->written, e.thread);
       e.thread->written.clear();
       push_ready(e.target, ReadyItem{e.h, e.thread, e.time});
       break;
@@ -639,7 +650,9 @@ void Machine::run_ready(ProcId p) {
     charge_to(p, cfg_.costs.future_steal, CycleBucket::kCompute);
     ThreadState* nt = new_thread(p);
     ++stats_.futures_stolen;
-    note_event(EventKind::kFutureSteal, p, nt->id, trace::kNoSite,
+    // An idle steal is enabled by the futurecall that pushed the work item.
+    nt->obs_next_parent = w->cell->obs_create_event;
+    note_event(EventKind::kFutureSteal, p, nt, trace::kNoSite,
                w->cell->serial, 0);
     resume_on(p, w->cont, nt);
   }

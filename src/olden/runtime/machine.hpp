@@ -243,11 +243,47 @@ class Machine {
   }
   void charge(Cycles c, trace::CycleBucket b) { charge_to(cur_proc(), c, b); }
 
-  /// Emit a trace event stamped with processor `p`'s current clock.
-  void note_event(trace::EventKind k, ProcId p, ThreadId th,
-                  SiteId site = trace::kNoSite, std::uint64_t a0 = 0,
-                  std::uint64_t a1 = 0) {
-    if (obs_ != nullptr) obs_->event(k, procs_[p].clock, p, th, site, a0, a1);
+  /// Emit a trace event stamped with processor `p`'s current clock,
+  /// threaded into thread `t`'s causal chain: the event's parent is the
+  /// thread's previous event (or a one-shot override installed by whatever
+  /// woke the thread), and the thread's chain cursor advances to the new
+  /// event. Returns the event id (trace::kNoEvent with no observer), so
+  /// call sites can store it as a future parent (departures, future
+  /// creation/resolution).
+  std::uint64_t note_event(trace::EventKind k, ProcId p, ThreadState* t,
+                           SiteId site = trace::kNoSite, std::uint64_t a0 = 0,
+                           std::uint64_t a1 = 0) {
+    if (obs_ == nullptr) return trace::kNoEvent;
+    std::uint64_t chain = trace::kNoChain;
+    std::uint64_t parent = trace::kNoEvent;
+    if (t != nullptr) {
+      chain = t->obs_chain;
+      parent = t->obs_last_event;
+      if (t->obs_next_parent != trace::kNoEvent) {
+        parent = t->obs_next_parent;
+        t->obs_next_parent = trace::kNoEvent;
+      }
+    }
+    const std::uint64_t id =
+        obs_->event(k, procs_[p].clock, p, t != nullptr ? t->id : trace::kNoThread,
+                    site, a0, a1, chain, parent);
+    if (t != nullptr) t->obs_last_event = id;
+    return id;
+  }
+
+  /// Emit a trace event on processor `p` that is *attributed* to thread
+  /// `t`'s chain without advancing its cursor — used for side effects a
+  /// thread causes on other processors (invalidations pushed at a
+  /// release), which hang off the thread's current event as siblings
+  /// rather than extending its chain.
+  void note_side_event(trace::EventKind k, ProcId p, const ThreadState* t,
+                       SiteId site = trace::kNoSite, std::uint64_t a0 = 0,
+                       std::uint64_t a1 = 0) {
+    if (obs_ == nullptr) return;
+    obs_->event(k, procs_[p].clock, p,
+                t != nullptr ? t->id : trace::kNoThread, site, a0, a1,
+                t != nullptr ? t->obs_chain : trace::kNoChain,
+                t != nullptr ? t->obs_last_event : trace::kNoEvent);
   }
 
   void unlink_item(WorkItem* w);
@@ -267,7 +303,9 @@ class Machine {
 
   // coherence protocol actions
   void on_release(ThreadState& t);  ///< departing migration / remote resolve
-  void on_acquire(ProcId p, const ProcSet* writers);  ///< null => full flush
+  /// Acquire on `p` for thread `t` (trace attribution; may be null).
+  /// writers == null => full flush.
+  void on_acquire(ProcId p, const ProcSet* writers, ThreadState* t);
   void track_write(GlobalAddr a, std::uint32_t size);
 
   // cache data paths (charge as they go)

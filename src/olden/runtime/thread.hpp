@@ -9,6 +9,7 @@
 
 #include "olden/cache/coherence.hpp"
 #include "olden/support/types.hpp"
+#include "olden/trace/trace.hpp"
 
 namespace olden {
 
@@ -31,6 +32,16 @@ struct ThreadState {
   /// runtime's own logic).
   Cycles obs_depart_time = 0;
   ProcId obs_depart_proc = 0;
+  /// Causal-chain bookkeeping (observability only, like the fields above):
+  /// the chain this thread's events belong to, the id of the thread's most
+  /// recent event (the default parent of its next one), an explicit
+  /// one-shot parent override (set when something on another processor —
+  /// a future resolution, a steal trigger — causes this thread's next
+  /// event), and the id of the in-flight migration/return-stub departure.
+  std::uint64_t obs_chain = trace::kNoChain;
+  std::uint64_t obs_last_event = trace::kNoEvent;
+  std::uint64_t obs_next_parent = trace::kNoEvent;
+  std::uint64_t obs_depart_event = trace::kNoEvent;
 };
 
 }  // namespace olden

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <unordered_map>
 
 #include "olden/trace/observer.hpp"
 
@@ -65,6 +66,7 @@ void append_instant(std::string& out, std::size_t pid, const TraceEvent& e) {
   out += buf;
   if (e.thread != kNoThread) append_kv(out, "thread", e.thread);
   if (e.site != kNoSite) append_kv(out, "site", e.site);
+  if (e.chain != kNoChain) append_kv(out, "chain", e.chain);
   append_kv(out, "arg0", e.arg0);
   append_kv(out, "arg1", e.arg1, /*comma=*/false);
   out += "}},\n";
@@ -117,6 +119,37 @@ void append_u32le(std::string& out, std::uint32_t v) {
   for (int i = 0; i < 4; ++i) out += static_cast<char>((v >> (8 * i)) & 0xff);
 }
 
+/// Name a causal flow arrow after what the child event represents.
+const char* flow_name(EventKind child) {
+  switch (child) {
+    case EventKind::kMigrationArrive: return "migration";
+    case EventKind::kReturnStubArrive: return "return_stub";
+    case EventKind::kFutureSteal: return "future_steal";
+    default: return "causal";
+  }
+}
+
+/// One Perfetto flow arrow: "s" (start) at the parent event, "f" with
+/// bp:"e" (finish, bind to enclosing) at the child. Perfetto matches the
+/// two halves on (cat, id).
+void append_flow(std::string& out, std::size_t pid, const TraceEvent& parent,
+                 const TraceEvent& child, std::uint64_t flow_id) {
+  const char* name = flow_name(child.kind);
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "{\"name\":\"%s\",\"cat\":\"causal\",\"ph\":\"s\","
+                "\"id\":%" PRIu64 ",\"pid\":%zu,\"tid\":%u,\"ts\":%" PRIu64
+                "},\n",
+                name, flow_id, pid, parent.proc, parent.time);
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "{\"name\":\"%s\",\"cat\":\"causal\",\"ph\":\"f\",\"bp\":\"e\","
+                "\"id\":%" PRIu64 ",\"pid\":%zu,\"tid\":%u,\"ts\":%" PRIu64
+                "},\n",
+                name, flow_id, pid, child.proc, child.time);
+  out += buf;
+}
+
 }  // namespace
 
 std::string chrome_trace_json(const Observer& obs) {
@@ -145,6 +178,11 @@ std::string chrome_trace_json(const Observer& obs) {
                     pid, p, p);
       out += buf;
     }
+    // Index retained events by id so causal parents can be located; a
+    // parent that was dropped at the trace limit simply gets no arrow.
+    std::unordered_map<std::uint64_t, const TraceEvent*> by_id;
+    by_id.reserve(run.events.size());
+    for (const TraceEvent& e : run.events) by_id.emplace(e.id, &e);
     for (const TraceEvent& e : run.events) {
       switch (e.kind) {
         case EventKind::kMigrationArrive:
@@ -156,6 +194,15 @@ std::string chrome_trace_json(const Observer& obs) {
         default:
           append_instant(out, pid, e);
       }
+      if (e.parent == kNoEvent) continue;
+      const auto it = by_id.find(e.parent);
+      // Draw arrows only for cross-processor causality: same-track links
+      // are already visible as event order, and Perfetto renders them as
+      // clutter.
+      if (it == by_id.end() || it->second->proc == e.proc) continue;
+      const std::uint64_t flow_id =
+          (static_cast<std::uint64_t>(pid) << 40) | e.id;
+      append_flow(out, pid, *it->second, e, flow_id);
     }
   }
   // Closing sentinel avoids trailing-comma bookkeeping and marks the
@@ -170,15 +217,17 @@ bool write_chrome_trace(const Observer& obs, const std::string& path,
   return write_file(path, chrome_trace_json(obs), err);
 }
 
-bool write_binary_trace(const Observer& obs, const std::string& path,
-                        std::string* err) {
+std::string binary_trace_bytes(const Observer& obs) {
   std::string out;
   out.append(kBinaryTraceMagic, sizeof kBinaryTraceMagic);
-  append_u32le(out, 1);  // format version
+  append_u32le(out, static_cast<std::uint32_t>(kBinaryTraceVersion));
   append_u32le(out, static_cast<std::uint32_t>(obs.runs().size()));
   for (const RunRecord& run : obs.runs()) {
     append_u32le(out, static_cast<std::uint32_t>(run.label.size()));
     out += run.label;
+    append_u32le(out, run.nprocs);
+    append_u64le(out, run.makespan);
+    append_u64le(out, run.events_dropped);
     append_u64le(out, run.events.size());
     for (const TraceEvent& e : run.events) {
       append_u64le(out, e.time);
@@ -189,9 +238,17 @@ bool write_binary_trace(const Observer& obs, const std::string& path,
       append_u32le(out, e.site);
       append_u64le(out, e.arg0);
       append_u64le(out, e.arg1);
+      append_u64le(out, e.id);
+      append_u64le(out, e.chain);
+      append_u64le(out, e.parent);
     }
   }
-  return write_file(path, out, err);
+  return out;
+}
+
+bool write_binary_trace(const Observer& obs, const std::string& path,
+                        std::string* err) {
+  return write_file(path, binary_trace_bytes(obs), err);
 }
 
 std::string stats_json(const Observer& obs) {
@@ -199,7 +256,16 @@ std::string stats_json(const Observer& obs) {
   out.reserve(1 << 14);
   out += "{\"schema_version\":";
   out += std::to_string(kStatsSchemaVersion);
-  out += ",\"generator\":\"olden-trace\",\"runs\":[";
+  out += ",\"generator\":\"olden-trace\",";
+  // Top-level truncation flag: consumers (the analyzer, the bench harness)
+  // check one place to learn the event stream is incomplete.
+  bool truncated = false;
+  for (const RunRecord& run : obs.runs()) {
+    truncated = truncated || run.events_dropped > 0;
+  }
+  out += "\"trace_truncated\":";
+  out += truncated ? "true" : "false";
+  out += ",\"runs\":[";
   bool first_run = true;
   for (const RunRecord& run : obs.runs()) {
     if (!first_run) out += ",";

@@ -22,6 +22,8 @@ void Observer::attach(const RunConfig& cfg) {
   cur_.sequential_baseline = cfg.costs.sequential_baseline;
   acct_.assign(cfg.nprocs, BucketCycles{});
   page_heat_.clear();
+  next_event_id_ = 0;
+  next_chain_id_ = 0;
   run_open_ = true;
 }
 

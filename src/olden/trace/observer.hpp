@@ -102,17 +102,31 @@ class Observer {
 
   // --- hot-path hooks (called by the runtime, observer non-null) ---------
 
-  void event(EventKind k, Cycles t, ProcId p, ThreadId th, SiteId site,
-             std::uint64_t a0 = 0, std::uint64_t a1 = 0) {
+  /// Record one event and return its per-run id. Ids are assigned in
+  /// emission order and are consumed even when the event is dropped by the
+  /// retention limit, so parent references stay stable across different
+  /// `--trace-limit` settings (and across trace-enabled on/off, where the
+  /// runtime still threads ids through its obs-only bookkeeping).
+  std::uint64_t event(EventKind k, Cycles t, ProcId p, ThreadId th,
+                      SiteId site, std::uint64_t a0 = 0, std::uint64_t a1 = 0,
+                      std::uint64_t chain = kNoChain,
+                      std::uint64_t parent = kNoEvent) {
+    const std::uint64_t id = next_event_id_++;
     ++cur_.event_counts[static_cast<std::size_t>(k)];
-    if (!trace_enabled_) return;
+    if (!trace_enabled_) return id;
     if (events_retained_ >= event_limit_) {
       ++cur_.events_dropped;
-      return;
+      return id;
     }
-    cur_.events.push_back(TraceEvent{t, p, th, k, site, a0, a1});
+    cur_.events.push_back(TraceEvent{t, p, th, k, site, a0, a1, id, chain,
+                                     parent});
     ++events_retained_;
+    return id;
   }
+
+  /// Open a new causal chain (thread lineage). Chains are numbered in
+  /// thread-creation order, per run.
+  std::uint64_t new_chain() { return next_chain_id_++; }
 
   void account(ProcId p, Cycles c, CycleBucket b) {
     acct_[p][static_cast<std::size_t>(b)] += c;
@@ -132,6 +146,8 @@ class Observer {
   bool trace_enabled_ = false;
   std::uint64_t event_limit_ = 1'000'000;
   std::uint64_t events_retained_ = 0;
+  std::uint64_t next_event_id_ = 0;  ///< per-run; reset in attach()
+  std::uint64_t next_chain_id_ = 0;  ///< per-run; reset in attach()
 
   bool run_open_ = false;
   RunRecord cur_;
@@ -144,18 +160,31 @@ class Observer {
 
 /// Chrome trace_event JSON (open in Perfetto / chrome://tracing): one
 /// process per run, one thread track per virtual processor; ts is virtual
-/// cycles displayed as microseconds.
+/// cycles displayed as microseconds. Cross-processor causal links
+/// (migration arrivals, return stubs, future steals, touch wakes) are
+/// emitted as flow events, so Perfetto draws the migration arrows.
 [[nodiscard]] std::string chrome_trace_json(const Observer& obs);
 bool write_chrome_trace(const Observer& obs, const std::string& path,
                         std::string* err = nullptr);
 
-/// Compact binary log: "OLDNTRC1" magic, little-endian packed records.
+/// Compact binary log, format v2: "OLDNTRC2" magic, little-endian packed
+/// records carrying the causal id/chain/parent fields, and a per-run
+/// header with nprocs, makespan and the dropped-event count (so offline
+/// analysis can refuse truncated traces). v1 logs ("OLDNTRC1") are
+/// detected and rejected by the reader in src/olden/analyze/.
+[[nodiscard]] std::string binary_trace_bytes(const Observer& obs);
 bool write_binary_trace(const Observer& obs, const std::string& path,
                         std::string* err = nullptr);
+inline constexpr int kBinaryTraceVersion = 2;
 inline constexpr char kBinaryTraceMagic[8] = {'O', 'L', 'D', 'N',
-                                              'T', 'R', 'C', '1'};
-/// Size of one packed binary record (time, proc, thread, kind, site, args).
-inline constexpr std::size_t kBinaryRecordBytes = 8 + 4 + 8 + 1 + 3 + 4 + 8 + 8;
+                                              'T', 'R', 'C', '2'};
+/// The v1 magic, kept so readers can name the version they refuse.
+inline constexpr char kBinaryTraceMagicV1[8] = {'O', 'L', 'D', 'N',
+                                                'T', 'R', 'C', '1'};
+/// Size of one packed binary record (time, proc, thread, kind, site, args,
+/// id, chain, parent).
+inline constexpr std::size_t kBinaryRecordBytes =
+    8 + 4 + 8 + 1 + 3 + 4 + 8 + 8 + 8 + 8 + 8;
 
 /// The structured stats document (schema documented in
 /// docs/OBSERVABILITY.md and validated by tools/check_stats_schema.py).

@@ -20,6 +20,10 @@ namespace olden::trace {
 inline constexpr SiteId kNoSite = 0xffffffffu;
 /// Thread attribution for events raised outside any thread.
 inline constexpr ThreadId kNoThread = ~ThreadId{0};
+/// Sentinel for "this event has no causal parent" / "no such event".
+inline constexpr std::uint64_t kNoEvent = ~std::uint64_t{0};
+/// Sentinel for events raised outside any causal chain.
+inline constexpr std::uint64_t kNoChain = ~std::uint64_t{0};
 
 /// Every observable runtime event, with the meaning of the two
 /// kind-specific payload words (arg0/arg1).
@@ -65,6 +69,19 @@ inline constexpr std::size_t kNumEventKinds = 15;
 }
 
 /// One timestamped, attributed runtime event.
+///
+/// Causal threading (binary log v2): every event carries an emission-order
+/// `id` (stable even when retention drops events — dropped events still
+/// consume ids), the `chain` it belongs to, and the id of its causal
+/// `parent` event. A chain is one thread lineage: the root thread starts
+/// chain 0 and every future steal starts a fresh chain whose first event's
+/// parent links back into the spawning chain (the future_create for idle
+/// steals, the future_resolve for resolve-created ones). Within a chain
+/// the parent is simply the thread's previous event; migration /
+/// return-stub arrivals parent on their departure event, and the first
+/// event after a blocked touch wakes parents on the future_resolve that
+/// woke it. The analysis engine (src/olden/analyze/) reconstructs the
+/// event DAG from exactly these links.
 struct TraceEvent {
   Cycles time = 0;       ///< virtual time on `proc` when the event fired
   ProcId proc = 0;       ///< processor the event is charged to
@@ -73,6 +90,9 @@ struct TraceEvent {
   SiteId site = kNoSite; ///< dereference site, when one is responsible
   std::uint64_t arg0 = 0;
   std::uint64_t arg1 = 0;
+  std::uint64_t id = kNoEvent;      ///< per-run emission serial
+  std::uint64_t chain = kNoChain;   ///< causal chain (thread lineage)
+  std::uint64_t parent = kNoEvent;  ///< id of the causal parent event
 };
 
 /// Where a processor's cycles went. Each clock increment the machine makes

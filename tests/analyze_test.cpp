@@ -1,0 +1,324 @@
+// Tests for the offline trace-analysis engine: binary-log v2 parsing
+// (including rejection of v1 logs and malformed framing), the
+// exact-makespan critical-path invariant on real traces, min-idle path
+// selection and hot-site / ping-pong detection on synthetic DAGs.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "olden/analyze/report.hpp"
+#include "olden/bench/benchmark.hpp"
+#include "olden/trace/observer.hpp"
+
+namespace olden::analyze {
+namespace {
+
+using trace::EventKind;
+using trace::TraceEvent;
+
+// --- helpers -------------------------------------------------------------
+
+void append_u64le(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out += static_cast<char>((v >> (8 * i)) & 0xff);
+}
+void append_u32le(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out += static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+/// Serialize one hand-built v2 record (must mirror export.cpp's layout).
+void append_record(std::string& out, const TraceEvent& e) {
+  append_u64le(out, e.time);
+  append_u32le(out, e.proc);
+  append_u64le(out, e.thread);
+  out += static_cast<char>(e.kind);
+  out.append(3, '\0');
+  append_u32le(out, e.site);
+  append_u64le(out, e.arg0);
+  append_u64le(out, e.arg1);
+  append_u64le(out, e.id);
+  append_u64le(out, e.chain);
+  append_u64le(out, e.parent);
+}
+
+/// A traced tiny TreeAdd run through the real machine.
+trace::Observer observed_treeadd(ProcId nprocs, std::uint64_t* makespan) {
+  trace::Observer obs;
+  obs.set_trace_enabled(true);
+  const bench::Benchmark* b = bench::find_benchmark("TreeAdd");
+  bench::BenchConfig cfg;
+  cfg.nprocs = nprocs;
+  cfg.tiny = true;
+  cfg.observer = &obs;
+  obs.begin_run("analyze-test/TreeAdd");
+  const bench::BenchResult r = b->run(cfg);
+  if (makespan != nullptr) *makespan = r.total_cycles;
+  return obs;
+}
+
+TraceEvent make_event(std::uint64_t id, Cycles time, ProcId proc,
+                      EventKind kind, std::uint64_t arg0 = 0,
+                      std::uint64_t arg1 = 0,
+                      std::uint64_t parent = trace::kNoEvent) {
+  TraceEvent e;
+  e.id = id;
+  e.time = time;
+  e.proc = proc;
+  e.kind = kind;
+  e.arg0 = arg0;
+  e.arg1 = arg1;
+  e.parent = parent;
+  e.chain = 0;
+  return e;
+}
+
+// --- reader --------------------------------------------------------------
+
+TEST(TraceReader, RejectsV1LogsWithVersionedError) {
+  std::string blob = "OLDNTRC1";
+  append_u32le(blob, 1);
+  append_u32le(blob, 0);
+  TraceFile file;
+  std::string err;
+  EXPECT_FALSE(parse_binary_trace(blob, &file, &err));
+  EXPECT_NE(err.find("v1"), std::string::npos) << err;
+  EXPECT_NE(err.find("OLDNTRC2"), std::string::npos) << err;
+}
+
+TEST(TraceReader, RejectsUnknownMagic) {
+  TraceFile file;
+  std::string err;
+  EXPECT_FALSE(parse_binary_trace("not a trace at all", &file, &err));
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(TraceReader, RejectsTruncatedFraming) {
+  const trace::Observer obs = observed_treeadd(2, nullptr);
+  const std::string bytes = trace::binary_trace_bytes(obs);
+  ASSERT_GT(bytes.size(), 100u);
+  TraceFile file;
+  std::string err;
+  // Cut mid-record and mid-header; both must fail cleanly.
+  EXPECT_FALSE(parse_binary_trace(
+      std::string_view(bytes).substr(0, bytes.size() - 7), &file, &err));
+  EXPECT_FALSE(parse_binary_trace(std::string_view(bytes).substr(0, 18),
+                                  &file, &err));
+}
+
+TEST(TraceReader, RejectsOutOfRangeEventKind) {
+  std::string blob = "OLDNTRC2";
+  append_u32le(blob, 2);  // version
+  append_u32le(blob, 1);  // one run
+  append_u32le(blob, 1);  // label "x"
+  blob += "x";
+  append_u32le(blob, 1);   // nprocs
+  append_u64le(blob, 10);  // makespan
+  append_u64le(blob, 0);   // dropped
+  append_u64le(blob, 1);   // one event
+  TraceEvent e = make_event(0, 5, 0, EventKind::kCacheHit);
+  e.kind = static_cast<EventKind>(200);
+  append_record(blob, e);
+  TraceFile file;
+  std::string err;
+  EXPECT_FALSE(parse_binary_trace(blob, &file, &err));
+  EXPECT_NE(err.find("kind"), std::string::npos) << err;
+}
+
+TEST(TraceReader, RoundTripsV2IncludingCausalFields) {
+  const trace::Observer obs = observed_treeadd(4, nullptr);
+  ASSERT_EQ(obs.runs().size(), 1u);
+  const trace::RunRecord& rec = obs.runs()[0];
+  ASSERT_GT(rec.events.size(), 0u);
+
+  TraceFile file;
+  std::string err;
+  ASSERT_TRUE(parse_binary_trace(trace::binary_trace_bytes(obs), &file, &err))
+      << err;
+  EXPECT_EQ(file.version, trace::kBinaryTraceVersion);
+  ASSERT_EQ(file.runs.size(), 1u);
+  const TraceRun& run = file.runs[0];
+  EXPECT_EQ(run.label, rec.label);
+  EXPECT_EQ(run.nprocs, rec.nprocs);
+  EXPECT_EQ(run.makespan, rec.makespan);
+  EXPECT_EQ(run.events_dropped, rec.events_dropped);
+  ASSERT_EQ(run.events.size(), rec.events.size());
+  bool any_parent = false;
+  bool any_chain = false;
+  for (std::size_t i = 0; i < run.events.size(); ++i) {
+    const TraceEvent& got = run.events[i];
+    const TraceEvent& want = rec.events[i];
+    EXPECT_EQ(got.time, want.time) << i;
+    EXPECT_EQ(got.proc, want.proc) << i;
+    EXPECT_EQ(got.thread, want.thread) << i;
+    EXPECT_EQ(got.kind, want.kind) << i;
+    EXPECT_EQ(got.site, want.site) << i;
+    EXPECT_EQ(got.arg0, want.arg0) << i;
+    EXPECT_EQ(got.arg1, want.arg1) << i;
+    EXPECT_EQ(got.id, want.id) << i;
+    EXPECT_EQ(got.chain, want.chain) << i;
+    EXPECT_EQ(got.parent, want.parent) << i;
+    any_parent = any_parent || got.parent != trace::kNoEvent;
+    any_chain = any_chain || got.chain != trace::kNoChain;
+  }
+  // A multi-processor TreeAdd definitely produced causal links and chains.
+  EXPECT_TRUE(any_parent);
+  EXPECT_TRUE(any_chain);
+}
+
+// --- critical path -------------------------------------------------------
+
+TEST(CriticalPathTest, TotalEqualsMakespanOnRealTrace) {
+  // The acceptance invariant: on a real 8-processor TreeAdd trace the
+  // extracted path's weight is the traced makespan, exactly, and the
+  // per-bucket attribution tiles it with no remainder.
+  std::uint64_t makespan = 0;
+  const trace::Observer obs = observed_treeadd(8, &makespan);
+  TraceFile file;
+  std::string err;
+  ASSERT_TRUE(parse_binary_trace(trace::binary_trace_bytes(obs), &file, &err))
+      << err;
+  const TraceRun& run = file.runs.at(0);
+  ASSERT_EQ(run.makespan, makespan);
+  ASSERT_FALSE(run.truncated());
+
+  const CriticalPath path = critical_path(run);
+  EXPECT_EQ(path.total_cycles, makespan);
+  std::uint64_t attributed = 0;
+  for (std::uint64_t w : path.attribution) attributed += w;
+  EXPECT_EQ(attributed, path.total_cycles);
+  ASSERT_FALSE(path.steps.empty());
+  EXPECT_EQ(path.steps.front().src, PathStep::kSourceStep);
+  EXPECT_EQ(path.steps.back().event, PathStep::kSinkStep);
+  std::uint64_t step_sum = 0;
+  for (const PathStep& s : path.steps) step_sum += s.weight;
+  EXPECT_EQ(step_sum, path.total_cycles);
+}
+
+TEST(CriticalPathTest, EmptyRunIsOneOpaqueEdge) {
+  TraceRun run;
+  run.nprocs = 2;
+  run.makespan = 100;
+  const CriticalPath path = critical_path(run);
+  EXPECT_EQ(path.total_cycles, 100u);
+  EXPECT_EQ(path.attribution[static_cast<int>(trace::CycleBucket::kIdle)],
+            100u);
+  EXPECT_EQ(path.steps.size(), 1u);
+}
+
+TEST(CriticalPathTest, PrefersThePathWithLeastIdle) {
+  // Two routes to the sink: straight up proc 1 (idle until its only event
+  // at t=90), or through proc 0's work at t=50 and the causal edge to
+  // proc 1. Both telescope to the makespan; the extractor must take the
+  // one that works longer.
+  TraceRun run;
+  run.nprocs = 2;
+  run.makespan = 100;
+  run.events.push_back(make_event(0, 50, 0, EventKind::kCacheHit, 7));
+  run.events.push_back(
+      make_event(1, 90, 1, EventKind::kCacheHit, 7, 0, /*parent=*/0));
+  const CriticalPath path = critical_path(run);
+  EXPECT_EQ(path.total_cycles, 100u);
+  // SOURCE -> e0 (50 compute) -> e1 (40 causal compute) -> SINK (10 idle).
+  EXPECT_EQ(path.attribution[static_cast<int>(trace::CycleBucket::kIdle)],
+            10u);
+  EXPECT_EQ(path.attribution[static_cast<int>(trace::CycleBucket::kCompute)],
+            90u);
+  ASSERT_EQ(path.steps.size(), 3u);
+  EXPECT_EQ(path.steps[0].event, 0u);
+  EXPECT_EQ(path.steps[1].event, 1u);
+}
+
+TEST(CriticalPathTest, MigrationTransitIsAttributedToMigration) {
+  TraceRun run;
+  run.nprocs = 2;
+  run.makespan = 60;
+  run.events.push_back(
+      make_event(0, 10, 0, EventKind::kMigrationDepart, /*target=*/1));
+  run.events.push_back(make_event(1, 40, 1, EventKind::kMigrationArrive,
+                                  /*src=*/0, /*transit=*/30, /*parent=*/0));
+  const CriticalPath path = critical_path(run);
+  EXPECT_EQ(path.total_cycles, 60u);
+  EXPECT_EQ(
+      path.attribution[static_cast<int>(trace::CycleBucket::kMigration)], 30u);
+}
+
+// --- run reports ---------------------------------------------------------
+
+TEST(AnalyzeReport, HotSitesMatchArrivalsToDepartures) {
+  TraceRun run;
+  run.nprocs = 2;
+  run.makespan = 100;
+  TraceEvent dep = make_event(0, 10, 0, EventKind::kMigrationDepart, 1);
+  dep.site = 7;
+  run.events.push_back(dep);
+  run.events.push_back(make_event(1, 35, 1, EventKind::kMigrationArrive,
+                                  /*src=*/0, /*transit=*/25, /*parent=*/0));
+  TraceEvent dep2 = make_event(2, 40, 1, EventKind::kMigrationDepart, 0);
+  dep2.site = 7;
+  run.events.push_back(dep2);
+  // Second arrival's depart was dropped at the trace limit: unmatched.
+  run.events.push_back(make_event(3, 70, 0, EventKind::kMigrationArrive,
+                                  /*src=*/1, /*transit=*/30, /*parent=*/99));
+
+  const RunReport rep = analyze_run(run, 10);
+  ASSERT_EQ(rep.hot_sites.size(), 1u);
+  EXPECT_EQ(rep.hot_sites[0].site, 7u);
+  EXPECT_EQ(rep.hot_sites[0].departs, 2u);
+  EXPECT_EQ(rep.hot_sites[0].arrives_matched, 1u);
+  EXPECT_EQ(rep.hot_sites[0].transit_cycles, 25u);
+}
+
+TEST(AnalyzeReport, DetectsPingPongAndFalseSharing) {
+  TraceRun run;
+  run.nprocs = 2;
+  run.makespan = 100;
+  const std::uint64_t page = 5;
+  // Proc 0 and proc 1 both fill the page; proc 1 is invalidated and then
+  // refills: one ping-pong with two sharers = false-sharing suspect.
+  run.events.push_back(
+      make_event(0, 10, 0, EventKind::kCacheLineFill, page, 0));
+  run.events.push_back(
+      make_event(1, 20, 1, EventKind::kCacheLineFill, page, 1));
+  run.events.push_back(
+      make_event(2, 30, 1, EventKind::kLineInvalidate, page, /*dropped=*/2));
+  run.events.push_back(
+      make_event(3, 40, 1, EventKind::kCacheLineFill, page, 1));
+  // An invalidate that dropped nothing must not arm ping-pong detection.
+  run.events.push_back(
+      make_event(4, 50, 0, EventKind::kLineInvalidate, page, /*dropped=*/0));
+  run.events.push_back(
+      make_event(5, 60, 0, EventKind::kCacheHit, page));
+
+  const RunReport rep = analyze_run(run, 10);
+  EXPECT_EQ(rep.pages_tracked, 1u);
+  EXPECT_EQ(rep.ping_pong_total, 1u);
+  ASSERT_EQ(rep.hot_pages.size(), 1u);
+  const PageStats& p = rep.hot_pages[0];
+  EXPECT_EQ(p.page, page);
+  EXPECT_EQ(p.heat, 1u);
+  EXPECT_EQ(p.fills, 3u);
+  EXPECT_EQ(p.invalidates, 1u);
+  EXPECT_EQ(p.ping_pongs, 1u);
+  EXPECT_EQ(p.sharers, 2u);
+  EXPECT_TRUE(p.false_sharing_suspect);
+}
+
+TEST(AnalyzeReport, JsonReportIsSchemaVersioned) {
+  const trace::Observer obs = observed_treeadd(4, nullptr);
+  TraceFile file;
+  std::string err;
+  ASSERT_TRUE(parse_binary_trace(trace::binary_trace_bytes(obs), &file, &err))
+      << err;
+  std::vector<RunReport> reports;
+  for (const TraceRun& run : file.runs) reports.push_back(analyze_run(run, 5));
+  const std::string json = json_report(file, reports);
+  EXPECT_NE(json.find("\"analysis_schema_version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"generator\":\"olden-analyze\""), std::string::npos);
+  EXPECT_NE(json.find("\"critical_path\""), std::string::npos);
+  EXPECT_NE(json.find("\"hot_sites\""), std::string::npos);
+  const std::string human = human_report(file.runs[0], reports[0]);
+  EXPECT_NE(human.find("critical path:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace olden::analyze

@@ -59,5 +59,52 @@ INSTANTIATE_TEST_SUITE_P(
                                          Coherence::kEagerGlobal,
                                          Coherence::kBilateral)));
 
+// Causal-chain assignment (chain ids, event ids, parent links) must be as
+// deterministic as the run itself: two identical runs produce
+// byte-identical binary traces, so a committed trace diff is always a
+// behavioral diff, never id-assignment noise.
+TEST(ObservabilityDeterminism, RepeatedRunsProduceByteIdenticalTraces) {
+  const Benchmark* b = find_benchmark("TreeAdd");
+  ASSERT_NE(b, nullptr);
+  std::string bytes[2];
+  std::uint64_t cycles[2] = {0, 0};
+  for (int i = 0; i < 2; ++i) {
+    trace::Observer obs;
+    obs.set_trace_enabled(true);
+    obs.begin_run("repeat");
+    BenchConfig cfg{.nprocs = 4};
+    cfg.tiny = true;
+    cfg.observer = &obs;
+    const BenchResult r = b->run(cfg);
+    cycles[i] = r.total_cycles;
+    bytes[i] = trace::binary_trace_bytes(obs);
+  }
+  EXPECT_EQ(cycles[0], cycles[1]);
+  EXPECT_EQ(bytes[0], bytes[1]);
+}
+
+// Chain bookkeeping must never leak into the simulation: a run traced
+// with a tight retention limit (different drop pattern, same events
+// emitted) costs exactly the same virtual cycles as an untraced run —
+// new_chain() and id assignment read the clocks, they never advance them
+// or consume simulation RNG.
+TEST(ObservabilityDeterminism, ChainAssignmentIsFreeUnderAnyRetention) {
+  const Benchmark* b = find_benchmark("TreeAdd");
+  ASSERT_NE(b, nullptr);
+  BenchConfig cfg{.nprocs = 8};
+  cfg.tiny = true;
+  const BenchResult off = b->run(cfg);
+  for (std::uint64_t limit : {std::uint64_t{1}, std::uint64_t{1000000}}) {
+    trace::Observer obs;
+    obs.set_trace_enabled(true);
+    obs.set_event_limit(limit);
+    obs.begin_run("limit=" + std::to_string(limit));
+    cfg.observer = &obs;
+    const BenchResult on = b->run(cfg);
+    EXPECT_EQ(on.total_cycles, off.total_cycles) << limit;
+    EXPECT_EQ(on.checksum, off.checksum) << limit;
+  }
+}
+
 }  // namespace
 }  // namespace olden::bench

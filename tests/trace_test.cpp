@@ -270,6 +270,49 @@ TEST(TraceExport, ChromeTraceWithMigrationSlices) {
   EXPECT_NE(json.find("\"migration\",\"ph\":\"X\""), std::string::npos);
 }
 
+TEST(TraceExport, ChromeTraceEmitsCausalFlowArrows) {
+  trace::Observer obs;
+  obs.set_trace_enabled(true);
+  obs.begin_run("flow-walk");
+  run_observed(obs, 4, Mechanism::kMigrate);
+  const std::string json = trace::chrome_trace_json(obs);
+  EXPECT_TRUE(JsonChecker(json).valid());
+  // Cross-processor parent links render as Perfetto flow pairs: an "s"
+  // (start) half at the parent and an "f" half bound to the child.
+  EXPECT_NE(json.find("\"cat\":\"causal\",\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"causal\",\"ph\":\"f\",\"bp\":\"e\""),
+            std::string::npos);
+}
+
+TEST(TraceEvents, CausalFieldsThreadTheRun) {
+  trace::Observer obs;
+  obs.set_trace_enabled(true);
+  obs.begin_run("causal-walk");
+  run_observed(obs, 4, Mechanism::kMigrate);
+  ASSERT_EQ(obs.runs().size(), 1u);
+  const trace::RunRecord& run = obs.runs()[0];
+  ASSERT_GT(run.events.size(), 2u);
+  // Emission-order ids: strictly increasing, and with nothing dropped,
+  // dense from zero.
+  for (std::size_t i = 0; i < run.events.size(); ++i) {
+    EXPECT_EQ(run.events[i].id, i);
+  }
+  // Every migration arrival parents on a migration departure, and the
+  // link carries the chain across processors.
+  std::size_t arrivals = 0;
+  for (const trace::TraceEvent& e : run.events) {
+    EXPECT_NE(e.chain, trace::kNoChain);
+    if (e.kind != trace::EventKind::kMigrationArrive) continue;
+    ++arrivals;
+    ASSERT_NE(e.parent, trace::kNoEvent);
+    const trace::TraceEvent& dep = run.events[e.parent];
+    EXPECT_EQ(dep.kind, trace::EventKind::kMigrationDepart);
+    EXPECT_EQ(dep.chain, e.chain);
+    EXPECT_NE(dep.proc, e.proc);
+  }
+  EXPECT_GT(arrivals, 0u);
+}
+
 TEST(TraceExport, EmptyObserverStillExportsValidDocuments) {
   trace::Observer obs;
   EXPECT_TRUE(JsonChecker(trace::chrome_trace_json(obs)).valid());
@@ -313,12 +356,14 @@ TEST(TraceExport, BinaryLogFraming) {
   std::remove(path.c_str());
 
   // magic + u32 version + u32 run count + (u32 label len + label +
-  // u64 event count + records).
+  // u32 nprocs + u64 makespan + u64 dropped + u64 event count + records).
   ASSERT_GE(body.size(), 16u);
   EXPECT_EQ(std::memcmp(body.data(), trace::kBinaryTraceMagic, 8), 0);
-  const std::size_t expect = 16 + 4 + 3 /* "bin" */ + 8 +
+  const std::size_t expect = 16 + 4 + 3 /* "bin" */ + 4 + 8 + 8 + 8 +
                              n_events * trace::kBinaryRecordBytes;
   EXPECT_EQ(body.size(), expect);
+  // The on-disk bytes are exactly what binary_trace_bytes returns.
+  EXPECT_EQ(body, trace::binary_trace_bytes(obs));
 }
 
 TEST(TraceExport, EventLimitCountsDrops) {
@@ -334,6 +379,19 @@ TEST(TraceExport, EventLimitCountsDrops) {
   std::uint64_t counted = 0;
   for (std::uint64_t c : obs.runs()[0].event_counts) counted += c;
   EXPECT_EQ(counted, 10u + obs.runs()[0].events_dropped);
+  // The stats document surfaces the truncation at top level.
+  EXPECT_NE(trace::stats_json(obs).find("\"trace_truncated\":true"),
+            std::string::npos);
+}
+
+TEST(TraceExport, StatsJsonReportsNoTruncationWhenNothingDropped) {
+  trace::Observer obs;
+  obs.set_trace_enabled(true);
+  obs.begin_run("unlimited");
+  run_observed(obs, 4);
+  ASSERT_EQ(obs.runs().at(0).events_dropped, 0u);
+  EXPECT_NE(trace::stats_json(obs).find("\"trace_truncated\":false"),
+            std::string::npos);
 }
 
 // --- cycle accounting ----------------------------------------------------

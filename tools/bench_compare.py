@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""Compare two BENCH JSON files produced by tools/bench_runner.py.
+
+Usage: bench_compare.py OLD.json NEW.json [--threshold PCT]
+       bench_compare.py --check FILE.json
+
+Cells are keyed by (benchmark, scheme, nprocs). The comparison FAILS
+(exit 1) when a cell present in OLD is missing from NEW, or when a
+cell's makespan regressed by more than --threshold percent (default 5).
+Because the simulator is fully deterministic, any makespan change at all
+is a real behavioral change; the threshold only decides how large a
+slowdown blocks CI. Improvements and sub-threshold drifts are reported
+but don't fail.
+
+--check validates a single file's schema (structure, bucket arithmetic,
+critical-path exactness) without comparing — used by CI on freshly
+generated files before they're trusted as a comparison side.
+
+Stdlib only, so it can run in any CI image.
+"""
+
+import json
+import sys
+
+BENCH_SCHEMA_VERSION = 1
+
+BUCKET_KEYS = ["compute", "migration", "cache_stall", "coherence", "idle"]
+
+SCHEMES = {"local", "global", "bilateral"}
+
+
+class SchemaError(Exception):
+    pass
+
+
+def require(cond, msg):
+    if not cond:
+        raise SchemaError(msg)
+
+
+def check_document(doc, path):
+    require(isinstance(doc, dict), f"{path}: top level must be an object")
+    require(doc.get("bench_schema_version") == BENCH_SCHEMA_VERSION,
+            f"{path}: bench_schema_version must be {BENCH_SCHEMA_VERSION}, "
+            f"got {doc.get('bench_schema_version')!r}")
+    require(doc.get("generator") == "bench_runner",
+            f"{path}: generator must be 'bench_runner'")
+    require(isinstance(doc.get("revision"), str),
+            f"{path}: missing revision")
+    require(doc.get("mode") in ("tiny", "default"),
+            f"{path}: mode must be 'tiny' or 'default'")
+    require(isinstance(doc.get("nprocs"), int) and doc["nprocs"] >= 1,
+            f"{path}: nprocs must be a positive integer")
+    cells = doc.get("cells")
+    require(isinstance(cells, list) and cells, f"{path}: missing cells")
+    seen = set()
+    for cell in cells:
+        ctx = (f"{path} cell "
+               f"{cell.get('benchmark')}/{cell.get('scheme')}")
+        require(isinstance(cell.get("benchmark"), str) and cell["benchmark"],
+                f"{ctx}: missing benchmark")
+        require(cell.get("scheme") in SCHEMES,
+                f"{ctx}: scheme must be one of {sorted(SCHEMES)}")
+        require(isinstance(cell.get("nprocs"), int) and cell["nprocs"] >= 1,
+                f"{ctx}: bad nprocs")
+        key = cell_key(cell)
+        require(key not in seen, f"{ctx}: duplicate cell")
+        seen.add(key)
+        require(isinstance(cell.get("makespan_cycles"), int)
+                and cell["makespan_cycles"] > 0,
+                f"{ctx}: bad makespan_cycles")
+        buckets = cell.get("buckets")
+        require(isinstance(buckets, dict), f"{ctx}: missing buckets")
+        for bkey in BUCKET_KEYS:
+            require(isinstance(buckets.get(bkey), int) and buckets[bkey] >= 0,
+                    f"{ctx}: bucket {bkey!r} must be a non-negative integer")
+        # Per-processor buckets each sum to the makespan, so the totals sum
+        # to nprocs * makespan.
+        require(sum(buckets[k] for k in BUCKET_KEYS)
+                == cell["nprocs"] * cell["makespan_cycles"],
+                f"{ctx}: buckets don't sum to nprocs * makespan")
+        require(isinstance(cell.get("counters"), dict),
+                f"{ctx}: missing counters")
+        require(isinstance(cell.get("miss_rate_percent"), (int, float)),
+                f"{ctx}: missing miss_rate_percent")
+        cp = cell.get("critical_path")
+        if cp is not None:
+            require(cp.get("total_cycles") == cell["makespan_cycles"],
+                    f"{ctx}: critical path != makespan")
+            attr = cp.get("attribution")
+            require(isinstance(attr, dict), f"{ctx}: missing attribution")
+            require(sum(attr.get(k, 0) for k in BUCKET_KEYS)
+                    == cp["total_cycles"],
+                    f"{ctx}: attribution doesn't sum to the path length")
+    return len(cells)
+
+
+def cell_key(cell):
+    return (cell["benchmark"], cell["scheme"], cell["nprocs"])
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    check_document(doc, path)
+    return doc
+
+
+def compare(old_doc, new_doc, threshold):
+    old = {cell_key(c): c for c in old_doc["cells"]}
+    new = {cell_key(c): c for c in new_doc["cells"]}
+    regressions, improvements, drifts = [], [], []
+    missing = sorted(set(old) - set(new))
+    added = sorted(set(new) - set(old))
+    for key in sorted(set(old) & set(new)):
+        before = old[key]["makespan_cycles"]
+        after = new[key]["makespan_cycles"]
+        delta = 100.0 * (after - before) / before
+        name = f"{key[0]}/{key[1]}/p={key[2]}"
+        line = f"{name}: {before} -> {after} cycles ({delta:+.2f}%)"
+        if delta > threshold:
+            regressions.append(line)
+        elif delta < -threshold:
+            improvements.append(line)
+        elif after != before:
+            drifts.append(line)
+
+    for title, lines in (("REGRESSION", regressions),
+                         ("improvement", improvements),
+                         ("drift (within threshold)", drifts)):
+        for line in lines:
+            print(f"{title:>24}  {line}")
+    for key in missing:
+        print(f"{'MISSING CELL':>24}  {key[0]}/{key[1]}/p={key[2]}")
+    for key in added:
+        print(f"{'new cell':>24}  {key[0]}/{key[1]}/p={key[2]}")
+
+    total = len(set(old) & set(new))
+    unchanged = total - len(regressions) - len(improvements) - len(drifts)
+    print(f"compared {total} cells "
+          f"({old_doc['revision']} -> {new_doc['revision']}): "
+          f"{unchanged} unchanged, {len(drifts)} drifted, "
+          f"{len(improvements)} improved, {len(regressions)} regressed, "
+          f"{len(missing)} missing (threshold {threshold:g}%)")
+    return not regressions and not missing
+
+
+def main(argv):
+    args = argv[1:]
+    threshold = 5.0
+    if "--check" in args:
+        args.remove("--check")
+        if len(args) != 1:
+            print(__doc__.strip(), file=sys.stderr)
+            return 2
+        try:
+            doc = load(args[0])
+        except (OSError, json.JSONDecodeError, SchemaError) as e:
+            print(f"FAIL {args[0]}: {e}", file=sys.stderr)
+            return 1
+        print(f"OK   {args[0]}: {len(doc['cells'])} cells, "
+              f"schema v{BENCH_SCHEMA_VERSION}")
+        return 0
+    if "--threshold" in args:
+        i = args.index("--threshold")
+        try:
+            threshold = float(args[i + 1])
+        except (IndexError, ValueError):
+            print(__doc__.strip(), file=sys.stderr)
+            return 2
+        del args[i:i + 2]
+    if len(args) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    try:
+        old_doc = load(args[0])
+        new_doc = load(args[1])
+    except (OSError, json.JSONDecodeError, SchemaError) as e:
+        print(f"FAIL: {e}", file=sys.stderr)
+        return 1
+    if old_doc["mode"] != new_doc["mode"]:
+        print(f"FAIL: comparing a {old_doc['mode']!r}-size run against a "
+              f"{new_doc['mode']!r}-size run is meaningless", file=sys.stderr)
+        return 1
+    return 0 if compare(old_doc, new_doc, threshold) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Run the Olden benchmark suite as a regression matrix and emit BENCH JSON.
+
+Usage: bench_runner.py [--build-dir DIR] [--out FILE] [--tiny]
+                       [--nprocs N] [--revision REV] [--benchmarks A,B,...]
+
+For every benchmark in the suite (or the --benchmarks subset) this runs
+`bench_cell` across the three coherence schemes with --stats-json and
+--trace-bin enabled, feeds the binary trace through `olden-analyze
+--json`, and merges the two documents into one cell per
+(benchmark, scheme): makespan, per-bucket cycle totals, key counters,
+the remote-miss rate, and the critical-path attribution. The result is
+written as a deterministic, sorted JSON file (BENCH_<rev>.json by
+default) that tools/bench_compare.py can diff against a committed
+baseline.
+
+bench_cell validates every cell's checksum against the host-side
+sequential reference, so a nonzero exit here means a *correctness*
+regression, not just a slow one.
+
+Stdlib only, so it can run in any CI image.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+BENCH_SCHEMA_VERSION = 1
+
+SCHEMES = ["local", "global", "bilateral"]
+
+BUCKET_KEYS = ["compute", "migration", "cache_stall", "coherence", "idle"]
+
+# The counters worth tracking release-over-release; the full set lives in
+# the stats JSON if a regression needs deeper digging.
+COUNTER_KEYS = [
+    "cache_hits", "cache_misses",
+    "timestamp_checks", "timestamp_stalls",
+    "cacheable_reads_remote", "cacheable_writes_remote",
+    "migrations", "return_migrations",
+    "futurecalls", "futures_inlined", "futures_stolen", "touches_blocked",
+    "lines_invalidated", "pages_cached", "threads_created",
+]
+
+
+def fail(msg):
+    print(f"bench_runner: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def git_revision():
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, check=True)
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def list_benchmarks(bench_cell):
+    out = subprocess.run([bench_cell, "--list"],
+                         capture_output=True, text=True)
+    if out.returncode != 0:
+        fail(f"{bench_cell} --list failed:\n{out.stderr}")
+    return [line for line in out.stdout.splitlines() if line]
+
+
+def miss_rate_percent(counters):
+    """Mirror of MachineStats::remote_miss_percent() in support/stats.hpp."""
+    remote = (counters["cacheable_reads_remote"]
+              + counters["cacheable_writes_remote"])
+    if remote == 0:
+        return 0.0
+    return 100.0 * (counters["cache_misses"]
+                    + counters["timestamp_stalls"]) / remote
+
+
+def run_benchmark(bench_cell, analyze, name, nprocs, tiny, tmpdir):
+    """Run one benchmark across all schemes; return its cells."""
+    stats_path = os.path.join(tmpdir, f"{name}.stats.json")
+    trace_path = os.path.join(tmpdir, f"{name}.trace.bin")
+    cmd = [bench_cell, f"--benchmark={name}", f"--nprocs={nprocs}",
+           f"--schemes={','.join(SCHEMES)}",
+           f"--stats-json={stats_path}", f"--trace-bin={trace_path}"]
+    if tiny:
+        cmd.append("--tiny")
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        fail(f"bench_cell failed for {name} (exit {proc.returncode}):\n"
+             f"{proc.stdout}{proc.stderr}")
+
+    proc = subprocess.run([analyze, "--trace-bin", trace_path, "--json"],
+                          capture_output=True, text=True)
+    if proc.returncode != 0:
+        fail(f"olden-analyze failed for {name} (exit {proc.returncode}):\n"
+             f"{proc.stderr}")
+    analysis = json.loads(proc.stdout)
+    paths_by_label = {run["label"]: run for run in analysis["runs"]}
+
+    with open(stats_path, "r", encoding="utf-8") as f:
+        stats = json.load(f)
+
+    cells = []
+    for run in stats["runs"]:
+        cfg = run["config"]
+        counters = run["counters"]
+        buckets = {key: sum(row[key] for row in run["breakdown"])
+                   for key in BUCKET_KEYS}
+        cell = {
+            "benchmark": cfg["benchmark"],
+            "scheme": cfg["scheme"],
+            "nprocs": cfg["nprocs"],
+            "makespan_cycles": run["makespan_cycles"],
+            "buckets": buckets,
+            "counters": {key: counters[key] for key in COUNTER_KEYS},
+            "miss_rate_percent": round(miss_rate_percent(counters), 4),
+            "critical_path": None,
+        }
+        arun = paths_by_label.get(run["label"])
+        if arun is not None and not arun["truncated"]:
+            path = arun["critical_path"]
+            cell["critical_path"] = {
+                "total_cycles": path["total_cycles"],
+                "attribution": path["attribution"],
+            }
+            if path["total_cycles"] != run["makespan_cycles"]:
+                fail(f"{run['label']}: critical path ({path['total_cycles']}"
+                     f" cycles) != makespan ({run['makespan_cycles']})")
+        cells.append(cell)
+    return cells
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        description="Run the benchmark regression matrix into BENCH JSON.")
+    ap.add_argument("--build-dir", default="build",
+                    help="CMake build directory (default: build)")
+    ap.add_argument("--out", default=None,
+                    help="output file (default: BENCH_<rev>.json)")
+    ap.add_argument("--tiny", action="store_true",
+                    help="pinned tiny problem sizes (the CI configuration)")
+    ap.add_argument("--nprocs", type=int, default=8,
+                    help="processors per cell (default: 8)")
+    ap.add_argument("--revision", default=None,
+                    help="revision label (default: git rev-parse --short)")
+    ap.add_argument("--benchmarks", default=None,
+                    help="comma-separated subset (default: full suite)")
+    args = ap.parse_args(argv[1:])
+
+    bench_cell = os.path.join(args.build_dir, "bench", "bench_cell")
+    analyze = os.path.join(args.build_dir, "tools", "olden-analyze")
+    for binary in (bench_cell, analyze):
+        if not os.access(binary, os.X_OK):
+            fail(f"missing binary {binary} (build the repo first)")
+
+    names = list_benchmarks(bench_cell)
+    if args.benchmarks:
+        wanted = args.benchmarks.split(",")
+        unknown = [w for w in wanted if w not in names]
+        if unknown:
+            fail(f"unknown benchmark(s) {unknown}; suite has {names}")
+        names = [n for n in names if n in wanted]
+
+    revision = args.revision or git_revision()
+    cells = []
+    with tempfile.TemporaryDirectory(prefix="olden-bench-") as tmpdir:
+        for name in names:
+            cells.extend(run_benchmark(bench_cell, analyze, name,
+                                       args.nprocs, args.tiny, tmpdir))
+            print(f"  {name}: {len(SCHEMES)} cells ok")
+    cells.sort(key=lambda c: (c["benchmark"], c["scheme"]))
+
+    doc = {
+        "bench_schema_version": BENCH_SCHEMA_VERSION,
+        "generator": "bench_runner",
+        "revision": revision,
+        "mode": "tiny" if args.tiny else "default",
+        "nprocs": args.nprocs,
+        "cells": cells,
+    }
+    out_path = args.out or f"BENCH_{revision}.json"
+    with open(out_path, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=1, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {out_path}: {len(cells)} cells "
+          f"({len(names)} benchmarks x {len(SCHEMES)} schemes, "
+          f"p={args.nprocs}, {doc['mode']} size)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

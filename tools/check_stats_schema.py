@@ -147,10 +147,16 @@ def check_document(doc, path):
             f"got {doc.get('schema_version')!r}")
     require(doc.get("generator") == "olden-trace",
             f"{path}: generator must be 'olden-trace'")
+    require(isinstance(doc.get("trace_truncated"), bool),
+            f"{path}: missing trace_truncated flag")
     runs = doc.get("runs")
     require(isinstance(runs, list), f"{path}: missing runs array")
     for idx, run in enumerate(runs):
         check_run(run, idx)
+    any_dropped = any(run["events"]["dropped"] > 0 for run in runs)
+    require(doc["trace_truncated"] == any_dropped,
+            f"{path}: trace_truncated is {doc['trace_truncated']}, but "
+            f"dropped-event counts say {any_dropped}")
     return len(runs)
 
 

@@ -1,0 +1,123 @@
+// olden-analyze: offline trace analysis for Olden binary traces (v2).
+//
+//   olden-analyze --trace-bin FILE [--json] [--json-out FILE] [--top N]
+//
+// Reads a binary trace produced by a bench binary's --trace-bin flag and
+// reports, per run: the critical path (total weight always equals the
+// traced makespan; per-edge attribution over compute / migration /
+// cache_stall / coherence / idle), the hottest migration sites, and
+// per-page heat with ping-pong (invalidate-then-refill) detection.
+//
+// Exit codes: 0 success, 1 unreadable/unsupported trace (including v1
+// logs, which are named explicitly), 2 usage error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "olden/analyze/report.hpp"
+#include "olden/trace/observer.hpp"
+
+namespace {
+
+void usage(std::FILE* to) {
+  std::fprintf(to,
+               "usage: olden-analyze --trace-bin FILE [options]\n"
+               "  --trace-bin FILE   binary trace to analyze (required)\n"
+               "  --json             print the JSON report to stdout\n"
+               "  --json-out FILE    also write the JSON report to FILE\n"
+               "  --top N            keep the N hottest sites/pages (default 10)\n"
+               "  --version          print schema versions and exit\n"
+               "  --help             this message\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::string json_out;
+  bool json_stdout = false;
+  std::size_t top_n = 10;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "olden-analyze: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(a, "--trace-bin") == 0) {
+      trace_path = value("--trace-bin");
+    } else if (std::strcmp(a, "--json") == 0) {
+      json_stdout = true;
+    } else if (std::strcmp(a, "--json-out") == 0) {
+      json_out = value("--json-out");
+    } else if (std::strcmp(a, "--top") == 0) {
+      top_n = static_cast<std::size_t>(std::strtoull(value("--top"), nullptr, 10));
+    } else if (std::strcmp(a, "--version") == 0) {
+      std::printf("olden-analyze: analysis schema v%d, binary trace format v%d\n",
+                  olden::analyze::kAnalysisSchemaVersion,
+                  olden::trace::kBinaryTraceVersion);
+      return 0;
+    } else if (std::strcmp(a, "--help") == 0) {
+      usage(stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "olden-analyze: unknown argument '%s'\n", a);
+      usage(stderr);
+      return 2;
+    }
+  }
+  if (trace_path.empty()) {
+    std::fprintf(stderr, "olden-analyze: --trace-bin is required\n");
+    usage(stderr);
+    return 2;
+  }
+
+  olden::analyze::TraceFile file;
+  std::string err;
+  if (!olden::analyze::read_binary_trace(trace_path, &file, &err)) {
+    std::fprintf(stderr, "olden-analyze: %s\n", err.c_str());
+    return 1;
+  }
+
+  std::vector<olden::analyze::RunReport> reports;
+  reports.reserve(file.runs.size());
+  for (const olden::analyze::TraceRun& run : file.runs) {
+    if (run.truncated()) {
+      std::fprintf(stderr,
+                   "olden-analyze: warning: run '%s' dropped %llu events at "
+                   "the trace limit; analyses cover the retained prefix\n",
+                   run.label.c_str(),
+                   static_cast<unsigned long long>(run.events_dropped));
+    }
+    reports.push_back(olden::analyze::analyze_run(run, top_n));
+  }
+
+  if (json_stdout || !json_out.empty()) {
+    const std::string json = olden::analyze::json_report(file, reports);
+    if (json_stdout) std::fputs(json.c_str(), stdout);
+    if (!json_out.empty()) {
+      std::FILE* f = std::fopen(json_out.c_str(), "wb");
+      if (f == nullptr) {
+        std::fprintf(stderr, "olden-analyze: cannot open %s for writing\n",
+                     json_out.c_str());
+        return 1;
+      }
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+    }
+  }
+  if (!json_stdout) {
+    for (std::size_t r = 0; r < file.runs.size(); ++r) {
+      if (r != 0) std::printf("\n");
+      std::fputs(
+          olden::analyze::human_report(file.runs[r], reports[r]).c_str(),
+          stdout);
+    }
+  }
+  return 0;
+}
