@@ -129,6 +129,8 @@ int main(int argc, char** argv) {
     cfg.nprocs = 32;
     cfg.migrate_only = migrate_only;
     cfg.observer = obs.observer();
+    cfg.faults = obs.faults();
+    cfg.fault_seed = obs.fault_seed();
     obs.begin_run(migrate_only ? "Voronoi/p=32/migrate-only"
                                : "Voronoi/p=32/heuristic",
                   {{"benchmark", "Voronoi"}});

@@ -131,6 +131,8 @@ int main(int argc, char** argv) {
     cfg.tiny = tiny;
     cfg.paper_size = paper_size;
     cfg.observer = obs.observer();
+    cfg.faults = obs.faults();
+    cfg.fault_seed = obs.fault_seed();
     obs.begin_run("BENCH/" + b->name() + "/p=" + std::to_string(nprocs) + "/" +
                       sname,
                   {{"benchmark", b->name()},

@@ -71,8 +71,11 @@ struct Run {
 };
 
 Run run_walk(int n, ProcId procs, bool cyclic, Mechanism mech,
-             trace::Observer* obs) {
-  Machine m({.nprocs = procs, .observer = obs});
+             olden::bench::ObsCli& cli) {
+  Machine m({.nprocs = procs,
+             .observer = cli.observer(),
+             .faults = cli.faults(),
+             .fault_seed = cli.fault_seed()});
   // Builder writes go through the cache (write-through, no thread motion)
   // so the reported migration counts are the walk's alone.
   m.set_site_mechanisms({mech, mech, Mechanism::kCache});
@@ -129,7 +132,7 @@ int main(int argc, char** argv) {
          t_cyclic_cache = 0;
   for (const Case& c : cases) {
     obs.begin_run(c.name);
-    const Run r = run_walk(kN, kP, c.cyclic, c.mech, obs.observer());
+    const Run r = run_walk(kN, kP, c.cyclic, c.mech, obs);
     std::printf("%-22s %11llu %14llu %10.3f\n", c.name,
                 static_cast<unsigned long long>(r.migrations),
                 static_cast<unsigned long long>(r.remote_fetch), r.kernel_ms);

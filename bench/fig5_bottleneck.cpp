@@ -103,8 +103,11 @@ Task<std::int64_t> visit_and_traverse(Machine& m, GPtr<LNode> l,
 }
 
 double run_wat(ProcId procs, Mechanism tree_mech, std::uint64_t* migrations,
-               trace::Observer* obs) {
-  Machine m({.nprocs = procs, .observer = obs});
+               olden::bench::ObsCli& cli) {
+  Machine m({.nprocs = procs,
+             .observer = cli.observer(),
+             .faults = cli.faults(),
+             .fault_seed = cli.fault_seed()});
   std::vector<Mechanism> table(kNumSites, Mechanism::kCache);
   table[kTLeft] = tree_mech;
   table[kTRight] = tree_mech;
@@ -220,10 +223,10 @@ int main(int argc, char** argv) {
   std::uint64_t mig_m = 0, mig_c = 0;
   obs.begin_run("WalkAndTraverse/tree=migrate");
   const double t_mig =
-      run_wat(32, olden::Mechanism::kMigrate, &mig_m, obs.observer());
+      run_wat(32, olden::Mechanism::kMigrate, &mig_m, obs);
   obs.begin_run("WalkAndTraverse/tree=cache");
   const double t_cache =
-      run_wat(32, olden::Mechanism::kCache, &mig_c, obs.observer());
+      run_wat(32, olden::Mechanism::kCache, &mig_c, obs);
   std::printf("tree via migration: %8.2f ms  (%llu migrations — serialized "
               "on the root's owner)\n",
               t_mig, static_cast<unsigned long long>(mig_m));

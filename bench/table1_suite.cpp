@@ -21,6 +21,8 @@ int main(int argc, char** argv) {
     BenchConfig cfg;
     cfg.nprocs = 4;
     cfg.observer = obs.observer();
+    cfg.faults = obs.faults();
+    cfg.fault_seed = obs.fault_seed();
     obs.begin_run(b->name() + "/p=4", {{"benchmark", b->name()}});
     const BenchResult r = b->run(cfg);
     const bool ok = r.checksum == b->reference_checksum(cfg);

@@ -75,6 +75,8 @@ int main(int argc, char** argv) {
     base.sequential_baseline = true;
     base.nprocs = 1;
     base.observer = obs.observer();
+    base.faults = obs.faults();
+    base.fault_seed = obs.fault_seed();
     obs.begin_run(b->name() + "/seq", {{"benchmark", b->name()}});
     const BenchResult seq = b->run(base);
     const double seq_s = timed_seconds(*b, seq);
@@ -86,6 +88,8 @@ int main(int argc, char** argv) {
       cfg.paper_size = paper_size;
       cfg.nprocs = kProcs[i];
       cfg.observer = obs.observer();
+      cfg.faults = obs.faults();
+      cfg.fault_seed = obs.fault_seed();
       obs.begin_run(b->name() + "/p=" + std::to_string(kProcs[i]),
                     {{"benchmark", b->name()}});
       const BenchResult r = b->run(cfg);
@@ -99,6 +103,8 @@ int main(int argc, char** argv) {
     mo.nprocs = 32;
     mo.migrate_only = true;
     mo.observer = obs.observer();
+    mo.faults = obs.faults();
+    mo.fault_seed = obs.fault_seed();
     obs.begin_run(b->name() + "/p=32/migrate-only",
                   {{"benchmark", b->name()}});
     const BenchResult rmo = b->run(mo);

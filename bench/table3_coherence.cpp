@@ -76,6 +76,8 @@ int main(int argc, char** argv) {
       cfg.nprocs = 32;
       cfg.scheme = schemes[s];
       cfg.observer = obs.observer();
+      cfg.faults = obs.faults();
+      cfg.fault_seed = obs.fault_seed();
       obs.begin_run(std::string(name) + "/p=32/" + to_string(schemes[s]),
                     {{"benchmark", name}});
       const BenchResult r = b->run(cfg);

@@ -33,6 +33,18 @@ CycleBucket classify_dst(const TraceEvent& dst) {
     case EventKind::kReturnStubArrive:
     case EventKind::kFutureSteal:
       return CycleBucket::kIdle;
+    // Fault plane: a sender reaching its own retransmit sat out the ack
+    // timeout — that wait is protocol overhead, not computation. Other
+    // fault events are wire-side observations the processor merely
+    // witnessed while waiting.
+    case EventKind::kRetransmit:
+      return CycleBucket::kRetry;
+    case EventKind::kFaultDrop:
+    case EventKind::kFaultDelay:
+    case EventKind::kFaultDuplicate:
+    case EventKind::kDupSuppressed:
+    case EventKind::kHiccup:
+      return CycleBucket::kIdle;
     default:
       return CycleBucket::kCompute;
   }
@@ -60,6 +72,14 @@ CycleBucket classify_causal(const TraceEvent& src, const TraceEvent& dst) {
     case EventKind::kMigrationArrive:
     case EventKind::kReturnStubArrive:
       return CycleBucket::kMigration;  // depart -> arrive transit
+    // A causal edge into a fault-plane event (depart -> drop/retransmit/
+    // suppressed duplicate) is time the message spent fighting the wire.
+    case EventKind::kRetransmit:
+    case EventKind::kFaultDrop:
+    case EventKind::kFaultDelay:
+    case EventKind::kFaultDuplicate:
+    case EventKind::kDupSuppressed:
+      return CycleBucket::kRetry;
     case EventKind::kFutureSteal:
       // Resolve-created steals waited on the resolution message; idle
       // steals waited for the continuation to age in the work list.

@@ -117,6 +117,25 @@ RunReport analyze_run(const TraceRun& run, std::size_t top_n) {
         a.invalidated_on.insert(e.proc);
         break;
       }
+      case EventKind::kFaultDrop:
+        ++rep.faults.drops;
+        break;
+      case EventKind::kFaultDelay:
+        ++rep.faults.delays;
+        break;
+      case EventKind::kFaultDuplicate:
+        ++rep.faults.duplicates;
+        break;
+      case EventKind::kRetransmit:
+        ++rep.faults.retransmits;
+        break;
+      case EventKind::kDupSuppressed:
+        ++rep.faults.dup_suppressed;
+        break;
+      case EventKind::kHiccup:
+        ++rep.faults.hiccups;
+        rep.faults.hiccup_cycles += e.arg0;
+        break;
       default:
         break;
     }
@@ -224,6 +243,24 @@ std::string human_report(const TraceRun& run, const RunReport& rep) {
                   p.sharers, p.false_sharing_suspect ? "  FALSE-SHARING?" : "");
     out += buf;
   }
+
+  if (rep.faults.any()) {
+    out += "fault plane:\n";
+    std::snprintf(buf, sizeof buf,
+                  "  %" PRIu64 " drops, %" PRIu64 " delays, %" PRIu64
+                  " duplicates injected; %" PRIu64 " retransmits, %" PRIu64
+                  " duplicates suppressed\n",
+                  rep.faults.drops, rep.faults.delays, rep.faults.duplicates,
+                  rep.faults.retransmits, rep.faults.dup_suppressed);
+    out += buf;
+    std::snprintf(buf, sizeof buf,
+                  "  %" PRIu64 " hiccups (%" PRIu64 " stall cycles); %" PRIu64
+                  " retry cycles on the critical path\n",
+                  rep.faults.hiccups, rep.faults.hiccup_cycles,
+                  rep.path.attribution[static_cast<std::size_t>(
+                      CycleBucket::kRetry)]);
+    out += buf;
+  }
   return out;
 }
 
@@ -268,7 +305,16 @@ std::string json_report(const TraceFile& file,
       append_kv(out, "transit_cycles", s.transit_cycles, /*comma=*/false);
       out += "}";
     }
-    out += "],\"pages\":{";
+    out += "],\"faults\":{";
+    append_kv(out, "drops", rep.faults.drops);
+    append_kv(out, "delays", rep.faults.delays);
+    append_kv(out, "duplicates", rep.faults.duplicates);
+    append_kv(out, "retransmits", rep.faults.retransmits);
+    append_kv(out, "dup_suppressed", rep.faults.dup_suppressed);
+    append_kv(out, "hiccups", rep.faults.hiccups);
+    append_kv(out, "hiccup_cycles", rep.faults.hiccup_cycles,
+              /*comma=*/false);
+    out += "},\"pages\":{";
     append_kv(out, "tracked", rep.pages_tracked);
     append_kv(out, "ping_pong_total", rep.ping_pong_total);
     out += "\"top\":[";

@@ -40,12 +40,31 @@ struct PageStats {
   bool false_sharing_suspect = false;
 };
 
+/// Fault-plane activity recovered from the trace (src/olden/fault/).
+/// All zero for a fault-free run.
+struct FaultSummary {
+  std::uint64_t drops = 0;           ///< fault_drop events
+  std::uint64_t delays = 0;          ///< fault_delay events
+  std::uint64_t duplicates = 0;      ///< fault_duplicate events
+  std::uint64_t retransmits = 0;     ///< retransmit events
+  std::uint64_t dup_suppressed = 0;  ///< dup_suppressed events
+  std::uint64_t hiccups = 0;         ///< hiccup events
+  std::uint64_t hiccup_cycles = 0;   ///< summed injected stall cycles
+
+  [[nodiscard]] bool any() const {
+    return drops + delays + duplicates + retransmits + dup_suppressed +
+               hiccups >
+           0;
+  }
+};
+
 struct RunReport {
   CriticalPath path;
   std::vector<SiteStats> hot_sites;  ///< sorted by departs, then site
   std::vector<PageStats> hot_pages;  ///< sorted by heat, then page
   std::uint64_t pages_tracked = 0;
   std::uint64_t ping_pong_total = 0;
+  FaultSummary faults;
 };
 
 /// Analyze one run, keeping the top_n hottest sites and pages.

@@ -94,13 +94,31 @@ bool parse_binary_trace(std::string_view bytes, TraceFile* out,
                          std::to_string(trace::kBinaryTraceVersion) + ")");
   }
 
+  // A run header is at least 32 bytes (label length + nprocs + makespan +
+  // dropped + event count), so a claimed run count past this bound cannot
+  // be satisfied by the bytes present — reject it before reserving
+  // anything, or a corrupt count would turn into a giant allocation.
+  if (nruns > c.remaining() / 32) {
+    return fail(err, "run count " + std::to_string(nruns) +
+                         " exceeds file size (v" + std::to_string(version) +
+                         " header corrupt?)");
+  }
+
   out->version = static_cast<int>(version);
   out->runs.clear();
   out->runs.reserve(nruns);
   for (std::uint32_t r = 0; r < nruns; ++r) {
     TraceRun run;
     std::uint32_t label_len = 0;
-    if (!c.u32(&label_len) || !c.str(label_len, &run.label)) {
+    if (!c.u32(&label_len)) {
+      return fail(err, "truncated run header (run " + std::to_string(r) + ")");
+    }
+    if (label_len > c.remaining()) {
+      return fail(err, "run label length " + std::to_string(label_len) +
+                           " exceeds file size (run " + std::to_string(r) +
+                           ")");
+    }
+    if (!c.str(label_len, &run.label)) {
       return fail(err, "truncated run header (run " + std::to_string(r) + ")");
     }
     std::uint32_t nprocs = 0;
@@ -108,6 +126,15 @@ bool parse_binary_trace(std::string_view bytes, TraceFile* out,
     if (!c.u32(&nprocs) || !c.u64(&run.makespan) ||
         !c.u64(&run.events_dropped) || !c.u64(&nevents)) {
       return fail(err, "truncated run header (run " + std::to_string(r) + ")");
+    }
+    // The simulator never runs more than kMaxProcs processors; a larger
+    // value is corruption, and passing it through would size analysis
+    // arrays (per-processor chains) from attacker-controlled bytes.
+    if (nprocs == 0 || nprocs > kMaxProcs) {
+      return fail(err, "implausible processor count " +
+                           std::to_string(nprocs) + " (run " +
+                           std::to_string(r) + ", max " +
+                           std::to_string(kMaxProcs) + ")");
     }
     run.nprocs = nprocs;
     if (nevents > c.remaining() / trace::kBinaryRecordBytes) {

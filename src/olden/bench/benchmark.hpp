@@ -43,6 +43,11 @@ struct BenchConfig {
   /// Optional observability sink, forwarded into the Machine's RunConfig.
   /// Null (the default) keeps every instrumentation hook a no-op.
   trace::Observer* observer = nullptr;
+  /// Optional fault-injection plan (src/olden/fault/), forwarded into the
+  /// Machine's RunConfig. Null or disabled keeps the wire fault-free and
+  /// the event stream byte-identical to a build without the fault plane.
+  const fault::FaultSpec* faults = nullptr;
+  std::uint64_t fault_seed = 1;
 };
 
 struct BenchResult {

@@ -23,11 +23,35 @@ void env_default(std::string* opt, const char* var) {
   if (v != nullptr && v[0] != '\0') *opt = v;
 }
 
+/// Strict non-negative integer parse: every character must be a digit and
+/// the value must fit in 64 bits. "abc", "-3", "1e6", "" all fail — a
+/// malformed limit or seed should be a loud error, not a silent zero.
+bool parse_u64_strict(const std::string& s, std::uint64_t* out) {
+  if (s.empty() || s.size() > 20) return false;
+  std::uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (v > (UINT64_MAX - digit) / 10) return false;  // overflow
+    v = v * 10 + digit;
+  }
+  *out = v;
+  return true;
+}
+
+[[noreturn]] void flag_error(const char* argv0, const char* what) {
+  std::fprintf(stderr, "%s: %s\n", argv0 != nullptr ? argv0 : "olden-bench",
+               what);
+  std::exit(2);
+}
+
 }  // namespace
 
 void ObsCli::parse(int* argc, char** argv,
                    std::initializer_list<const char*> passthrough) {
   std::string limit_str;
+  std::string faults_str;
+  std::string fault_seed_str;
   bool breakdown_env =
       std::getenv("OLDEN_BREAKDOWN") != nullptr;
   auto passes_through = [&](const char* arg) {
@@ -48,6 +72,19 @@ void ObsCli::parse(int* argc, char** argv,
       stats_path_ = v;
     } else if (flag_value(argv[i], "--trace-limit", &v)) {
       limit_str = v;
+      if (limit_str.empty()) {
+        flag_error(argv[0],
+                   "--trace-limit: empty value is not a non-negative integer");
+      }
+    } else if (flag_value(argv[i], "--faults", &v)) {
+      faults_str = v;
+      if (faults_str.empty()) faults_str = "none";  // "--faults=" disables
+    } else if (flag_value(argv[i], "--fault-seed", &v)) {
+      fault_seed_str = v;
+      if (fault_seed_str.empty()) {
+        flag_error(argv[0],
+                   "--fault-seed: empty value is not a non-negative integer");
+      }
     } else if (std::strcmp(argv[i], "--breakdown") == 0) {
       breakdown_ = true;
     } else if (std::strcmp(argv[i], "--version") == 0) {
@@ -74,8 +111,28 @@ void ObsCli::parse(int* argc, char** argv,
   env_default(&trace_bin_path_, "OLDEN_TRACE_BIN");
   env_default(&stats_path_, "OLDEN_STATS_JSON");
   env_default(&limit_str, "OLDEN_TRACE_LIMIT");
+  env_default(&faults_str, "OLDEN_FAULTS");
+  env_default(&fault_seed_str, "OLDEN_FAULT_SEED");
   if (!limit_str.empty()) {
-    obs_.set_event_limit(std::strtoull(limit_str.c_str(), nullptr, 10));
+    std::uint64_t limit = 0;
+    if (!parse_u64_strict(limit_str, &limit)) {
+      flag_error(argv[0], ("--trace-limit: '" + limit_str +
+                           "' is not a non-negative integer")
+                              .c_str());
+    }
+    obs_.set_event_limit(limit);
+  }
+  if (!fault_seed_str.empty() &&
+      !parse_u64_strict(fault_seed_str, &fault_seed_)) {
+    flag_error(argv[0], ("--fault-seed: '" + fault_seed_str +
+                         "' is not a non-negative integer")
+                            .c_str());
+  }
+  if (!faults_str.empty()) {
+    std::string err;
+    if (!fault::parse_fault_spec(faults_str, &fault_spec_, &err)) {
+      flag_error(argv[0], ("--faults: " + err).c_str());
+    }
   }
   breakdown_ = breakdown_ || breakdown_env;
   active_ = breakdown_ || !trace_path_.empty() || !trace_bin_path_.empty() ||
@@ -135,9 +192,15 @@ const char* ObsCli::usage() {
          "  --stats-json=FILE  write the structured stats document\n"
          "  --trace-limit=N    cap retained trace events (default 1000000)\n"
          "  --breakdown        print per-processor cycle breakdowns\n"
+         "  --faults=SPEC      inject wire faults, e.g. "
+         "drop=0.05,dup=0.02,delay=0.1:800\n"
+         "                     ('none' disables; see "
+         "src/olden/fault/fault_spec.hpp)\n"
+         "  --fault-seed=N     fault-plane RNG seed (default 1)\n"
          "  --version          print stats/trace schema versions and exit\n"
          "  (env: OLDEN_TRACE, OLDEN_TRACE_BIN, OLDEN_STATS_JSON, "
-         "OLDEN_TRACE_LIMIT, OLDEN_BREAKDOWN)\n";
+         "OLDEN_TRACE_LIMIT, OLDEN_BREAKDOWN, OLDEN_FAULTS, "
+         "OLDEN_FAULT_SEED)\n";
 }
 
 }  // namespace olden::bench

@@ -6,16 +6,25 @@
 //   --stats-json=FILE   structured stats document (schema_version'd)
 //   --trace-limit=N     cap on retained trace events (default 1000000)
 //   --breakdown         print per-processor cycle-breakdown tables
+//   --faults=SPEC       fault-injection plan (see fault_spec.hpp grammar)
+//   --fault-seed=N      RNG seed for the fault plane (default 1)
 //
-// Environment variables OLDEN_TRACE, OLDEN_TRACE_BIN, OLDEN_STATS_JSON and
-// OLDEN_TRACE_LIMIT supply defaults when the corresponding flag is absent,
-// so wrappers can enable collection without editing command lines.
+// Environment variables OLDEN_TRACE, OLDEN_TRACE_BIN, OLDEN_STATS_JSON,
+// OLDEN_TRACE_LIMIT, OLDEN_FAULTS and OLDEN_FAULT_SEED supply defaults when
+// the corresponding flag is absent, so wrappers can enable collection
+// without editing command lines.
+//
+// Malformed values (a non-numeric --trace-limit / --fault-seed, an
+// unparsable --faults spec) are rejected with a one-line message on stderr
+// and exit code 2 — never silently coerced.
 #pragma once
 
+#include <cstdint>
 #include <initializer_list>
 #include <map>
 #include <string>
 
+#include "olden/fault/fault_spec.hpp"
 #include "olden/trace/observer.hpp"
 
 namespace olden::bench {
@@ -42,6 +51,14 @@ class ObsCli {
   }
   [[nodiscard]] bool active() const { return active_; }
 
+  /// Fault plan for BenchConfig/RunConfig — null unless --faults (or
+  /// OLDEN_FAULTS) requested an enabled spec, which keeps fault-free runs
+  /// on the zero-cost path.
+  [[nodiscard]] const fault::FaultSpec* faults() const {
+    return fault_spec_.enabled ? &fault_spec_ : nullptr;
+  }
+  [[nodiscard]] std::uint64_t fault_seed() const { return fault_seed_; }
+
   /// Label the next Machine run (no-op when inactive).
   void begin_run(std::string label,
                  std::map<std::string, std::string> meta = {});
@@ -61,6 +78,8 @@ class ObsCli {
   std::string trace_path_;
   std::string trace_bin_path_;
   std::string stats_path_;
+  fault::FaultSpec fault_spec_;
+  std::uint64_t fault_seed_ = 1;
 };
 
 }  // namespace olden::bench

@@ -495,7 +495,9 @@ class Tsp final : public Benchmark {
     Machine m({.nprocs = cfg.nprocs,
                .scheme = cfg.scheme,
                .costs = {.sequential_baseline = cfg.sequential_baseline},
-               .observer = cfg.observer});
+               .observer = cfg.observer,
+               .faults = cfg.faults,
+               .fault_seed = cfg.fault_seed});
     m.set_site_mechanisms(site_table(cfg, &res.heuristic_report));
     const RootOut out = run_program(m, root(m, in, n));
     res.checksum = quantize(out.len, 1e6);

@@ -597,7 +597,9 @@ class Voronoi final : public Benchmark {
     Machine m({.nprocs = cfg.nprocs,
                .scheme = cfg.scheme,
                .costs = {.sequential_baseline = cfg.sequential_baseline},
-               .observer = cfg.observer});
+               .observer = cfg.observer,
+               .faults = cfg.faults,
+               .fault_seed = cfg.fault_seed});
     m.set_site_mechanisms(site_table(cfg, &res.heuristic_report));
     RootOut out;
     run_program(m, voronoi_root(m, pts, out));

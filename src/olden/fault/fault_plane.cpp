@@ -1,0 +1,259 @@
+#include "olden/fault/fault_plane.hpp"
+
+#include <algorithm>
+
+namespace olden::fault {
+
+using trace::CycleBucket;
+using trace::EventKind;
+
+namespace {
+
+std::string describe(const WatchdogDiagnostic& d) {
+  std::string s = "watchdog: " + d.reason + " at t=" +
+                  std::to_string(d.sim_time) + ": " + d.payload + " msg #" +
+                  std::to_string(d.msg_id) + " proc " +
+                  std::to_string(d.src) + " -> " + std::to_string(d.dst) +
+                  " (channel seq " + std::to_string(d.chan_seq) + ", " +
+                  std::to_string(d.retries) + " retransmissions), " +
+                  std::to_string(d.pending_messages) +
+                  " message(s) still unacknowledged";
+  return s;
+}
+
+}  // namespace
+
+WatchdogError::WatchdogError(WatchdogDiagnostic diag)
+    : std::runtime_error(describe(diag)), diag_(std::move(diag)) {}
+
+FaultPlane::FaultPlane(const FaultSpec& spec, std::uint64_t seed)
+    : spec_(spec), rng_(seed) {}
+
+bool FaultPlane::DedupWindow::accept(std::uint64_t seq) {
+  if (seq <= contig) return false;
+  if (!ahead.insert(seq).second) return false;
+  while (!ahead.empty() && *ahead.begin() == contig + 1) {
+    ahead.erase(ahead.begin());
+    ++contig;
+  }
+  return true;
+}
+
+const char* FaultPlane::payload_name(Machine::MsgKind k) {
+  switch (k) {
+    case Machine::MsgKind::kMigrationArrive: return "migration";
+    case Machine::MsgKind::kReturnArrive: return "return_stub";
+    case Machine::MsgKind::kResolveFuture: return "future_resolve";
+    default: return "?";
+  }
+}
+
+double FaultPlane::drop_probability(Cycles now) const {
+  double p = spec_.drop;
+  if (spec_.burst_period > 0 && now % spec_.burst_period < spec_.burst_len) {
+    p *= spec_.burst_factor;
+  }
+  return std::min(p, 1.0);
+}
+
+void FaultPlane::note(Machine& m, EventKind k, Cycles time, ProcId proc,
+                      const Pending* p, std::uint64_t a0, std::uint64_t a1) {
+  if (m.obs_ == nullptr) return;
+  m.obs_->event(k, time, proc, p != nullptr ? p->thread_id : trace::kNoThread,
+                trace::kNoSite, a0, a1,
+                p != nullptr ? p->chain : trace::kNoChain,
+                p != nullptr ? p->parent : trace::kNoEvent);
+}
+
+void FaultPlane::throw_watchdog(std::string reason, Cycles now,
+                                std::uint64_t id, const Pending& p) const {
+  WatchdogDiagnostic d;
+  d.reason = std::move(reason);
+  d.sim_time = now;
+  d.msg_id = id;
+  d.src = p.src;
+  d.dst = p.dst;
+  d.chan_seq = p.chan_seq;
+  d.retries = p.retries;
+  d.payload = payload_name(p.payload.kind);
+  d.pending_messages = pending_.size();
+  throw WatchdogError(std::move(d));
+}
+
+void FaultPlane::check_progress(const Machine& m, std::uint64_t applied) const {
+  if (applied <= kProgressBudget) return;
+  // Name the most-retried pending message — the likeliest culprit. The
+  // pending table can legitimately be empty only if events were applied
+  // that need no ack, which payload/ack/timer events all are not.
+  const Pending* worst = nullptr;
+  std::uint64_t worst_id = 0;
+  Cycles now = 0;
+  for (ProcId p = 0; p < m.nprocs(); ++p) now = std::max(now, m.proc_clock(p));
+  for (const auto& [id, p] : pending_) {
+    if (worst == nullptr || p.retries > worst->retries) {
+      worst = &p;
+      worst_id = id;
+    }
+  }
+  if (worst != nullptr) {
+    throw_watchdog("no-thread-progress", now, worst_id, *worst);
+  }
+  WatchdogDiagnostic d;
+  d.reason = "no-thread-progress";
+  d.sim_time = now;
+  d.payload = "?";
+  d.pending_messages = 0;
+  throw WatchdogError(std::move(d));
+}
+
+void FaultPlane::send(Machine& m, ProcId src, Cycles wire,
+                      const Machine::Event& payload) {
+  const std::uint64_t id = ++next_msg_id_;
+  Pending& p = pending_[id];
+  p.payload = payload;
+  p.src = src;
+  p.dst = payload.target;
+  p.wire = wire;
+  p.chan_seq = ++chan_next_seq_[chan_key(src, payload.target)];
+  p.backoff = spec_.ack_timeout;
+  if (payload.thread != nullptr) {
+    p.thread_id = payload.thread->id;
+    p.chain = payload.thread->obs_chain;
+    p.parent = payload.thread->obs_depart_event;
+  } else if (payload.cell != nullptr) {
+    p.parent = payload.cell->obs_resolve_event;
+  }
+  ++m.stats_.fault_messages;
+  const Cycles send_time = payload.time - wire;
+  transmit(m, id, p, send_time);
+  m.schedule(Machine::Event{.time = send_time + p.backoff,
+                            .seq = m.next_seq_++,
+                            .kind = Machine::MsgKind::kRetryTimer,
+                            .target = src,
+                            .src = src,
+                            .msg_id = id});
+}
+
+Cycles FaultPlane::draw_delay(Machine& m, const Pending& p, Cycles now) {
+  if (spec_.delay <= 0.0 || rng_.next_double() >= spec_.delay) return 0;
+  const Cycles extra = 1 + rng_.next_below(spec_.delay_cycles);
+  ++m.stats_.fault_delays;
+  note(m, EventKind::kFaultDelay, now, p.src, &p, p.dst, extra);
+  return extra;
+}
+
+void FaultPlane::transmit(Machine& m, std::uint64_t id, Pending& p,
+                          Cycles now) {
+  const double pd = drop_probability(now);
+  if (pd > 0.0 && rng_.next_double() < pd) {
+    ++m.stats_.fault_drops;
+    note(m, EventKind::kFaultDrop, now, p.src, &p, p.dst, p.chan_seq);
+  } else {
+    const Cycles extra = draw_delay(m, p, now);
+    m.schedule(Machine::Event{.time = now + p.wire + extra,
+                              .seq = m.next_seq_++,
+                              .kind = Machine::MsgKind::kWireDeliver,
+                              .target = p.dst,
+                              .src = p.src,
+                              .msg_id = id,
+                              .chan_seq = p.chan_seq});
+  }
+  if (spec_.dup > 0.0 && rng_.next_double() < spec_.dup) {
+    ++m.stats_.fault_duplicates;
+    note(m, EventKind::kFaultDuplicate, now, p.src, &p, p.dst, p.chan_seq);
+    const Cycles extra = draw_delay(m, p, now);
+    m.schedule(Machine::Event{.time = now + p.wire + extra,
+                              .seq = m.next_seq_++,
+                              .kind = Machine::MsgKind::kWireDeliver,
+                              .target = p.dst,
+                              .src = p.src,
+                              .msg_id = id,
+                              .chan_seq = p.chan_seq});
+  }
+}
+
+void FaultPlane::send_ack(Machine& m, ProcId data_src, ProcId data_dst,
+                          std::uint64_t msg_id, std::uint64_t chan_seq,
+                          Cycles now) {
+  ++m.stats_.acks_sent;
+  m.charge_to(data_dst, m.cfg_.costs.ack_send, CycleBucket::kRetry);
+  const double pd = drop_probability(now);
+  if (pd > 0.0 && rng_.next_double() < pd) {
+    ++m.stats_.fault_drops;
+    auto it = pending_.find(msg_id);
+    note(m, EventKind::kFaultDrop, now, data_dst,
+         it != pending_.end() ? &it->second : nullptr, data_src, chan_seq);
+    return;
+  }
+  Cycles extra = 0;
+  if (spec_.delay > 0.0 && rng_.next_double() < spec_.delay) {
+    extra = 1 + rng_.next_below(spec_.delay_cycles);
+    ++m.stats_.fault_delays;
+  }
+  m.schedule(Machine::Event{.time = now + m.cfg_.costs.ack_wire + extra,
+                            .seq = m.next_seq_++,
+                            .kind = Machine::MsgKind::kAckDeliver,
+                            .target = data_src,
+                            .src = data_dst,
+                            .msg_id = msg_id,
+                            .chan_seq = chan_seq});
+}
+
+void FaultPlane::on_wire_deliver(Machine& m, const Machine::Event& e) {
+  auto pit = pending_.find(e.msg_id);
+  const Pending* attribution = pit != pending_.end() ? &pit->second : nullptr;
+  // A transient receiver slowdown can hit on any arrival, duplicate or not.
+  if (spec_.hiccup > 0.0 && rng_.next_double() < spec_.hiccup) {
+    ++m.stats_.hiccups_injected;
+    m.stats_.hiccup_cycles += spec_.hiccup_cycles;
+    m.charge_to(e.target, spec_.hiccup_cycles, CycleBucket::kIdle);
+    note(m, EventKind::kHiccup, e.time, e.target, attribution,
+         spec_.hiccup_cycles, 0);
+  }
+  DedupWindow& win = dedup_[chan_key(e.src, e.target)];
+  if (!win.accept(e.chan_seq)) {
+    // Replay (injected duplicate, or a retransmit racing its own ack):
+    // suppress, but re-ack so the sender can stop retransmitting.
+    ++m.stats_.duplicates_suppressed;
+    note(m, EventKind::kDupSuppressed, e.time, e.target, attribution, e.src,
+         e.chan_seq);
+    send_ack(m, e.src, e.target, e.msg_id, e.chan_seq, e.time);
+    return;
+  }
+  // First acceptance: the pending entry must still exist — it is erased
+  // only once an ack arrives, and acks are only sent for arrivals.
+  OLDEN_REQUIRE(pit != pending_.end(), "accepted a message with no sender state");
+  Machine::Event payload = pit->second.payload;
+  payload.time = e.time;  // the payload lands when the surviving copy does
+  payload.seq = e.seq;
+  send_ack(m, e.src, e.target, e.msg_id, e.chan_seq, e.time);
+  m.apply(payload);
+}
+
+void FaultPlane::on_ack_deliver(Machine& m, const Machine::Event& e) {
+  m.charge_to(e.target, m.cfg_.costs.ack_recv, CycleBucket::kRetry);
+  pending_.erase(e.msg_id);  // duplicate acks are no-ops
+}
+
+void FaultPlane::on_retry_timer(Machine& m, const Machine::Event& e) {
+  auto it = pending_.find(e.msg_id);
+  if (it == pending_.end()) return;  // acked: the timer is a tombstone
+  Pending& p = it->second;
+  if (p.retries >= spec_.max_retries) {
+    throw_watchdog("retry-cap-exceeded", e.time, e.msg_id, p);
+  }
+  ++p.retries;
+  ++m.stats_.retransmissions;
+  m.charge_to(p.src, m.cfg_.costs.retransmit_send, CycleBucket::kRetry);
+  note(m, EventKind::kRetransmit, e.time, p.src, &p, p.dst, p.retries);
+  transmit(m, e.msg_id, p, e.time);
+  p.backoff = std::min<Cycles>(p.backoff * 2, spec_.ack_timeout * 32);
+  m.schedule(Machine::Event{.time = e.time + p.backoff,
+                            .seq = m.next_seq_++,
+                            .kind = Machine::MsgKind::kRetryTimer,
+                            .target = p.src,
+                            .src = p.src,
+                            .msg_id = e.msg_id});
+}
+
+}  // namespace olden::fault

@@ -1,0 +1,154 @@
+// FaultPlane: deterministic fault injection plus the reliable-delivery
+// protocol that lets the Olden runtime run correctly through it.
+//
+// The plane sits between the runtime's message producers (migrations,
+// return stubs, remote future resolutions) and the discrete-event queue.
+// Every payload message gets a per-(src,dst) sequence number and an entry
+// in the sender's pending table; each transmission attempt is then
+// subjected to the configured drop/duplicate/delay faults. Receivers
+// acknowledge every accepted or duplicate arrival and suppress replays
+// through a per-channel dedup window; senders retransmit on an ack
+// timeout with capped exponential backoff. Protocol overhead (acks,
+// retransmit marshalling) is charged to the kRetry cycle bucket so the
+// exhaustive per-processor accounting stays exhaustive.
+//
+// Determinism: all fault randomness comes from one olden::Rng seeded with
+// RunConfig::fault_seed, drawn at simulation-deterministic points (each
+// transmission attempt, each arrival); burst windows are a pure function
+// of virtual send time. The same (spec, seed) therefore reproduces the
+// same faults — and the same binary trace — on every run. Because the
+// benchmarks' data values never depend on timing, checksums under any
+// fault schedule equal the fault-free checksums (the soak test enforces
+// this).
+//
+// Liveness: if a message exhausts its retransmit budget, or the event
+// horizon keeps advancing with no thread making progress, the watchdog
+// throws WatchdogError with a structured diagnostic naming the stuck
+// message instead of spinning forever.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+#include "olden/fault/fault_spec.hpp"
+#include "olden/runtime/machine.hpp"
+#include "olden/support/rng.hpp"
+#include "olden/support/types.hpp"
+#include "olden/trace/trace.hpp"
+
+namespace olden::fault {
+
+/// What the watchdog saw when it declared the machine stuck.
+struct WatchdogDiagnostic {
+  std::string reason;            ///< "retry-cap-exceeded" | "no-thread-progress"
+  Cycles sim_time = 0;           ///< virtual time of the detection
+  std::uint64_t msg_id = 0;      ///< the stuck message
+  ProcId src = 0;                ///< its sender
+  ProcId dst = 0;                ///< its destination
+  std::uint64_t chan_seq = 0;    ///< its per-channel sequence number
+  std::uint32_t retries = 0;     ///< retransmissions already attempted
+  const char* payload = "";      ///< "migration" | "return_stub" | "future_resolve"
+  std::size_t pending_messages = 0;  ///< unacked messages machine-wide
+};
+
+/// Thrown (never OLDEN_REQUIRE-aborted) so harnesses and tests can catch
+/// non-quiescence and inspect the diagnostic.
+class WatchdogError : public std::runtime_error {
+ public:
+  explicit WatchdogError(WatchdogDiagnostic diag);
+  [[nodiscard]] const WatchdogDiagnostic& diagnostic() const { return diag_; }
+
+ private:
+  WatchdogDiagnostic diag_;
+};
+
+class FaultPlane {
+ public:
+  FaultPlane(const FaultSpec& spec, std::uint64_t seed);
+
+  FaultPlane(const FaultPlane&) = delete;
+  FaultPlane& operator=(const FaultPlane&) = delete;
+
+  /// Sender side: enter `payload` (arrival time already stamped at
+  /// send_time + wire) into the protocol and put the first transmission
+  /// attempt on the wire.
+  void send(Machine& m, ProcId src, Cycles wire, const Machine::Event& payload);
+
+  // Event-queue handlers, dispatched from Machine::apply().
+  void on_wire_deliver(Machine& m, const Machine::Event& e);
+  void on_ack_deliver(Machine& m, const Machine::Event& e);
+  void on_retry_timer(Machine& m, const Machine::Event& e);
+
+  /// Watchdog backstop driven by drain(): `applied` events have been
+  /// processed since a thread last ran. Throws WatchdogError past the
+  /// budget.
+  void check_progress(const Machine& m, std::uint64_t applied) const;
+
+  [[nodiscard]] std::size_t pending_messages() const { return pending_.size(); }
+  [[nodiscard]] const FaultSpec& spec() const { return spec_; }
+
+  /// Events drain() may apply without any thread progressing before the
+  /// no-progress watchdog trips. Generous: the retry-cap watchdog fires
+  /// first on any realistic schedule; this catches protocol bugs.
+  static constexpr std::uint64_t kProgressBudget = 200000;
+
+ private:
+  struct Pending {
+    Machine::Event payload;        ///< original message (kind, target, h, ...)
+    ProcId src = 0;
+    ProcId dst = 0;
+    Cycles wire = 0;               ///< fault-free transit latency
+    std::uint64_t chan_seq = 0;
+    std::uint32_t retries = 0;     ///< timeout-driven retransmissions so far
+    Cycles backoff = 0;            ///< next timeout interval
+    // Causal attribution for trace events about this message.
+    ThreadId thread_id = trace::kNoThread;
+    std::uint64_t chain = trace::kNoChain;
+    std::uint64_t parent = trace::kNoEvent;
+  };
+
+  /// Receiver-side dedup window for one (src,dst) channel: a contiguous
+  /// high-water mark plus the out-of-order accepted set above it, so
+  /// memory stays proportional to reordering depth, not message count.
+  struct DedupWindow {
+    std::uint64_t contig = 0;           ///< all seqs <= contig accepted
+    std::set<std::uint64_t> ahead;      ///< accepted seqs > contig
+    bool accept(std::uint64_t seq);     ///< false iff already accepted
+  };
+
+  static std::uint64_t chan_key(ProcId src, ProcId dst) {
+    return (static_cast<std::uint64_t>(src) << 32) | dst;
+  }
+  static const char* payload_name(Machine::MsgKind k);
+
+  /// Current drop probability: base rate times the burst multiplier when
+  /// `now` falls inside a burst window (pure function of virtual time).
+  [[nodiscard]] double drop_probability(Cycles now) const;
+
+  /// One transmission attempt for `p` at virtual time `now`: draw drop /
+  /// delay / duplicate fates and schedule the surviving copies.
+  void transmit(Machine& m, std::uint64_t id, Pending& p, Cycles now);
+  /// Draw the optional injected delay for one wire copy.
+  Cycles draw_delay(Machine& m, const Pending& p, Cycles now);
+  void send_ack(Machine& m, ProcId data_src, ProcId data_dst,
+                std::uint64_t msg_id, std::uint64_t chan_seq, Cycles now);
+  void note(Machine& m, trace::EventKind k, Cycles time, ProcId proc,
+            const Pending* p, std::uint64_t a0, std::uint64_t a1);
+  [[noreturn]] void throw_watchdog(std::string reason, Cycles now,
+                                   std::uint64_t id, const Pending& p) const;
+
+  FaultSpec spec_;
+  Rng rng_;
+  std::uint64_t next_msg_id_ = 0;
+  /// Sender-side sequence counters and in-flight table. std::map keeps
+  /// iteration (used by watchdog diagnostics) deterministic.
+  std::map<std::uint64_t, std::uint64_t> chan_next_seq_;
+  std::map<std::uint64_t, Pending> pending_;
+  /// Receiver-side dedup windows, also keyed by (src,dst).
+  std::map<std::uint64_t, DedupWindow> dedup_;
+};
+
+}  // namespace olden::fault

@@ -1,0 +1,189 @@
+#include "olden/fault/fault_spec.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <vector>
+
+namespace olden::fault {
+namespace {
+
+bool fail(std::string* err, std::string msg) {
+  if (err != nullptr) *err = std::move(msg);
+  return false;
+}
+
+/// Split `text` on `sep`, keeping empty fields (so "drop=" is detectably
+/// malformed rather than silently ignored).
+std::vector<std::string_view> split(std::string_view text, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == sep) {
+      out.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+bool parse_prob(std::string_view field, std::string_view key, double* out,
+                std::string* err) {
+  if (field.empty()) {
+    return fail(err, "faults: empty probability for '" + std::string(key) + "'");
+  }
+  const std::string buf(field);
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (errno != 0 || end != buf.c_str() + buf.size() || v < 0.0 || v > 1.0) {
+    return fail(err, "faults: '" + std::string(key) + "' needs a probability in [0,1], got '" +
+                         buf + "'");
+  }
+  *out = v;
+  return true;
+}
+
+bool parse_count(std::string_view field, std::string_view key,
+                 std::uint64_t* out, std::string* err) {
+  if (field.empty() || field.size() > 18) {
+    return fail(err, "faults: '" + std::string(key) +
+                         "' needs a positive integer, got '" +
+                         std::string(field) + "'");
+  }
+  std::uint64_t v = 0;
+  for (char c : field) {
+    if (c < '0' || c > '9') {
+      return fail(err, "faults: '" + std::string(key) +
+                           "' needs a positive integer, got '" +
+                           std::string(field) + "'");
+    }
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+bool parse_fault_spec(std::string_view text, FaultSpec* out,
+                      std::string* err) {
+  FaultSpec spec;
+  if (text.empty() || text == "none" || text == "off") {
+    *out = spec;
+    return true;
+  }
+  spec.enabled = true;
+  for (std::string_view item : split(text, ',')) {
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return fail(err, "faults: expected key=value, got '" + std::string(item) + "'");
+    }
+    const std::string_view key = item.substr(0, eq);
+    const std::string_view val = item.substr(eq + 1);
+    const std::vector<std::string_view> parts = split(val, ':');
+    if (key == "drop") {
+      if (parts.size() != 1) return fail(err, "faults: drop takes one field (drop=P)");
+      if (!parse_prob(parts[0], key, &spec.drop, err)) return false;
+    } else if (key == "dup") {
+      if (parts.size() != 1) return fail(err, "faults: dup takes one field (dup=P)");
+      if (!parse_prob(parts[0], key, &spec.dup, err)) return false;
+    } else if (key == "delay") {
+      if (parts.size() != 2) {
+        return fail(err, "faults: delay takes two fields (delay=P:CYCLES)");
+      }
+      if (!parse_prob(parts[0], key, &spec.delay, err)) return false;
+      if (!parse_count(parts[1], "delay cycles", &spec.delay_cycles, err)) {
+        return false;
+      }
+      if (spec.delay > 0.0 && spec.delay_cycles == 0) {
+        return fail(err, "faults: delay cycles must be >= 1");
+      }
+    } else if (key == "burst") {
+      if (parts.size() != 3) {
+        return fail(err, "faults: burst takes three fields (burst=PERIOD:LEN:FACTOR)");
+      }
+      if (!parse_count(parts[0], "burst period", &spec.burst_period, err) ||
+          !parse_count(parts[1], "burst len", &spec.burst_len, err)) {
+        return false;
+      }
+      const std::string fbuf(parts[2]);
+      errno = 0;
+      char* end = nullptr;
+      const double f = std::strtod(fbuf.c_str(), &end);
+      if (errno != 0 || end != fbuf.c_str() + fbuf.size() || f < 0.0) {
+        return fail(err, "faults: burst factor must be a number >= 0, got '" + fbuf + "'");
+      }
+      spec.burst_factor = f;
+      if (spec.burst_period == 0 || spec.burst_len == 0 ||
+          spec.burst_len > spec.burst_period) {
+        return fail(err, "faults: burst needs 0 < LEN <= PERIOD");
+      }
+    } else if (key == "hiccup") {
+      if (parts.size() != 2) {
+        return fail(err, "faults: hiccup takes two fields (hiccup=P:CYCLES)");
+      }
+      if (!parse_prob(parts[0], key, &spec.hiccup, err)) return false;
+      if (!parse_count(parts[1], "hiccup cycles", &spec.hiccup_cycles, err)) {
+        return false;
+      }
+      if (spec.hiccup > 0.0 && spec.hiccup_cycles == 0) {
+        return fail(err, "faults: hiccup cycles must be >= 1");
+      }
+    } else if (key == "timeout") {
+      if (parts.size() != 1 ||
+          !parse_count(parts[0], key, &spec.ack_timeout, err)) {
+        return parts.size() == 1
+                   ? false
+                   : fail(err, "faults: timeout takes one field (timeout=CYCLES)");
+      }
+      if (spec.ack_timeout == 0) {
+        return fail(err, "faults: timeout must be >= 1 cycle");
+      }
+    } else if (key == "retries") {
+      std::uint64_t n = 0;
+      if (parts.size() != 1 || !parse_count(parts[0], key, &n, err)) {
+        return parts.size() == 1
+                   ? false
+                   : fail(err, "faults: retries takes one field (retries=N)");
+      }
+      if (n == 0 || n > 1000) {
+        return fail(err, "faults: retries must be in [1, 1000]");
+      }
+      spec.max_retries = static_cast<std::uint32_t>(n);
+    } else {
+      return fail(err, "faults: unknown key '" + std::string(key) +
+                           "' (known: drop dup delay burst hiccup timeout retries)");
+    }
+  }
+  *out = spec;
+  return true;
+}
+
+std::string to_string(const FaultSpec& spec) {
+  if (!spec.enabled) return "none";
+  std::string s;
+  auto add = [&s](const std::string& piece) {
+    if (!s.empty()) s += ',';
+    s += piece;
+  };
+  if (spec.drop > 0.0) add("drop=" + std::to_string(spec.drop));
+  if (spec.dup > 0.0) add("dup=" + std::to_string(spec.dup));
+  if (spec.delay > 0.0) {
+    add("delay=" + std::to_string(spec.delay) + ":" +
+        std::to_string(spec.delay_cycles));
+  }
+  if (spec.burst_period > 0) {
+    add("burst=" + std::to_string(spec.burst_period) + ":" +
+        std::to_string(spec.burst_len) + ":" +
+        std::to_string(spec.burst_factor));
+  }
+  if (spec.hiccup > 0.0) {
+    add("hiccup=" + std::to_string(spec.hiccup) + ":" +
+        std::to_string(spec.hiccup_cycles));
+  }
+  add("timeout=" + std::to_string(spec.ack_timeout));
+  add("retries=" + std::to_string(spec.max_retries));
+  return s;
+}
+
+}  // namespace olden::fault

@@ -1,0 +1,73 @@
+// FaultSpec: the declarative description of a fault schedule.
+//
+// A spec is pure data — probabilities, windows, and protocol knobs. The
+// FaultPlane (fault_plane.hpp) combines a spec with a seed to produce a
+// deterministic stream of injected faults: the same (spec, seed) pair
+// reproduces the same drops, duplicates, delays and hiccups byte-for-byte
+// on every run (see docs/ROBUSTNESS.md for the determinism argument).
+//
+// Specs are written on the command line as a comma-separated key=value
+// list (the `--faults=` flag every bench binary accepts):
+//
+//   drop=P            per-attempt drop probability, P in [0,1]
+//   dup=P             per-attempt duplicate probability
+//   delay=P:CYCLES    with probability P add uniform [1,CYCLES] wire latency
+//   burst=PER:LEN:F   every PER cycles, the first LEN cycles multiply the
+//                     drop probability by F (clamped to 1.0)
+//   hiccup=P:CYCLES   per-arrival probability of stalling the receiving
+//                     processor for CYCLES extra cycles
+//   timeout=CYCLES    ack timeout before the first retransmit
+//   retries=N         retransmit cap; exceeding it trips the watchdog
+//
+// e.g. --faults=drop=0.1,dup=0.05,delay=0.2:300,burst=20000:2000:4
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "olden/support/types.hpp"
+
+namespace olden::fault {
+
+struct FaultSpec {
+  /// Master switch. parse_fault_spec sets it for any non-empty spec; a
+  /// null/disabled spec leaves the wire perfectly reliable and the
+  /// machine cycle-for-cycle identical to a build without the fault plane.
+  bool enabled = false;
+
+  // --- injector ----------------------------------------------------------
+  double drop = 0.0;        ///< per-transmission-attempt drop probability
+  double dup = 0.0;         ///< per-data-attempt duplicate probability
+  double delay = 0.0;       ///< per-attempt extra-latency probability
+  Cycles delay_cycles = 0;  ///< max extra wire cycles (uniform in [1, max])
+
+  /// Burst windows: purely a function of virtual send time (no RNG), so
+  /// bursts line up identically across reruns. burst_period == 0 disables.
+  Cycles burst_period = 0;
+  Cycles burst_len = 0;
+  double burst_factor = 1.0;  ///< drop multiplier inside a burst window
+
+  double hiccup = 0.0;       ///< per-arrival receiver-stall probability
+  Cycles hiccup_cycles = 0;  ///< stall length per hiccup
+
+  // --- reliable-delivery protocol ----------------------------------------
+  /// Cycles a sender waits for an ack before the first retransmit. Doubles
+  /// per retry (capped at 32x). The default clears the slowest round trip
+  /// in the cost model (migration_wire + recv + return path) with margin.
+  Cycles ack_timeout = 8000;
+  /// Retransmit attempts per message before the watchdog declares the
+  /// machine stuck.
+  std::uint32_t max_retries = 24;
+};
+
+/// Parse the `--faults=` grammar above into `out`. Returns true on
+/// success; on failure returns false and describes the problem in `err`
+/// (one line, no trailing newline). "none", "off" and the empty string
+/// parse to a disabled spec.
+bool parse_fault_spec(std::string_view text, FaultSpec* out, std::string* err);
+
+/// Render a spec back into canonical `--faults=` syntax (for diagnostics).
+std::string to_string(const FaultSpec& spec);
+
+}  // namespace olden::fault

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "olden/fault/fault_plane.hpp"
+
 namespace olden {
 
 using trace::CycleBucket;
@@ -13,6 +15,9 @@ Machine::Machine(RunConfig cfg)
     : cfg_(cfg), heap_(cfg.nprocs), procs_(cfg.nprocs), obs_(cfg.observer) {
   prev_machine_ = current_;
   current_ = this;
+  if (cfg_.faults != nullptr && cfg_.faults->enabled) {
+    fault_ = std::make_unique<fault::FaultPlane>(*cfg_.faults, cfg_.fault_seed);
+  }
   if (obs_ != nullptr) obs_->attach(cfg_);
 }
 
@@ -356,12 +361,13 @@ void Machine::migrate_to(ProcId target, std::coroutine_handle<> h,
   charge_to(t->proc, cfg_.costs.migration_send, CycleBucket::kMigration);
   t->obs_depart_event =
       note_event(EventKind::kMigrationDepart, t->proc, t, site, target);
-  schedule(Event{.time = src.clock + cfg_.costs.migration_wire,
-                 .seq = next_seq_++,
-                 .kind = MsgKind::kMigrationArrive,
-                 .target = target,
-                 .h = h,
-                 .thread = t});
+  send_message(t->proc, cfg_.costs.migration_wire,
+               Event{.time = src.clock + cfg_.costs.migration_wire,
+                     .seq = next_seq_++,
+                     .kind = MsgKind::kMigrationArrive,
+                     .target = target,
+                     .h = h,
+                     .thread = t});
 }
 
 void Machine::resume_soon(std::coroutine_handle<> h) {
@@ -407,13 +413,14 @@ void Machine::on_task_final(std::coroutine_handle<> cont, ProcId call_proc,
     charge_to(t->proc, cfg_.costs.future_resolve_msg, CycleBucket::kMigration);
     cell->obs_resolve_event = note_event(EventKind::kFutureResolve, t->proc, t,
                                          trace::kNoSite, cell->serial, 1);
-    schedule(Event{.time = src.clock,
-                   .seq = next_seq_++,
-                   .kind = MsgKind::kResolveFuture,
-                   .target = cell->home,
-                   .h = nullptr,
-                   .thread = nullptr,
-                   .cell = cell});
+    send_message(t->proc, 0,
+                 Event{.time = src.clock,
+                       .seq = next_seq_++,
+                       .kind = MsgKind::kResolveFuture,
+                       .target = cell->home,
+                       .h = nullptr,
+                       .thread = nullptr,
+                       .cell = cell});
     return;  // this thread retires
   }
 
@@ -435,12 +442,13 @@ void Machine::on_task_final(std::coroutine_handle<> cont, ProcId call_proc,
     charge_to(t->proc, cfg_.costs.return_send, CycleBucket::kMigration);
     t->obs_depart_event = note_event(EventKind::kReturnStubSend, t->proc, t,
                                      trace::kNoSite, call_proc);
-    schedule(Event{.time = src.clock + cfg_.costs.return_wire,
-                   .seq = next_seq_++,
-                   .kind = MsgKind::kReturnArrive,
-                   .target = call_proc,
-                   .h = cont,
-                   .thread = t});
+    send_message(t->proc, cfg_.costs.return_wire,
+                 Event{.time = src.clock + cfg_.costs.return_wire,
+                       .seq = next_seq_++,
+                       .kind = MsgKind::kReturnArrive,
+                       .target = call_proc,
+                       .h = cont,
+                       .thread = t});
     return;
   }
   resume_soon(cont);  // plain local return: resume the caller next
@@ -565,6 +573,16 @@ void Machine::post_root(std::coroutine_handle<> h) {
 
 void Machine::schedule(Event e) { events_.push(std::move(e)); }
 
+void Machine::send_message(ProcId src, Cycles wire, Event e) {
+  if (fault_ == nullptr) {
+    // Reliable fast path: exactly the event stream a machine without a
+    // fault plane produces, cycle for cycle and seq for seq.
+    schedule(std::move(e));
+    return;
+  }
+  fault_->send(*this, src, wire, e);
+}
+
 void Machine::apply(const Event& e) {
   switch (e.kind) {
     case MsgKind::kMigrationArrive: {
@@ -602,6 +620,18 @@ void Machine::apply(const Event& e) {
     }
     case MsgKind::kResolveFuture: {
       resolve_future_at_home(e.cell);
+      break;
+    }
+    case MsgKind::kWireDeliver: {
+      fault_->on_wire_deliver(*this, e);
+      break;
+    }
+    case MsgKind::kAckDeliver: {
+      fault_->on_ack_deliver(*this, e);
+      break;
+    }
+    case MsgKind::kRetryTimer: {
+      fault_->on_retry_timer(*this, e);
       break;
     }
   }
@@ -659,6 +689,11 @@ void Machine::run_ready(ProcId p) {
 }
 
 void Machine::drain() {
+  // Hang watchdog (fault plane only): events applied since a thread last
+  // made progress. A healthy protocol always turns a bounded number of
+  // wire/ack/timer events back into a runnable thread; see
+  // FaultPlane::kProgressBudget.
+  std::uint64_t applied_without_progress = 0;
   for (;;) {
     bool ran = false;
     for (ProcId p = 0; p < cfg_.nprocs; ++p) {
@@ -672,10 +707,14 @@ void Machine::drain() {
         ran = true;
       }
     }
+    if (ran) applied_without_progress = 0;
     if (!events_.empty()) {
       const Event e = events_.top();
       events_.pop();
       apply(e);
+      if (fault_ != nullptr) {
+        fault_->check_progress(*this, ++applied_without_progress);
+      }
       continue;
     }
     if (!ran) break;

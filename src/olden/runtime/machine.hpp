@@ -21,6 +21,7 @@
 #include <coroutine>
 #include <cstring>
 #include <deque>
+#include <memory>
 #include <queue>
 #include <type_traits>
 #include <vector>
@@ -39,6 +40,11 @@
 
 namespace olden {
 
+namespace fault {
+struct FaultSpec;
+class FaultPlane;
+}  // namespace fault
+
 struct RunConfig {
   ProcId nprocs = 1;
   Coherence scheme = Coherence::kLocalKnowledge;
@@ -47,6 +53,14 @@ struct RunConfig {
   /// Instrumentation hooks are no-ops when null, and never perturb
   /// virtual time either way.
   trace::Observer* observer = nullptr;
+  /// Optional fault schedule (src/olden/fault/). Null — or a spec whose
+  /// `enabled` is false — leaves the wire perfectly reliable and the run
+  /// cycle-for-cycle identical to a machine with no fault plane at all.
+  /// The spec is copied at construction; the pointer need not outlive it.
+  const fault::FaultSpec* faults = nullptr;
+  /// Seed for the fault plane's private RNG stream. Workload RNG streams
+  /// are separate, so the same program data is computed under any seed.
+  std::uint64_t fault_seed = 1;
 };
 
 class Machine {
@@ -203,11 +217,16 @@ class Machine {
   };
 
   /// Inter-processor message kinds on the discrete-event wire (distinct
-  /// from trace::EventKind, the observability vocabulary).
+  /// from trace::EventKind, the observability vocabulary). The first
+  /// three are payload messages; the rest exist only when a fault plane
+  /// is installed (reliable-delivery machinery).
   enum class MsgKind : std::uint8_t {
     kMigrationArrive,
     kReturnArrive,
     kResolveFuture,
+    kWireDeliver,  ///< a (possibly faulty) transmission attempt arriving
+    kAckDeliver,   ///< an acknowledgement arriving back at the sender
+    kRetryTimer,   ///< sender-side ack timeout check (no-op once acked)
   };
 
   struct Event {
@@ -218,6 +237,10 @@ class Machine {
     std::coroutine_handle<> h;
     ThreadState* thread = nullptr;
     FutureCell* cell = nullptr;
+    // Fault-plane routing (unused on the reliable fast path).
+    ProcId src = 0;               ///< sending processor
+    std::uint64_t msg_id = 0;     ///< fault-plane message id
+    std::uint64_t chan_seq = 0;   ///< per-(src,dst) sequence number
 
     friend bool operator>(const Event& a, const Event& b) {
       if (a.time != b.time) return a.time > b.time;
@@ -227,6 +250,12 @@ class Machine {
 
   void schedule(Event e);
   void apply(const Event& e);
+  /// Route a payload message onto the wire. With no fault plane this is
+  /// exactly `schedule(e)`; with one, the message enters the reliable
+  /// delivery protocol (sequence number, ack/retransmit, injected
+  /// faults). `wire` is the fault-free transit latency already folded
+  /// into `e.time`; `src` is the sending processor.
+  void send_message(ProcId src, Cycles wire, Event e);
   void run_ready(ProcId p);
   void resume_on(ProcId p, std::coroutine_handle<> h, ThreadState* t);
 
@@ -334,9 +363,13 @@ class Machine {
 
   MachineStats stats_;
   trace::Observer* obs_ = nullptr;
+  /// Present only when RunConfig carried an enabled fault spec.
+  std::unique_ptr<fault::FaultPlane> fault_;
 
   Machine* prev_machine_ = nullptr;
   static Machine* current_;
+
+  friend class fault::FaultPlane;
 };
 
 }  // namespace olden

@@ -87,6 +87,19 @@ struct CostModel {
   /// Bilateral scheme: timestamp-check round trip (no data moves).
   Cycles timestamp_check = 220;
 
+  // --- reliable delivery (fault plane only) ---------------------------------
+  // Charged to the kRetry bucket, and only when fault injection is
+  // enabled: a fault-free run never executes this machinery, so these
+  // never perturb the paper's numbers.
+  /// Receiver-side occupancy to emit one acknowledgement.
+  Cycles ack_send = 30;
+  /// Acknowledgement transit on the wire.
+  Cycles ack_wire = 600;
+  /// Sender-side cost of processing one acknowledgement.
+  Cycles ack_recv = 20;
+  /// Sender-side cost of re-marshalling + re-injecting a timed-out message.
+  Cycles retransmit_send = 300;
+
   // --- allocation -------------------------------------------------------------
   /// ALLOC library call (local bump allocation).
   Cycles alloc_local = 30;

@@ -56,6 +56,26 @@ struct MachineStats {
   // --- cache occupancy ----------------------------------------------------
   std::uint64_t pages_cached = 0;  ///< distinct (proc, page) entries created
 
+  // --- fault plane (src/olden/fault/; all zero when faults are disabled) --
+  /// Logical inter-processor messages routed through the reliable layer.
+  std::uint64_t fault_messages = 0;
+  /// Transmission attempts (data or ack) the injector dropped on the wire.
+  std::uint64_t fault_drops = 0;
+  /// Extra copies of a data attempt the injector put on the wire.
+  std::uint64_t fault_duplicates = 0;
+  /// Attempts given injected extra wire latency.
+  std::uint64_t fault_delays = 0;
+  /// Sender timeouts that re-sent an unacknowledged message.
+  std::uint64_t retransmissions = 0;
+  /// Arrivals the receiver's dedup window recognized and discarded.
+  std::uint64_t duplicates_suppressed = 0;
+  /// Acknowledgements transmitted by receivers (one per accepted arrival).
+  std::uint64_t acks_sent = 0;
+  /// Transient per-processor slowdowns injected at message arrivals.
+  std::uint64_t hiccups_injected = 0;
+  /// Total stall cycles those hiccups added (accounted under `idle`).
+  std::uint64_t hiccup_cycles = 0;
+
   // --- allocation ---------------------------------------------------------
   std::uint64_t allocations = 0;
   std::uint64_t bytes_allocated = 0;
@@ -107,6 +127,12 @@ struct MachineStats {
                   "a future was consumed both inline and by stealing");
     OLDEN_REQUIRE(touches_blocked <= futurecalls,
                   "more blocked touches than futures");
+    // Fault plane: every suppressed arrival is a surplus copy, and surplus
+    // copies only come from injected duplicates or (spurious) retransmits.
+    OLDEN_REQUIRE(duplicates_suppressed <= fault_duplicates + retransmissions,
+                  "more duplicates suppressed than were ever created");
+    OLDEN_REQUIRE(hiccups_injected == 0 || hiccup_cycles >= hiccups_injected,
+                  "hiccups injected without stall cycles");
   }
 };
 

@@ -352,15 +352,15 @@ std::string breakdown_table(const RunRecord& run) {
                 run.label.c_str(), run.makespan,
                 cycles_to_seconds(run.makespan));
   out += buf;
-  std::snprintf(buf, sizeof buf, "%-6s %12s %12s %12s %12s %12s %12s\n",
+  std::snprintf(buf, sizeof buf, "%-6s %12s %12s %12s %12s %12s %12s %12s\n",
                 "proc", "compute", "migration", "cache_stall", "coherence",
-                "idle", "clock");
+                "idle", "retry", "clock");
   out += buf;
   auto row = [&](const char* name, const BucketCycles& b, Cycles clock) {
     std::snprintf(buf, sizeof buf,
                   "%-6s %12" PRIu64 " %12" PRIu64 " %12" PRIu64 " %12" PRIu64
-                  " %12" PRIu64 " %12" PRIu64 "\n",
-                  name, b[0], b[1], b[2], b[3], b[4], clock);
+                  " %12" PRIu64 " %12" PRIu64 " %12" PRIu64 "\n",
+                  name, b[0], b[1], b[2], b[3], b[4], b[5], clock);
     out += buf;
   };
   Cycles clock_total = 0;
@@ -373,15 +373,17 @@ std::string breakdown_table(const RunRecord& run) {
   const BucketCycles t = run.bucket_totals();
   row("total", t, clock_total);
   const std::uint64_t busy_total =
-      t[0] + t[1] + t[2] + t[3] + t[4];
+      t[0] + t[1] + t[2] + t[3] + t[4] + t[5];
   if (busy_total > 0) {
     std::snprintf(buf, sizeof buf,
-                  "%-6s %11.1f%% %11.1f%% %11.1f%% %11.1f%% %11.1f%%\n", "",
+                  "%-6s %11.1f%% %11.1f%% %11.1f%% %11.1f%% %11.1f%% %11.1f%%\n",
+                  "",
                   100.0 * static_cast<double>(t[0]) / busy_total,
                   100.0 * static_cast<double>(t[1]) / busy_total,
                   100.0 * static_cast<double>(t[2]) / busy_total,
                   100.0 * static_cast<double>(t[3]) / busy_total,
-                  100.0 * static_cast<double>(t[4]) / busy_total);
+                  100.0 * static_cast<double>(t[4]) / busy_total,
+                  100.0 * static_cast<double>(t[5]) / busy_total);
     out += buf;
   }
   return out;

@@ -73,6 +73,15 @@ void Observer::finish(const Machine& m) {
   c["pages_cached"] = s.pages_cached;
   c["allocations"] = s.allocations;
   c["bytes_allocated"] = s.bytes_allocated;
+  c["fault_messages"] = s.fault_messages;
+  c["fault_drops"] = s.fault_drops;
+  c["fault_duplicates"] = s.fault_duplicates;
+  c["fault_delays"] = s.fault_delays;
+  c["retransmissions"] = s.retransmissions;
+  c["duplicates_suppressed"] = s.duplicates_suppressed;
+  c["acks_sent"] = s.acks_sent;
+  c["hiccups_injected"] = s.hiccups_injected;
+  c["hiccup_cycles"] = s.hiccup_cycles;
   c["threads_created"] = m.threads_created();
   c["makespan_cycles"] = cur_.makespan;
 

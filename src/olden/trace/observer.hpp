@@ -188,7 +188,10 @@ inline constexpr std::size_t kBinaryRecordBytes =
 
 /// The structured stats document (schema documented in
 /// docs/OBSERVABILITY.md and validated by tools/check_stats_schema.py).
-inline constexpr int kStatsSchemaVersion = 1;
+/// v2: adds the `retry` cycle bucket and the fault-plane counters
+/// (fault_messages, fault_drops, ..., hiccup_cycles); see
+/// docs/ROBUSTNESS.md.
+inline constexpr int kStatsSchemaVersion = 2;
 [[nodiscard]] std::string stats_json(const Observer& obs);
 bool write_stats_json(const Observer& obs, const std::string& path,
                       std::string* err = nullptr);

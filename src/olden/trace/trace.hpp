@@ -43,9 +43,18 @@ enum class EventKind : std::uint8_t {
   kFutureSteal,      ///< arg0 = cell serial, arg1 = 1 if resolve-created
   kTouchBlock,       ///< arg0 = cell serial
   kFutureResolve,    ///< arg0 = cell serial, arg1 = 1 if resolved remotely
+  // Fault plane (src/olden/fault/). Emitted only when fault injection is
+  // enabled; appended after the v2 kinds so existing binary traces keep
+  // their encodings.
+  kFaultDrop,        ///< arg0 = dst proc, arg1 = channel sequence number
+  kFaultDelay,       ///< arg0 = dst proc, arg1 = extra wire cycles
+  kFaultDuplicate,   ///< arg0 = dst proc, arg1 = channel sequence number
+  kRetransmit,       ///< arg0 = dst proc, arg1 = attempt number
+  kDupSuppressed,    ///< arg0 = src proc, arg1 = channel sequence number
+  kHiccup,           ///< arg0 = stall cycles injected on `proc`
 };
 
-inline constexpr std::size_t kNumEventKinds = 15;
+inline constexpr std::size_t kNumEventKinds = 21;
 
 [[nodiscard]] constexpr const char* to_string(EventKind k) {
   switch (k) {
@@ -64,6 +73,12 @@ inline constexpr std::size_t kNumEventKinds = 15;
     case EventKind::kFutureSteal: return "future_steal";
     case EventKind::kTouchBlock: return "touch_block";
     case EventKind::kFutureResolve: return "future_resolve";
+    case EventKind::kFaultDrop: return "fault_drop";
+    case EventKind::kFaultDelay: return "fault_delay";
+    case EventKind::kFaultDuplicate: return "fault_duplicate";
+    case EventKind::kRetransmit: return "retransmit";
+    case EventKind::kDupSuppressed: return "dup_suppressed";
+    case EventKind::kHiccup: return "hiccup";
   }
   return "?";
 }
@@ -104,9 +119,11 @@ enum class CycleBucket : std::uint8_t {
   kCacheStall,  ///< cache lookups, line fetches, write-throughs, fill service
   kCoherence,   ///< write tracking, invalidations, timestamp checks
   kIdle,        ///< waiting for work (includes trailing wait to makespan)
+  kRetry,       ///< reliable-delivery overhead: acks, retransmits (fault
+                ///< plane only; always zero when faults are disabled)
 };
 
-inline constexpr std::size_t kNumBuckets = 5;
+inline constexpr std::size_t kNumBuckets = 6;
 
 [[nodiscard]] constexpr const char* to_string(CycleBucket b) {
   switch (b) {
@@ -115,6 +132,7 @@ inline constexpr std::size_t kNumBuckets = 5;
     case CycleBucket::kCacheStall: return "cache_stall";
     case CycleBucket::kCoherence: return "coherence";
     case CycleBucket::kIdle: return "idle";
+    case CycleBucket::kRetry: return "retry";
   }
   return "?";
 }

@@ -1,0 +1,97 @@
+// ObsCli flag robustness: malformed numeric values and unparsable fault
+// specs must exit 2 with a one-line message — never be silently coerced
+// to zero — and well-formed values must land in the parsed surface.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "olden/bench/obs_cli.hpp"
+
+namespace olden::bench {
+namespace {
+
+/// Build a mutable argv (ObsCli::parse edits it in place).
+struct Argv {
+  explicit Argv(std::vector<std::string> args) : storage(std::move(args)) {
+    ptrs.push_back(name.data());
+    for (std::string& s : storage) ptrs.push_back(s.data());
+    ptrs.push_back(nullptr);
+    argc = static_cast<int>(ptrs.size()) - 1;
+  }
+  std::string name = "olden_tests";
+  std::vector<std::string> storage;
+  std::vector<char*> ptrs;
+  int argc = 0;
+};
+
+void parse_args(std::vector<std::string> args) {
+  Argv a(std::move(args));
+  ObsCli cli;
+  cli.parse(&a.argc, a.ptrs.data());
+}
+
+using CliDeath = ::testing::Test;
+
+TEST(CliDeath, NonNumericTraceLimitExits2) {
+  EXPECT_EXIT(parse_args({"--trace-limit=abc"}),
+              ::testing::ExitedWithCode(2), "not a non-negative integer");
+}
+
+TEST(CliDeath, NegativeTraceLimitExits2) {
+  EXPECT_EXIT(parse_args({"--trace-limit=-5"}),
+              ::testing::ExitedWithCode(2), "not a non-negative integer");
+}
+
+TEST(CliDeath, EmptyTraceLimitExits2) {
+  EXPECT_EXIT(parse_args({"--trace-limit="}),
+              ::testing::ExitedWithCode(2), "not a non-negative integer");
+}
+
+TEST(CliDeath, OverflowingTraceLimitExits2) {
+  EXPECT_EXIT(parse_args({"--trace-limit=99999999999999999999999"}),
+              ::testing::ExitedWithCode(2), "not a non-negative integer");
+}
+
+TEST(CliDeath, NonNumericFaultSeedExits2) {
+  EXPECT_EXIT(parse_args({"--fault-seed=xyz"}),
+              ::testing::ExitedWithCode(2), "not a non-negative integer");
+}
+
+TEST(CliDeath, NegativeFaultSeedExits2) {
+  EXPECT_EXIT(parse_args({"--fault-seed=-1"}),
+              ::testing::ExitedWithCode(2), "not a non-negative integer");
+}
+
+TEST(CliDeath, MalformedFaultSpecExits2) {
+  EXPECT_EXIT(parse_args({"--faults=drop=2.0"}),
+              ::testing::ExitedWithCode(2), "--faults");
+}
+
+TEST(CliDeath, UnknownFlagExits2) {
+  EXPECT_EXIT(parse_args({"--frobnicate"}), ::testing::ExitedWithCode(2),
+              "unknown flag");
+}
+
+TEST(CliParse, WellFormedValuesLand) {
+  Argv a({"--trace-limit=123", "--faults=drop=0.25,timeout=900",
+          "--fault-seed=7"});
+  ObsCli cli;
+  cli.parse(&a.argc, a.ptrs.data());
+  EXPECT_EQ(a.argc, 1);  // all three flags consumed
+  ASSERT_NE(cli.faults(), nullptr);
+  EXPECT_DOUBLE_EQ(cli.faults()->drop, 0.25);
+  EXPECT_EQ(cli.faults()->ack_timeout, 900u);
+  EXPECT_EQ(cli.fault_seed(), 7u);
+}
+
+TEST(CliParse, FaultsNoneStaysDisabled) {
+  Argv a({"--faults=none"});
+  ObsCli cli;
+  cli.parse(&a.argc, a.ptrs.data());
+  EXPECT_EQ(cli.faults(), nullptr);
+}
+
+}  // namespace
+}  // namespace olden::bench

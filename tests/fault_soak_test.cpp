@@ -1,0 +1,67 @@
+// Fault soak: sweep seeded fault schedules across every coherence scheme
+// on two benchmarks and hold the plane to its two contracts —
+//  * correctness: the checksum under any fault schedule equals the
+//    fault-free checksum (the protocol recovers everything it loses),
+//  * determinism: re-running the same (spec, seed) produces a
+//    byte-identical binary trace, faults and retransmissions included.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "olden/bench/benchmark.hpp"
+#include "olden/fault/fault_spec.hpp"
+#include "olden/trace/observer.hpp"
+
+namespace olden::bench {
+namespace {
+
+constexpr std::uint64_t kFaultSeeds[] = {1, 2, 3, 5, 8, 13, 21, 34};
+
+class FaultSoak : public ::testing::TestWithParam<
+                      std::tuple<const char*, Coherence>> {};
+
+TEST_P(FaultSoak, ChecksumsAndTracesAreStableAcrossSeeds) {
+  const auto [name, scheme] = GetParam();
+  const Benchmark* b = find_benchmark(name);
+  ASSERT_NE(b, nullptr);
+
+  fault::FaultSpec spec;
+  std::string err;
+  ASSERT_TRUE(fault::parse_fault_spec(
+      "drop=0.1,dup=0.05,delay=0.15:300,hiccup=0.02:150,timeout=4000", &spec,
+      &err))
+      << err;
+
+  BenchConfig clean_cfg{.nprocs = 4, .scheme = scheme};
+  clean_cfg.tiny = true;
+  const BenchResult clean = b->run(clean_cfg);
+
+  for (std::uint64_t seed : kFaultSeeds) {
+    std::string bytes[2];
+    for (int rerun = 0; rerun < 2; ++rerun) {
+      trace::Observer obs;
+      obs.set_trace_enabled(true);
+      obs.begin_run("soak");
+      BenchConfig cfg = clean_cfg;
+      cfg.observer = &obs;
+      cfg.faults = &spec;
+      cfg.fault_seed = seed;
+      const BenchResult r = b->run(cfg);
+      EXPECT_EQ(r.checksum, clean.checksum)
+          << name << " seed " << seed << " rerun " << rerun;
+      bytes[rerun] = trace::binary_trace_bytes(obs);
+    }
+    EXPECT_EQ(bytes[0], bytes[1]) << name << " seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TreeAddAndEm3d, FaultSoak,
+    ::testing::Combine(::testing::Values("TreeAdd", "EM3D"),
+                       ::testing::Values(Coherence::kLocalKnowledge,
+                                         Coherence::kEagerGlobal,
+                                         Coherence::kBilateral)));
+
+}  // namespace
+}  // namespace olden::bench

@@ -1,0 +1,267 @@
+// Fault plane unit + property tests: spec parsing, the checksum-preserving
+// contract of the reliable-delivery protocol, retry-bucket accounting,
+// hiccup injection, zero-cost-when-disabled, and the hang watchdog.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "olden/bench/benchmark.hpp"
+#include "olden/fault/fault_plane.hpp"
+#include "olden/fault/fault_spec.hpp"
+#include "olden/olden.hpp"
+#include "olden/trace/observer.hpp"
+
+namespace olden {
+namespace {
+
+using fault::FaultSpec;
+using fault::parse_fault_spec;
+
+// --- spec grammar ----------------------------------------------------------
+
+TEST(FaultSpecParse, FullGrammarRoundTrips) {
+  FaultSpec s;
+  std::string err;
+  ASSERT_TRUE(parse_fault_spec(
+      "drop=0.1,dup=0.05,delay=0.2:300,burst=20000:2000:4,"
+      "hiccup=0.01:500,timeout=6000,retries=10",
+      &s, &err))
+      << err;
+  EXPECT_TRUE(s.enabled);
+  EXPECT_DOUBLE_EQ(s.drop, 0.1);
+  EXPECT_DOUBLE_EQ(s.dup, 0.05);
+  EXPECT_DOUBLE_EQ(s.delay, 0.2);
+  EXPECT_EQ(s.delay_cycles, 300u);
+  EXPECT_EQ(s.burst_period, 20000u);
+  EXPECT_EQ(s.burst_len, 2000u);
+  EXPECT_DOUBLE_EQ(s.burst_factor, 4.0);
+  EXPECT_DOUBLE_EQ(s.hiccup, 0.01);
+  EXPECT_EQ(s.hiccup_cycles, 500u);
+  EXPECT_EQ(s.ack_timeout, 6000u);
+  EXPECT_EQ(s.max_retries, 10u);
+
+  // The canonical rendering parses back to the same spec.
+  FaultSpec s2;
+  ASSERT_TRUE(parse_fault_spec(fault::to_string(s), &s2, &err)) << err;
+  EXPECT_DOUBLE_EQ(s2.drop, s.drop);
+  EXPECT_EQ(s2.burst_period, s.burst_period);
+  EXPECT_EQ(s2.max_retries, s.max_retries);
+}
+
+TEST(FaultSpecParse, DisabledSpellings) {
+  for (const char* text : {"", "none", "off"}) {
+    FaultSpec s;
+    std::string err;
+    ASSERT_TRUE(parse_fault_spec(text, &s, &err)) << text << ": " << err;
+    EXPECT_FALSE(s.enabled) << text;
+  }
+}
+
+TEST(FaultSpecParse, RejectsMalformedSpecs) {
+  const char* bad[] = {
+      "drop",                 // no value
+      "drop=",                // empty value
+      "drop=abc",             // not a number
+      "drop=1.5",             // probability out of range
+      "drop=-0.1",            // negative probability
+      "delay=0.5",            // missing :CYCLES
+      "delay=0.5:0",          // zero delay cycles with positive probability
+      "burst=100:200:2",      // LEN > PERIOD
+      "burst=0:0:2",          // zero period
+      "hiccup=0.5",           // missing :CYCLES
+      "timeout=0",            // protocol needs a positive timeout
+      "retries=0",            // zero retries can never deliver through a drop
+      "retries=100000",       // past the documented cap
+      "frobnicate=1",         // unknown key
+      "drop=0.1,,dup=0.1",    // empty field
+  };
+  for (const char* text : bad) {
+    FaultSpec s;
+    std::string err;
+    EXPECT_FALSE(parse_fault_spec(text, &s, &err)) << text;
+    EXPECT_FALSE(err.empty()) << text;
+  }
+}
+
+// --- protocol correctness --------------------------------------------------
+
+FaultSpec moderate_spec() {
+  FaultSpec s;
+  std::string err;
+  EXPECT_TRUE(parse_fault_spec(
+      "drop=0.15,dup=0.1,delay=0.2:400,hiccup=0.05:200,timeout=4000", &s,
+      &err))
+      << err;
+  return s;
+}
+
+TEST(FaultPlane, ChecksumsSurviveFaultsAcrossSchemes) {
+  const bench::Benchmark* b = bench::find_benchmark("TreeAdd");
+  ASSERT_NE(b, nullptr);
+  const FaultSpec spec = moderate_spec();
+  for (Coherence scheme : {Coherence::kLocalKnowledge, Coherence::kEagerGlobal,
+                           Coherence::kBilateral}) {
+    bench::BenchConfig cfg{.nprocs = 4, .scheme = scheme};
+    cfg.tiny = true;
+    const bench::BenchResult clean = b->run(cfg);
+
+    cfg.faults = &spec;
+    cfg.fault_seed = 42;
+    const bench::BenchResult faulty = b->run(cfg);
+
+    EXPECT_EQ(faulty.checksum, clean.checksum);
+    // The wire actually misbehaved and the protocol actually recovered.
+    EXPECT_GT(faulty.stats.fault_messages, 0u);
+    EXPECT_GT(faulty.stats.fault_drops, 0u);
+    EXPECT_GT(faulty.stats.retransmissions, 0u);
+    EXPECT_GT(faulty.stats.acks_sent, 0u);
+    // Recovery costs time; it must never cost correctness.
+    EXPECT_GE(faulty.total_cycles, clean.total_cycles);
+  }
+}
+
+TEST(FaultPlane, SameSeedReproducesByteIdenticalTraces) {
+  const bench::Benchmark* b = bench::find_benchmark("TreeAdd");
+  ASSERT_NE(b, nullptr);
+  const FaultSpec spec = moderate_spec();
+  std::string bytes[2];
+  for (int i = 0; i < 2; ++i) {
+    trace::Observer obs;
+    obs.set_trace_enabled(true);
+    obs.begin_run("fault-repeat");
+    bench::BenchConfig cfg{.nprocs = 4};
+    cfg.tiny = true;
+    cfg.observer = &obs;
+    cfg.faults = &spec;
+    cfg.fault_seed = 7;
+    (void)b->run(cfg);
+    bytes[i] = trace::binary_trace_bytes(obs);
+  }
+  EXPECT_EQ(bytes[0], bytes[1]);
+}
+
+TEST(FaultPlane, RetryBucketChargedAndAccountingStaysExhaustive) {
+  const bench::Benchmark* b = bench::find_benchmark("TreeAdd");
+  ASSERT_NE(b, nullptr);
+  const FaultSpec spec = moderate_spec();
+  trace::Observer obs;
+  obs.begin_run("fault-buckets");
+  bench::BenchConfig cfg{.nprocs = 4};
+  cfg.tiny = true;
+  cfg.observer = &obs;
+  cfg.faults = &spec;
+  cfg.fault_seed = 3;
+  const bench::BenchResult r = b->run(cfg);
+
+  ASSERT_EQ(obs.runs().size(), 1u);
+  const trace::RunRecord& run = obs.runs()[0];
+  const auto retry =
+      static_cast<std::size_t>(trace::CycleBucket::kRetry);
+  std::uint64_t retry_total = 0;
+  for (const trace::BucketCycles& row : run.breakdown) {
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < trace::kNumBuckets; ++i) sum += row[i];
+    // Exhaustive accounting: every processor's buckets tile the makespan
+    // exactly, protocol overhead included.
+    EXPECT_EQ(sum, run.makespan);
+    retry_total += row[retry];
+  }
+  EXPECT_GT(retry_total, 0u);
+  EXPECT_EQ(run.makespan, r.total_cycles);
+}
+
+TEST(FaultPlane, HiccupsStallAndAreCounted) {
+  const bench::Benchmark* b = bench::find_benchmark("TreeAdd");
+  ASSERT_NE(b, nullptr);
+  FaultSpec spec;
+  std::string err;
+  ASSERT_TRUE(parse_fault_spec("hiccup=1.0:50", &spec, &err)) << err;
+  bench::BenchConfig cfg{.nprocs = 4};
+  cfg.tiny = true;
+  cfg.faults = &spec;
+  const bench::BenchResult r = b->run(cfg);
+
+  EXPECT_GT(r.stats.hiccups_injected, 0u);
+  // hiccup=1.0:50 stalls every delivery by exactly [1,50] cycles.
+  EXPECT_GE(r.stats.hiccup_cycles, r.stats.hiccups_injected);
+  EXPECT_LE(r.stats.hiccup_cycles, r.stats.hiccups_injected * 50);
+  EXPECT_EQ(r.checksum, b->run({.nprocs = 4, .tiny = true}).checksum);
+}
+
+TEST(FaultPlane, DisabledSpecIsByteIdenticalToNoSpec) {
+  const bench::Benchmark* b = bench::find_benchmark("TreeAdd");
+  ASSERT_NE(b, nullptr);
+  FaultSpec disabled;
+  std::string err;
+  ASSERT_TRUE(parse_fault_spec("none", &disabled, &err)) << err;
+
+  std::string bytes[2];
+  const FaultSpec* specs[2] = {nullptr, &disabled};
+  for (int i = 0; i < 2; ++i) {
+    trace::Observer obs;
+    obs.set_trace_enabled(true);
+    obs.begin_run("disabled-ab");
+    bench::BenchConfig cfg{.nprocs = 4};
+    cfg.tiny = true;
+    cfg.observer = &obs;
+    cfg.faults = specs[i];
+    (void)b->run(cfg);
+    bytes[i] = trace::binary_trace_bytes(obs);
+  }
+  EXPECT_EQ(bytes[0], bytes[1]);
+}
+
+// --- watchdog --------------------------------------------------------------
+
+struct Node {
+  std::int64_t val;
+};
+
+Task<std::int64_t> watchdog_root(Machine& m) {
+  auto n = m.alloc<Node>(1);
+  co_await wr(n, &Node::val, std::int64_t{41}, SiteId{0});
+  co_return co_await rd(n, &Node::val, SiteId{0}) + 1;
+}
+
+TEST(FaultWatchdog, TotalDropBecomesStructuredDiagnostic) {
+  FaultSpec spec;
+  std::string err;
+  // Every transmission attempt is dropped: no message can ever deliver,
+  // so the first migration exhausts its retransmit budget.
+  ASSERT_TRUE(
+      parse_fault_spec("drop=1.0,timeout=200,retries=3", &spec, &err))
+      << err;
+  Machine m({.nprocs = 2, .faults = &spec, .fault_seed = 1});
+  m.set_site_mechanisms({Mechanism::kMigrate});
+  try {
+    (void)run_program(m, watchdog_root(m));
+    FAIL() << "a 100%-drop schedule must not terminate normally";
+  } catch (const fault::WatchdogError& e) {
+    const fault::WatchdogDiagnostic& d = e.diagnostic();
+    EXPECT_EQ(d.reason, "retry-cap-exceeded");
+    EXPECT_EQ(d.retries, 3u);
+    EXPECT_GT(d.sim_time, 0u);
+    EXPECT_GE(d.pending_messages, 1u);
+    EXPECT_STREQ(d.payload, "migration");
+    EXPECT_EQ(d.src, 0u);
+    EXPECT_EQ(d.dst, 1u);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("watchdog"), std::string::npos) << what;
+    EXPECT_NE(what.find("retry-cap-exceeded"), std::string::npos) << what;
+  }
+}
+
+TEST(FaultWatchdog, RecoverableDropRateStillCompletes) {
+  FaultSpec spec;
+  std::string err;
+  // Half the attempts drop, but 24 retries make delivery all but certain:
+  // the watchdog must stay quiet and the answer must be right.
+  ASSERT_TRUE(parse_fault_spec("drop=0.5,timeout=500", &spec, &err)) << err;
+  Machine m({.nprocs = 2, .faults = &spec, .fault_seed = 5});
+  m.set_site_mechanisms({Mechanism::kMigrate});
+  EXPECT_EQ(run_program(m, watchdog_root(m)), 42);
+  EXPECT_GT(m.stats().retransmissions, 0u);
+}
+
+}  // namespace
+}  // namespace olden

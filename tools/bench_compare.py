@@ -2,6 +2,7 @@
 """Compare two BENCH JSON files produced by tools/bench_runner.py.
 
 Usage: bench_compare.py OLD.json NEW.json [--threshold PCT]
+                        [--cell BENCHMARK/SCHEME/NPROCS]
        bench_compare.py --check FILE.json
 
 Cells are keyed by (benchmark, scheme, nprocs). The comparison FAILS
@@ -12,9 +13,20 @@ is a real behavioral change; the threshold only decides how large a
 slowdown blocks CI. Improvements and sub-threshold drifts are reported
 but don't fail.
 
+--cell restricts the comparison to one cell, e.g. --cell TreeAdd/local/8.
+
 --check validates a single file's schema (structure, bucket arithmetic,
 critical-path exactness) without comparing — used by CI on freshly
 generated files before they're trusted as a comparison side.
+
+Exit codes are distinct so CI scripts can tell the failure modes apart:
+  0  OK
+  1  comparison failed (regression, or a baseline cell missing from NEW)
+  2  usage error
+  3  an input file is unusable (missing, unreadable, empty, not JSON, or
+     schema-invalid) — always a one-line error, never a traceback
+  4  the requested --cell is absent from both files, or the two files
+     share no cells at all
 
 Stdlib only, so it can run in any CI image.
 """
@@ -27,6 +39,13 @@ BENCH_SCHEMA_VERSION = 1
 BUCKET_KEYS = ["compute", "migration", "cache_stall", "coherence", "idle"]
 
 SCHEMES = {"local", "global", "bilateral"}
+
+
+EXIT_OK = 0
+EXIT_COMPARE_FAILED = 1
+EXIT_USAGE = 2
+EXIT_BAD_INPUT = 3
+EXIT_NO_SUCH_CELL = 4
 
 
 class SchemaError(Exception):
@@ -100,15 +119,41 @@ def cell_key(cell):
 
 
 def load(path):
-    with open(path, "r", encoding="utf-8") as f:
-        doc = json.load(f)
+    """Load and validate one BENCH file; SchemaError on anything unusable."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            text = f.read()
+    except OSError as e:
+        raise SchemaError(f"{path}: cannot read file ({e.strerror})")
+    if not text.strip():
+        raise SchemaError(f"{path}: file is empty")
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as e:
+        raise SchemaError(f"{path}: not valid JSON ({e.msg} at line "
+                          f"{e.lineno})")
     check_document(doc, path)
     return doc
 
 
-def compare(old_doc, new_doc, threshold):
+def parse_cell_selector(sel):
+    """BENCHMARK/SCHEME/NPROCS -> cell key tuple, or None if malformed."""
+    parts = sel.split("/")
+    if len(parts) != 3 or not parts[0] or not parts[1]:
+        return None
+    try:
+        nprocs = int(parts[2])
+    except ValueError:
+        return None
+    return (parts[0], parts[1], nprocs)
+
+
+def compare(old_doc, new_doc, threshold, only_cell=None):
     old = {cell_key(c): c for c in old_doc["cells"]}
     new = {cell_key(c): c for c in new_doc["cells"]}
+    if only_cell is not None:
+        old = {k: v for k, v in old.items() if k == only_cell}
+        new = {k: v for k, v in new.items() if k == only_cell}
     regressions, improvements, drifts = [], [], []
     missing = sorted(set(old) - set(new))
     added = sorted(set(new) - set(old))
@@ -148,41 +193,66 @@ def compare(old_doc, new_doc, threshold):
 def main(argv):
     args = argv[1:]
     threshold = 5.0
+    only_cell = None
     if "--check" in args:
         args.remove("--check")
         if len(args) != 1:
             print(__doc__.strip(), file=sys.stderr)
-            return 2
+            return EXIT_USAGE
         try:
             doc = load(args[0])
-        except (OSError, json.JSONDecodeError, SchemaError) as e:
-            print(f"FAIL {args[0]}: {e}", file=sys.stderr)
-            return 1
+        except SchemaError as e:
+            print(f"FAIL: {e}", file=sys.stderr)
+            return EXIT_BAD_INPUT
         print(f"OK   {args[0]}: {len(doc['cells'])} cells, "
               f"schema v{BENCH_SCHEMA_VERSION}")
-        return 0
+        return EXIT_OK
     if "--threshold" in args:
         i = args.index("--threshold")
         try:
             threshold = float(args[i + 1])
         except (IndexError, ValueError):
             print(__doc__.strip(), file=sys.stderr)
-            return 2
+            return EXIT_USAGE
+        del args[i:i + 2]
+    if "--cell" in args:
+        i = args.index("--cell")
+        if i + 1 >= len(args):
+            print(__doc__.strip(), file=sys.stderr)
+            return EXIT_USAGE
+        only_cell = parse_cell_selector(args[i + 1])
+        if only_cell is None:
+            print(f"bench_compare: bad --cell {args[i + 1]!r} "
+                  "(want BENCHMARK/SCHEME/NPROCS, e.g. TreeAdd/local/8)",
+                  file=sys.stderr)
+            return EXIT_USAGE
         del args[i:i + 2]
     if len(args) != 2:
         print(__doc__.strip(), file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     try:
         old_doc = load(args[0])
         new_doc = load(args[1])
-    except (OSError, json.JSONDecodeError, SchemaError) as e:
+    except SchemaError as e:
         print(f"FAIL: {e}", file=sys.stderr)
-        return 1
+        return EXIT_BAD_INPUT
     if old_doc["mode"] != new_doc["mode"]:
         print(f"FAIL: comparing a {old_doc['mode']!r}-size run against a "
               f"{new_doc['mode']!r}-size run is meaningless", file=sys.stderr)
-        return 1
-    return 0 if compare(old_doc, new_doc, threshold) else 1
+        return EXIT_COMPARE_FAILED
+    old_keys = {cell_key(c) for c in old_doc["cells"]}
+    new_keys = {cell_key(c) for c in new_doc["cells"]}
+    if only_cell is not None and only_cell not in old_keys | new_keys:
+        name = f"{only_cell[0]}/{only_cell[1]}/p={only_cell[2]}"
+        print(f"FAIL: cell {name} is absent from both files",
+              file=sys.stderr)
+        return EXIT_NO_SUCH_CELL
+    if not old_keys & new_keys:
+        print("FAIL: the two files share no cells — nothing to compare",
+              file=sys.stderr)
+        return EXIT_NO_SUCH_CELL
+    ok = compare(old_doc, new_doc, threshold, only_cell)
+    return EXIT_OK if ok else EXIT_COMPARE_FAILED
 
 
 if __name__ == "__main__":

@@ -3,7 +3,7 @@
 
 Usage: check_stats_schema.py STATS.json [STATS2.json ...]
 
-Checks the structural schema (version 1, documented in
+Checks the structural schema (version 2, documented in
 docs/OBSERVABILITY.md) and the arithmetic invariants the exporter
 promises: per-processor cycle buckets sum to the makespan, histogram
 bucket counts sum to the histogram count, and event retention arithmetic
@@ -15,7 +15,7 @@ Stdlib only, so it can run in any CI image.
 import json
 import sys
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 COUNTER_KEYS = {
     "local_reads", "local_writes",
@@ -28,10 +28,14 @@ COUNTER_KEYS = {
     "cache_flushes", "lines_invalidated", "invalidation_messages",
     "tracked_writes", "pages_cached",
     "allocations", "bytes_allocated",
+    "fault_messages", "fault_drops", "fault_duplicates", "fault_delays",
+    "retransmissions", "duplicates_suppressed", "acks_sent",
+    "hiccups_injected", "hiccup_cycles",
     "threads_created", "makespan_cycles",
 }
 
-BUCKET_KEYS = ["compute", "migration", "cache_stall", "coherence", "idle"]
+BUCKET_KEYS = ["compute", "migration", "cache_stall", "coherence", "idle",
+               "retry"]
 
 HIST_KEYS = {
     "migration_latency_cycles", "return_stub_latency_cycles",
@@ -107,6 +111,9 @@ def check_run(run, idx):
             f"{ctx}: hits + misses != remote cacheable reads")
     require(counters["timestamp_stalls"] <= counters["timestamp_checks"],
             f"{ctx}: timestamp_stalls > timestamp_checks")
+    require(counters["duplicates_suppressed"]
+            <= counters["fault_duplicates"] + counters["retransmissions"],
+            f"{ctx}: more duplicates suppressed than were ever created")
 
     hists = run.get("histograms")
     require(isinstance(hists, dict), f"{ctx}: missing histograms")
