@@ -1,0 +1,240 @@
+// host_perf: wall-clock (host-time) benchmark of the simulator itself.
+//
+// Every other binary in bench/ reports *virtual* cycles — the machine being
+// simulated. This one times the machine doing the simulating: it runs the
+// full --tiny regression matrix (ten benchmarks x three coherence schemes,
+// the exact cells tools/bench_runner.py pins) with no observer attached and
+// reports host milliseconds per cell, best-of-N. The paper's makespans are
+// untouched by any host-side optimization, so this is the number that
+// measures "runs as fast as the hardware allows" for the simulator's own
+// hot paths: cache translation, the coherence directory, write logs and the
+// event wheel.
+//
+//   host_perf [--repeat=N] [--nprocs=N] [--benchmarks=A,B,...]
+//             [--schemes=A,B] [--json=FILE]
+//
+// The JSON document is schema-versioned (host_bench_schema_version) and is
+// what tools/host_bench.py diffs against bench/baselines/HOST_seed.json.
+// Checksums are validated against the sequential reference on every run, so
+// a fast-but-wrong simulator fails here too (exit 1); bad flags exit 2.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "olden/bench/benchmark.hpp"
+
+namespace {
+
+using namespace olden;
+using namespace olden::bench;
+
+constexpr int kHostBenchSchemaVersion = 1;
+
+struct SchemeName {
+  Coherence scheme;
+  const char* name;
+};
+constexpr SchemeName kAllSchemes[] = {
+    {Coherence::kLocalKnowledge, "local"},
+    {Coherence::kEagerGlobal, "global"},
+    {Coherence::kBilateral, "bilateral"},
+};
+
+struct CellTiming {
+  std::string benchmark;
+  std::string scheme;
+  double best_ms = 0.0;
+  std::uint64_t makespan_cycles = 0;
+};
+
+bool flag_value(const char* arg, const char* name, std::string* out) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  *out = arg + n + 1;
+  return true;
+}
+
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+bool parse_uint(const std::string& s, unsigned long* out) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+  }
+  *out = std::strtoul(s.c_str(), nullptr, 10);
+  return true;
+}
+
+void usage(std::FILE* to) {
+  std::fprintf(to,
+               "usage: host_perf [options]\n"
+               "  --repeat=N         timing repetitions per cell, best "
+               "reported (default 3)\n"
+               "  --nprocs=N         processors per cell (default 8)\n"
+               "  --benchmarks=A,B   subset of the suite (default: all ten)\n"
+               "  --schemes=A,B      coherence schemes (default "
+               "local,global,bilateral)\n"
+               "  --json=FILE        write the schema-versioned timing "
+               "document\n");
+}
+
+std::string json_escape_nothing_needed(const std::string& s) {
+  // Benchmark and scheme names are [A-Za-z0-9]; keep the writer honest.
+  for (char c : s) {
+    if (c == '"' || c == '\\' || static_cast<unsigned char>(c) < 0x20) {
+      std::fprintf(stderr, "host_perf: unexpected character in label\n");
+      std::exit(1);
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  unsigned long repeat = 3;
+  unsigned long nprocs = 8;
+  std::string benchmarks_str;
+  std::string schemes_str = "local,global,bilateral";
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (flag_value(argv[i], "--repeat", &v)) {
+      if (!parse_uint(v, &repeat) || repeat == 0) {
+        std::fprintf(stderr, "host_perf: --repeat must be a positive integer\n");
+        return 2;
+      }
+    } else if (flag_value(argv[i], "--nprocs", &v)) {
+      if (!parse_uint(v, &nprocs) || nprocs == 0 || nprocs > kMaxProcs) {
+        std::fprintf(stderr, "host_perf: --nprocs must be in [1, %u]\n",
+                     static_cast<unsigned>(kMaxProcs));
+        return 2;
+      }
+    } else if (flag_value(argv[i], "--benchmarks", &v)) {
+      benchmarks_str = v;
+    } else if (flag_value(argv[i], "--schemes", &v)) {
+      schemes_str = v;
+    } else if (flag_value(argv[i], "--json", &v)) {
+      json_path = v;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      usage(stdout);
+      return 0;
+    } else {
+      usage(stderr);
+      return 2;
+    }
+  }
+
+  std::vector<const Benchmark*> benches;
+  if (benchmarks_str.empty()) {
+    benches = suite();
+  } else {
+    for (const std::string& name : split_commas(benchmarks_str)) {
+      const Benchmark* b = find_benchmark(name);
+      if (b == nullptr) {
+        std::fprintf(stderr, "host_perf: unknown benchmark '%s'\n",
+                     name.c_str());
+        return 2;
+      }
+      benches.push_back(b);
+    }
+  }
+  std::vector<SchemeName> schemes;
+  for (const std::string& name : split_commas(schemes_str)) {
+    bool found = false;
+    for (const SchemeName& s : kAllSchemes) {
+      if (name == s.name) {
+        schemes.push_back(s);
+        found = true;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr,
+                   "host_perf: unknown scheme '%s' (local, global, "
+                   "bilateral)\n",
+                   name.c_str());
+      return 2;
+    }
+  }
+
+  using Clock = std::chrono::steady_clock;
+  std::vector<CellTiming> cells;
+  double total_best_ms = 0.0;
+  for (const Benchmark* b : benches) {
+    for (const SchemeName& s : schemes) {
+      BenchConfig cfg;
+      cfg.nprocs = static_cast<ProcId>(nprocs);
+      cfg.scheme = s.scheme;
+      cfg.tiny = true;
+      CellTiming cell;
+      cell.benchmark = b->name();
+      cell.scheme = s.name;
+      cell.best_ms = -1.0;
+      for (unsigned long r = 0; r < repeat; ++r) {
+        const auto t0 = Clock::now();
+        const BenchResult res = b->run(cfg);
+        const auto t1 = Clock::now();
+        if (res.checksum != b->reference_checksum(cfg)) {
+          std::fprintf(stderr, "host_perf: %s/%s checksum mismatch\n",
+                       b->name().c_str(), s.name);
+          return 1;
+        }
+        cell.makespan_cycles = res.total_cycles;
+        const double ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        if (cell.best_ms < 0.0 || ms < cell.best_ms) cell.best_ms = ms;
+      }
+      total_best_ms += cell.best_ms;
+      std::printf("%-12s %-9s %8.2f ms\n", cell.benchmark.c_str(),
+                  cell.scheme.c_str(), cell.best_ms);
+      std::fflush(stdout);
+      cells.push_back(std::move(cell));
+    }
+  }
+  std::printf("%-12s %-9s %8.2f ms  (%zu cells, best of %lu, p=%lu, tiny)\n",
+              "TOTAL", "", total_best_ms, cells.size(), repeat, nprocs);
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "host_perf: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n \"host_bench_schema_version\": %d,\n"
+                 " \"generator\": \"host_perf\",\n"
+                 " \"mode\": \"tiny\",\n"
+                 " \"nprocs\": %lu,\n \"repeat\": %lu,\n \"cells\": [\n",
+                 kHostBenchSchemaVersion, nprocs, repeat);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const CellTiming& c = cells[i];
+      std::fprintf(f,
+                   "  {\"benchmark\": \"%s\", \"scheme\": \"%s\", "
+                   "\"best_ms\": %.3f, \"makespan_cycles\": %llu}%s\n",
+                   json_escape_nothing_needed(c.benchmark).c_str(),
+                   json_escape_nothing_needed(c.scheme).c_str(), c.best_ms,
+                   static_cast<unsigned long long>(c.makespan_cycles),
+                   i + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(f, " ],\n \"total_best_ms\": %.3f\n}\n", total_best_ms);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -14,11 +14,24 @@
 //
 // The protocol actions (who sends what, and what it costs) live in the
 // runtime machine; this header holds the bookkeeping state.
+//
+// Host-speed layout: page ids are dense per home processor (top bits are
+// the owner, low bits the local page number), so the directory is an array
+// of per-processor vectors indexed directly by local page number — no
+// hashing on the write-tracking fast path. Write logs are an inline
+// small-vector (most threads dirty a handful of pages between migrations)
+// with heap spill, a last-page fast path for the consecutive line-chunk
+// writes the compiler emits, and *canonically sorted* iteration so every
+// container choice drains releases in the same deterministic order.
 #pragma once
 
+#include <algorithm>
+#include <array>
+#include <cassert>
 #include <cstdint>
-#include <unordered_map>
+#include <vector>
 
+#include "olden/mem/global_addr.hpp"
 #include "olden/support/types.hpp"
 
 namespace olden {
@@ -44,11 +57,16 @@ enum class Coherence {
   return c != Coherence::kLocalKnowledge;
 }
 
+/// Number of low page-id bits that index within one home processor.
+inline constexpr int kLocalPageBits = kProcShift - 11;  // 2^11 = 2 KB pages
+inline constexpr std::uint32_t kLocalPageMask = (1u << kLocalPageBits) - 1;
+
 /// Home-side per-page directory state, kept by the page's owner.
 struct HomePageInfo {
   /// Processors holding (possibly stale) cached lines of this page.
   /// Tracked at page granularity "to reduce the amount of state
-  /// information" (Appendix A). Eager scheme only.
+  /// information" (Appendix A). Eager scheme only. A sharer is dropped
+  /// again when a pushed invalidation leaves it with zero valid lines.
   ProcSet sharers;
   /// True once a second processor has requested the page: write tracking
   /// on shared pages costs more (23 vs 7 instructions).
@@ -68,41 +86,125 @@ struct HomePageInfo {
 
 /// Directory spanning the machine, indexed by global page id. Each entry
 /// conceptually lives on the page's home processor; the runtime charges the
-/// home's clock whenever it consults or updates one.
+/// home's clock whenever it consults or updates one. Storage is a flat
+/// vector per home, grown on demand — heap pages are allocated densely from
+/// offset zero, so the vectors stay compact and `page()` is two indexed
+/// loads instead of a hash probe.
 class CoherenceDirectory {
  public:
-  HomePageInfo& page(std::uint32_t page_id) { return pages_[page_id]; }
-
-  [[nodiscard]] const HomePageInfo* find(std::uint32_t page_id) const {
-    auto it = pages_.find(page_id);
-    return it == pages_.end() ? nullptr : &it->second;
+  HomePageInfo& page(std::uint32_t page_id) {
+    const std::uint32_t home = page_id >> kLocalPageBits;
+    const std::uint32_t local = page_id & kLocalPageMask;
+    assert(home < kMaxProcs);
+    std::vector<Slot>& v = pages_[home];
+    if (v.size() <= local) v.resize(local + 1);
+    Slot& s = v[local];
+    if (!s.touched) {
+      s.touched = true;
+      ++tracked_;
+    }
+    return s.info;
   }
 
-  [[nodiscard]] std::size_t tracked_pages() const { return pages_.size(); }
+  [[nodiscard]] const HomePageInfo* find(std::uint32_t page_id) const {
+    const std::uint32_t home = page_id >> kLocalPageBits;
+    const std::uint32_t local = page_id & kLocalPageMask;
+    assert(home < kMaxProcs);
+    const std::vector<Slot>& v = pages_[home];
+    if (local >= v.size() || !v[local].touched) return nullptr;
+    return &v[local].info;
+  }
+
+  /// Pages ever consulted through `page()` (directory entries that exist).
+  [[nodiscard]] std::size_t tracked_pages() const { return tracked_; }
 
  private:
-  std::unordered_map<std::uint32_t, HomePageInfo> pages_;
+  struct Slot {
+    HomePageInfo info;
+    bool touched = false;
+  };
+  std::array<std::vector<Slot>, kMaxProcs> pages_;
+  std::size_t tracked_ = 0;
 };
 
 /// Per-thread write log: pages (and lines within them) this thread has
 /// written since its last migration. This is what the compiler-inserted
 /// write-tracking code of Appendix A accumulates; the runtime drains it at
 /// each migration departure.
+///
+/// Most logs hold a handful of pages, and the tracking code records the
+/// same page repeatedly as a structure's lines are written in sequence —
+/// so: last-page fast path, then linear scan of an inline array, spilling
+/// to the heap only past kInline distinct pages. `for_each` visits pages
+/// in ascending page-id order, a canonical order no container rearranges.
 class WriteLog {
  public:
   void record(std::uint32_t page_id, std::uint32_t line_mask) {
-    pages_[page_id] |= line_mask;
+    if (n_ > 0) {
+      Entry& last = at(last_);
+      if (last.page == page_id) {
+        last.mask |= line_mask;
+        return;
+      }
+    }
+    for (std::uint32_t i = 0; i < n_; ++i) {
+      if (at(i).page == page_id) {
+        at(i).mask |= line_mask;
+        last_ = i;
+        return;
+      }
+    }
+    if (n_ < kInline) {
+      inline_[n_] = {page_id, line_mask};
+    } else {
+      spill_.push_back({page_id, line_mask});
+    }
+    last_ = n_++;
   }
-  void clear() { pages_.clear(); }
-  [[nodiscard]] bool empty() const { return pages_.empty(); }
 
-  template <class Fn>  // fn(page_id, line_mask)
+  void clear() {
+    n_ = 0;
+    last_ = 0;
+    spill_.clear();  // keeps capacity: no realloc churn across migrations
+  }
+
+  [[nodiscard]] bool empty() const { return n_ == 0; }
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  template <class Fn>  // fn(page_id, line_mask), ascending page_id
   void for_each(Fn&& fn) const {
-    for (const auto& [page, mask] : pages_) fn(page, mask);
+    Entry stack[kSortStack];
+    std::vector<Entry> heap;
+    Entry* buf = stack;
+    if (n_ > kSortStack) {
+      heap.resize(n_);
+      buf = heap.data();
+    }
+    for (std::uint32_t i = 0; i < n_; ++i) buf[i] = at(i);
+    std::sort(buf, buf + n_,
+              [](const Entry& a, const Entry& b) { return a.page < b.page; });
+    for (std::uint32_t i = 0; i < n_; ++i) fn(buf[i].page, buf[i].mask);
   }
 
  private:
-  std::unordered_map<std::uint32_t, std::uint32_t> pages_;
+  struct Entry {
+    std::uint32_t page = 0;
+    std::uint32_t mask = 0;
+  };
+  static constexpr std::uint32_t kInline = 8;
+  static constexpr std::uint32_t kSortStack = 64;
+
+  Entry& at(std::uint32_t i) {
+    return i < kInline ? inline_[i] : spill_[i - kInline];
+  }
+  [[nodiscard]] const Entry& at(std::uint32_t i) const {
+    return i < kInline ? inline_[i] : spill_[i - kInline];
+  }
+
+  std::array<Entry, kInline> inline_{};
+  std::vector<Entry> spill_;
+  std::uint32_t n_ = 0;
+  std::uint32_t last_ = 0;  ///< index of the most recently recorded page
 };
 
 }  // namespace olden

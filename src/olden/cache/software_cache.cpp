@@ -4,90 +4,115 @@
 
 namespace olden {
 
-SoftwareCache::SoftwareCache() = default;
+namespace {
+SoftwareCache::Tuning g_default_tuning = SoftwareCache::Tuning::kOptimized;
+}  // namespace
 
-SoftwareCache::LookupResult SoftwareCache::lookup(std::uint32_t page_id) {
-  LookupResult r;
-  for (PageEntry* e = buckets_[bucket_of(page_id)].get(); e != nullptr;
-       e = e->next.get()) {
-    ++r.chain_steps;
-    if (e->page_id == page_id) {
-      r.entry = e;
-      return r;
-    }
+void SoftwareCache::set_default_tuning(Tuning t) { g_default_tuning = t; }
+SoftwareCache::Tuning SoftwareCache::default_tuning() {
+  return g_default_tuning;
+}
+
+SoftwareCache::SoftwareCache() : tuning_(g_default_tuning) {}
+
+std::byte* SoftwareCache::alloc_frame() {
+  if (!free_frames_.empty()) {
+    std::byte* f = free_frames_.back();
+    free_frames_.pop_back();
+    return f;
   }
-  return r;
+  if (slab_used_ == kFramesPerSlab) {
+    slabs_.push_back(std::make_unique<std::byte[]>(
+        static_cast<std::size_t>(kFramesPerSlab) * kPageBytes));
+    slab_used_ = 0;
+  }
+  return slabs_.back().get() +
+         static_cast<std::size_t>(slab_used_++) * kPageBytes;
+}
+
+void SoftwareCache::release_frame(PageEntry& e) {
+  // Reference tuning mimics the pre-overhaul cache, which never let a
+  // frame go; recycling is a host-memory optimization only (frame bytes
+  // of invalid lines are never read, so the contents cannot matter).
+  if (tuning_ == Tuning::kReference || e.frame == nullptr) return;
+  free_frames_.push_back(e.frame);
+  e.frame = nullptr;
+}
+
+SoftwareCache::PageEntry& SoftwareCache::create_page(std::uint32_t page_id) {
+  const std::uint32_t b = bucket_of(page_id);
+  PageEntry& e = pool_.emplace_back();
+  e.page_id = page_id;
+  e.frame = alloc_frame();
+  e.rank = counts_[b]++;
+  e.next = buckets_[b];
+  buckets_[b] = &e;
+  if (tuning_ == Tuning::kOptimized) mru_ = &e;
+  ++pages_created_;
+  ++pages_live_;
+  return e;
 }
 
 SoftwareCache::PageEntry& SoftwareCache::ensure_page(std::uint32_t page_id,
                                                      bool& created) {
-  auto& head = buckets_[bucket_of(page_id)];
-  for (PageEntry* e = head.get(); e != nullptr; e = e->next.get()) {
-    if (e->page_id == page_id) {
-      created = false;
-      return *e;
-    }
+  const LookupResult r = lookup(page_id);
+  if (r.entry != nullptr) {
+    created = false;
+    // Callers that go on to fill lines expect a frame to write into.
+    ensure_frame(*r.entry);
+    return *r.entry;
   }
-  auto entry = std::make_unique<PageEntry>();
-  entry->page_id = page_id;
-  entry->frame = std::make_unique<std::byte[]>(kPageBytes);
-  entry->next = std::move(head);
-  head = std::move(entry);
-  ++pages_created_;
-  ++pages_live_;
   created = true;
-  return *head;
+  return create_page(page_id);
 }
 
+// Bulk invalidation (the acquire paths) deliberately keeps each page's
+// frame: acquires are frequent and most invalidated pages refill within a
+// few accesses, so recycling here would be pure free-list churn. Frames go
+// back to the free list only on the targeted push-invalidation path below,
+// where a page losing its last line is a real eviction signal.
 std::uint64_t SoftwareCache::invalidate_all() {
   std::uint64_t lines = 0;
-  for (auto& head : buckets_) {
-    for (PageEntry* e = head.get(); e != nullptr; e = e->next.get()) {
-      lines += static_cast<std::uint64_t>(__builtin_popcount(e->valid));
-      e->valid = 0;
-    }
+  for (PageEntry& e : pool_) {
+    lines += static_cast<std::uint64_t>(__builtin_popcount(e.valid));
+    e.valid = 0;
   }
   return lines;
 }
 
 std::uint64_t SoftwareCache::invalidate_from_procs(ProcSet procs) {
   std::uint64_t lines = 0;
-  for (auto& head : buckets_) {
-    for (PageEntry* e = head.get(); e != nullptr; e = e->next.get()) {
-      if (procs.contains(page_home(e->page_id))) {
-        lines += static_cast<std::uint64_t>(__builtin_popcount(e->valid));
-        e->valid = 0;
-      }
+  for (PageEntry& e : pool_) {
+    if (procs.contains(page_home(e.page_id))) {
+      lines += static_cast<std::uint64_t>(__builtin_popcount(e.valid));
+      e.valid = 0;
     }
   }
   return lines;
 }
 
-std::uint64_t SoftwareCache::invalidate_lines(std::uint32_t page_id,
-                                              std::uint32_t mask) {
+SoftwareCache::InvalidateResult SoftwareCache::invalidate_lines(
+    std::uint32_t page_id, std::uint32_t mask) {
   const LookupResult r = lookup(page_id);
-  if (r.entry == nullptr) return 0;
+  if (r.entry == nullptr) return {};
+  InvalidateResult res;
   const std::uint32_t hit = r.entry->valid & mask;
   r.entry->valid &= ~mask;
-  return static_cast<std::uint64_t>(__builtin_popcount(hit));
+  res.dropped = static_cast<std::uint64_t>(__builtin_popcount(hit));
+  res.remaining =
+      static_cast<std::uint32_t>(__builtin_popcount(r.entry->valid));
+  if (res.remaining == 0) release_frame(*r.entry);
+  return res;
 }
 
 void SoftwareCache::mark_all_suspect() {
-  for (auto& head : buckets_) {
-    for (PageEntry* e = head.get(); e != nullptr; e = e->next.get()) {
-      e->suspect = true;
-    }
-  }
+  for (PageEntry& e : pool_) e.suspect = true;
 }
 
 std::vector<std::uint32_t> SoftwareCache::chain_lengths() const {
   std::vector<std::uint32_t> lengths;
   lengths.reserve(kCacheBuckets);
-  for (const auto& head : buckets_) {
-    std::uint32_t n = 0;
-    for (const PageEntry* e = head.get(); e != nullptr; e = e->next.get()) {
-      ++n;
-    }
+  for (const std::uint32_t n : counts_) {
     if (n > 0) lengths.push_back(n);
   }
   return lengths;

@@ -36,18 +36,6 @@ GlobalAddr DistHeap::allocate(ProcId proc, std::uint32_t size,
   return GlobalAddr::make(proc, base);
 }
 
-std::byte* DistHeap::home_ptr(GlobalAddr a, std::uint32_t size) {
-  Section& s = sections_[a.proc()];
-  OLDEN_REQUIRE(!a.is_null(), "dereference of a null global pointer");
-  OLDEN_REQUIRE(a.local() + size <= s.top,
-                "global address outside the owning heap section");
-  return s.storage.data() + a.local();
-}
-
-const std::byte* DistHeap::home_ptr(GlobalAddr a, std::uint32_t size) const {
-  return const_cast<DistHeap*>(this)->home_ptr(a, size);
-}
-
 const std::byte* DistHeap::line_home(GlobalAddr line_base) const {
   const Section& s = sections_[line_base.proc()];
   OLDEN_REQUIRE(line_base.local() % kLineBytes == 0, "not a line base");

@@ -25,10 +25,19 @@ class DistHeap {
   GlobalAddr allocate(ProcId proc, std::uint32_t size, std::uint32_t align);
 
   /// Host pointer to the authoritative (home) copy of `a`. The `size`
-  /// bytes starting at `a` must lie inside the owning section.
-  [[nodiscard]] std::byte* home_ptr(GlobalAddr a, std::uint32_t size);
+  /// bytes starting at `a` must lie inside the owning section. Inline:
+  /// every simulated heap access (millions per run) lands here.
+  [[nodiscard]] std::byte* home_ptr(GlobalAddr a, std::uint32_t size) {
+    Section& s = sections_[a.proc()];
+    OLDEN_REQUIRE(!a.is_null(), "dereference of a null global pointer");
+    OLDEN_REQUIRE(a.local() + size <= s.top,
+                  "global address outside the owning heap section");
+    return s.storage.data() + a.local();
+  }
   [[nodiscard]] const std::byte* home_ptr(GlobalAddr a,
-                                          std::uint32_t size) const;
+                                          std::uint32_t size) const {
+    return const_cast<DistHeap*>(this)->home_ptr(a, size);
+  }
 
   /// Host pointer to a whole 64-byte line for cache fills. Unlike
   /// home_ptr, the line's tail may extend past the bump pointer (a line

@@ -128,13 +128,14 @@ struct FuturecallAwaiter {
   FutureCell* cell = nullptr;
 
   bool await_ready() { return false; }
-  void await_suspend(std::coroutine_handle<> caller) {
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> caller) {
     Machine& m = Machine::current();
     cell = m.make_future_cell(caller, body);
     body.promise().cell = cell;
-    // The body runs next, on this processor, as this thread — via the
-    // scheduler trampoline so loops of futurecalls keep a flat host stack.
-    m.resume_soon(body);
+    // The body runs next, on this processor, as this thread — symmetric
+    // transfer where the host supports it, so loops of futurecalls keep a
+    // flat host stack.
+    return m.transfer_to(body);
   }
   Future<T> await_resume() { return Future<T>(cell); }
 };

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <coroutine>
+#include <cstddef>
 #include <cstdint>
 
 #include "olden/support/types.hpp"
@@ -63,6 +64,10 @@ struct FutureCell {
   /// Touched (value consumed, body frame destroyed) but still pinned by
   /// item.in_worklist; freed when the work list lets go.
   bool zombie = false;
+
+  /// Index into Machine::cells_, the live-cell registry that makes
+  /// teardown leak-free (cells swap-pop out when freed).
+  std::size_t registry_slot = 0;
 
   /// Causal-chain bookkeeping (observability only): the ids of this cell's
   /// future_create and future_resolve events. A steal of the saved

@@ -11,10 +11,23 @@ using trace::EventKind;
 
 Machine* Machine::current_ = nullptr;
 
+RunConfig Machine::validated(RunConfig cfg) {
+  if (cfg.nprocs < 1 || cfg.nprocs > kMaxProcs) {
+    throw ConfigError("nprocs must be in [1, " + std::to_string(kMaxProcs) +
+                      "], got " + std::to_string(cfg.nprocs));
+  }
+  return cfg;
+}
+
 Machine::Machine(RunConfig cfg)
-    : cfg_(cfg), heap_(cfg.nprocs), procs_(cfg.nprocs), obs_(cfg.observer) {
+    // validated() runs before heap_/procs_ size themselves by nprocs.
+    : cfg_(validated(cfg)),
+      heap_(cfg.nprocs),
+      procs_(cfg.nprocs),
+      obs_(cfg.observer) {
   prev_machine_ = current_;
   current_ = this;
+  events_.reserve(256);
   if (cfg_.faults != nullptr && cfg_.faults->enabled) {
     fault_ = std::make_unique<fault::FaultPlane>(*cfg_.faults, cfg_.fault_seed);
   }
@@ -22,12 +35,16 @@ Machine::Machine(RunConfig cfg)
 }
 
 Machine::~Machine() {
-  // Free zombie cells still pinned by work-list deques.
-  for (Proc& pr : procs_) {
-    for (WorkItem* w : pr.worklist) {
-      if (w->in_worklist) unlink_item(w);
-    }
+  // Free every cell still registered: zombies pinned by work-list deques,
+  // resolved-but-never-touched cells, and (under fault injection + watchdog
+  // abort) unresolved cells whose body coroutine never finished.
+  for (FutureCell* cell : cells_) {
+    if (cell->body) cell->body.destroy();
+    delete cell;
   }
+  cells_.clear();
+  for (FutureCell* cell : cell_pool_) delete cell;
+  cell_pool_.clear();
   current_ = prev_machine_;
 }
 
@@ -49,89 +66,6 @@ GlobalAddr Machine::alloc_raw(ProcId home, std::uint32_t size,
 // ---------------------------------------------------------------------------
 // Heap access
 // ---------------------------------------------------------------------------
-
-void Machine::home_copy(GlobalAddr a, void* buf, std::uint32_t size,
-                        bool is_write) {
-  std::byte* home = heap_.home_ptr(a, size);
-  if (is_write) {
-    std::memcpy(home, buf, size);
-  } else {
-    std::memcpy(buf, home, size);
-  }
-}
-
-void Machine::track_write(GlobalAddr a, std::uint32_t size) {
-  ThreadState& t = *cur_thread_;
-  t.written.add(a.proc());
-  if (!tracks_writes(cfg_.scheme)) return;
-  // Compiler-inserted write tracking (Appendix A): log the dirtied lines
-  // and charge 7 or 23 instructions depending on whether the page is
-  // shared. The home's directory entry also learns the dirty lines (the
-  // write-through message carries them).
-  std::uint32_t done = 0;
-  while (done < size) {
-    const GlobalAddr cur = a.plus(done);
-    const std::uint32_t line_off = cur.raw() % kLineBytes;
-    const std::uint32_t chunk = std::min(size - done, kLineBytes - line_off);
-    HomePageInfo& info = directory_.page(cur.page_id());
-    charge(info.shared ? cfg_.costs.write_track_shared
-                       : cfg_.costs.write_track_unshared,
-           CycleBucket::kCoherence);
-    ++stats_.tracked_writes;
-    const std::uint32_t mask = 1u << cur.line_in_page();
-    t.write_log.record(cur.page_id(), mask);
-    info.dirty_since_bump |= mask;
-    done += chunk;
-  }
-}
-
-bool Machine::access(GlobalAddr a, void* buf, std::uint32_t size,
-                     bool is_write, SiteId site) {
-  OLDEN_REQUIRE(!a.is_null(), "dereference of a null global pointer");
-  if (baseline()) {
-    charge(1, CycleBucket::kCompute);
-    home_copy(a, buf, size, is_write);
-    return true;
-  }
-  charge(cfg_.costs.pointer_test, CycleBucket::kCompute);
-  const bool local = a.proc() == cur_proc();
-  const Mechanism mech = mechanism(site);
-
-  if (mech == Mechanism::kCache) {
-    if (is_write) {
-      ++stats_.cacheable_writes;
-    } else {
-      ++stats_.cacheable_reads;
-    }
-    if (local) {
-      charge(cfg_.costs.local_access, CycleBucket::kCompute);
-      home_copy(a, buf, size, is_write);
-      if (is_write) track_write(a, size);
-      return true;
-    }
-    if (is_write) {
-      ++stats_.cacheable_writes_remote;
-    } else {
-      ++stats_.cacheable_reads_remote;
-    }
-    cached_access(cur_proc(), a, buf, size, is_write, site);
-    return true;
-  }
-
-  // Migration mechanism.
-  if (local) {
-    if (is_write) {
-      ++stats_.local_writes;
-    } else {
-      ++stats_.local_reads;
-    }
-    charge(cfg_.costs.local_access, CycleBucket::kCompute);
-    home_copy(a, buf, size, is_write);
-    if (is_write) track_write(a, size);
-    return true;
-  }
-  return false;  // the awaiter suspends and calls migrate_to()
-}
 
 void Machine::finish_access_local(GlobalAddr a, void* buf, std::uint32_t size,
                                   bool is_write) {
@@ -172,9 +106,7 @@ void Machine::cached_access(ProcId p, GlobalAddr a, void* buf,
     }
     SoftwareCache::PageEntry* e = lr.entry;
     if (e == nullptr) {
-      bool created = false;
-      e = &pr.cache.ensure_page(page_id, created);
-      OLDEN_REQUIRE(created, "lookup missed a present page");
+      e = &pr.cache.create_page(page_id);  // the lookup just missed
       charge_to(p, cfg_.costs.page_alloc, CycleBucket::kCacheStall);
       ++stats_.pages_cached;
     }
@@ -196,7 +128,7 @@ void Machine::cached_access(ProcId p, GlobalAddr a, void* buf,
       charge_to(page_home(page_id), cfg_.costs.remote_handler,
                 CycleBucket::kCacheStall);
       const GlobalAddr line_base((cur.raw() / kLineBytes) * kLineBytes);
-      std::memcpy(e->frame.get() + line * kLineBytes,
+      std::memcpy(pr.cache.ensure_frame(*e) + line * kLineBytes,
                   heap_.line_home(line_base), kLineBytes);
       e->valid |= bit;
       note_event(EventKind::kCacheLineFill, p, cur_thread_, site, page_id,
@@ -211,12 +143,12 @@ void Machine::cached_access(ProcId p, GlobalAddr a, void* buf,
       // Write-through, no-allocate: the home always gets the bytes; a
       // valid cached line is updated in place.
       std::memcpy(heap_.home_ptr(cur, chunk), user + done, chunk);
-      if ((e->valid & bit) != 0) {
-        std::memcpy(e->frame.get() + line * kLineBytes + line_off,
-                    user + done, chunk);
+      if ((e->valid & bit) != 0) {  // valid line => frame present
+        std::memcpy(e->frame + line * kLineBytes + line_off, user + done,
+                    chunk);
       }
     } else {
-      std::memcpy(user + done, e->frame.get() + line * kLineBytes + line_off,
+      std::memcpy(user + done, e->frame + line * kLineBytes + line_off,
                   chunk);
     }
     done += chunk;
@@ -288,16 +220,25 @@ void Machine::on_release(ThreadState& t) {
         charge_to(home, cfg_.costs.remote_handler, CycleBucket::kCoherence);
       }
       HomePageInfo& info = directory_.page(page);
+      // for_each iterates a snapshot of the set, so pruning mid-loop is
+      // safe.
       info.sharers.for_each([&](ProcId s) {
         if (s == src) return;  // the writer's own copy was updated in place
         ++stats_.invalidation_messages;
         charge_to(src, cfg_.costs.invalidate_send, CycleBucket::kCoherence);
         charge_to(s, cfg_.costs.invalidate_recv, CycleBucket::kCoherence);
-        const std::uint64_t dropped =
+        const SoftwareCache::InvalidateResult inv =
             procs_[s].cache.invalidate_lines(page, mask);
-        stats_.lines_invalidated += dropped;
+        stats_.lines_invalidated += inv.dropped;
+        if (inv.remaining == 0) {
+          // The sharer no longer holds a single valid line of this page
+          // (or never cached it): stop pushing invalidations its way. It
+          // re-registers on its next line fill. Without this, sharer sets
+          // only grow and long runs invalidate fully-stale copies forever.
+          info.sharers.remove(s);
+        }
         note_side_event(EventKind::kLineInvalidate, s, &t, trace::kNoSite,
-                        page, dropped);
+                        page, inv.dropped);
       });
       info.dirty_since_bump = 0;
     });
@@ -370,13 +311,9 @@ void Machine::migrate_to(ProcId target, std::coroutine_handle<> h,
                      .thread = t});
 }
 
-void Machine::resume_soon(std::coroutine_handle<> h) {
-  const ProcId p = cur_proc();
-  push_ready(p, ReadyItem{h, cur_thread_, procs_[p].clock}, /*front=*/true);
-}
-
-void Machine::on_task_final(std::coroutine_handle<> cont, ProcId call_proc,
-                            FutureCell* cell) {
+std::coroutine_handle<> Machine::on_task_final(std::coroutine_handle<> cont,
+                                               ProcId call_proc,
+                                               FutureCell* cell) {
   ThreadState* t = cur_thread_;
   if (cell != nullptr) {
     // A future body finished.
@@ -388,11 +325,10 @@ void Machine::on_task_final(std::coroutine_handle<> cont, ProcId call_proc,
       if (!cell->item.taken) {
         // Lazy task creation pay-off: nothing migrated the body away from
         // this processor for long enough for the continuation to be
-        // stolen — pop it and continue as the same thread.
+        // stolen — pop it and continue as the same thread, directly.
         cell->item.taken = true;
         ++stats_.futures_inlined;
-        resume_soon(cell->item.cont);
-        return;
+        return transfer_to(cell->item.cont);
       }
       if (cell->waiter) {
         const auto waiter = cell->waiter;
@@ -403,7 +339,7 @@ void Machine::on_task_final(std::coroutine_handle<> cont, ProcId call_proc,
         push_ready(cell->waiter_proc,
                    ReadyItem{waiter, cell->waiter_thread, procs_[t->proc].clock});
       }
-      return;  // this thread retires
+      return std::noop_coroutine();  // this thread retires
     }
     // Remote completion: the resolution message is a release.
     on_release(*t);
@@ -421,12 +357,12 @@ void Machine::on_task_final(std::coroutine_handle<> cont, ProcId call_proc,
                        .h = nullptr,
                        .thread = nullptr,
                        .cell = cell});
-    return;  // this thread retires
+    return std::noop_coroutine();  // this thread retires
   }
 
   if (cont == nullptr) {
     note_root_done();
-    return;
+    return std::noop_coroutine();
   }
 
   if (t->proc != call_proc) {
@@ -449,9 +385,11 @@ void Machine::on_task_final(std::coroutine_handle<> cont, ProcId call_proc,
                        .target = call_proc,
                        .h = cont,
                        .thread = t});
-    return;
+    return std::noop_coroutine();
   }
-  resume_soon(cont);  // plain local return: resume the caller next
+  // Plain local return: transfer straight into the caller (same processor,
+  // same thread, same clock — the queued round trip would change nothing).
+  return transfer_to(cont);
 }
 
 // ---------------------------------------------------------------------------
@@ -462,11 +400,20 @@ FutureCell* Machine::make_future_cell(std::coroutine_handle<> caller_cont,
                                       std::coroutine_handle<> body) {
   ++stats_.futurecalls;
   charge(cfg_.costs.future_call, CycleBucket::kCompute);
-  auto* cell = new FutureCell;
+  FutureCell* cell;
+  if (cell_pool_.empty()) {
+    cell = new FutureCell;
+  } else {
+    cell = cell_pool_.back();
+    cell_pool_.pop_back();
+    *cell = FutureCell{};  // reset a recycled cell to pristine state
+  }
   cell->home = cur_proc();
   cell->serial = stats_.futurecalls;
   cell->body = body;
   cell->item = WorkItem{caller_cont, cell, false, true};
+  cell->registry_slot = cells_.size();
+  cells_.push_back(cell);
   procs_[cur_proc()].worklist.push_back(&cell->item);
   ++cells_live_;
   cell->obs_create_event = note_event(EventKind::kFutureCreate, cur_proc(),
@@ -516,13 +463,21 @@ void Machine::destroy_cell(FutureCell* cell) {
   if (cell->item.in_worklist) {
     cell->zombie = true;  // the work-list pop frees it
   } else {
-    delete cell;
+    free_cell(cell);
   }
+}
+
+void Machine::free_cell(FutureCell* cell) {
+  FutureCell* moved = cells_.back();
+  cells_[cell->registry_slot] = moved;
+  moved->registry_slot = cell->registry_slot;
+  cells_.pop_back();
+  cell_pool_.push_back(cell);  // recycle: one futurecall, zero steady-state news
 }
 
 void Machine::unlink_item(WorkItem* w) {
   w->in_worklist = false;
-  if (w->cell->zombie) delete w->cell;
+  if (w->cell->zombie) free_cell(w->cell);
 }
 
 void Machine::resolve_future_at_home(FutureCell* cell) {
@@ -709,8 +664,7 @@ void Machine::drain() {
     }
     if (ran) applied_without_progress = 0;
     if (!events_.empty()) {
-      const Event e = events_.top();
-      events_.pop();
+      const Event e = events_.pop_min();
       apply(e);
       if (fault_ != nullptr) {
         fault_->check_progress(*this, ++applied_without_progress);

@@ -18,11 +18,11 @@
 // randomness comes from seeded olden::Rng.
 #pragma once
 
+#include <algorithm>
 #include <coroutine>
 #include <cstring>
 #include <deque>
 #include <memory>
-#include <queue>
 #include <type_traits>
 #include <vector>
 
@@ -33,10 +33,29 @@
 #include "olden/runtime/future_cell.hpp"
 #include "olden/runtime/thread.hpp"
 #include "olden/support/cost_model.hpp"
+#include "olden/support/min_heap.hpp"
 #include "olden/support/require.hpp"
 #include "olden/support/stats.hpp"
 #include "olden/support/types.hpp"
 #include "olden/trace/observer.hpp"
+
+// Symmetric transfer relies on the guaranteed tail call from
+// await_suspend; sanitizer instrumentation defeats that call, so every
+// transfer would leave a host frame behind and unbounded call/return
+// chains would overflow the host stack. Sanitized builds route those
+// resumptions through the front of the ready queue instead (the original
+// trampoline scheduling — identical virtual behavior, flat host stack).
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define OLDEN_SYMMETRIC_TRANSFER 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define OLDEN_SYMMETRIC_TRANSFER 0
+#else
+#define OLDEN_SYMMETRIC_TRANSFER 1
+#endif
+#else
+#define OLDEN_SYMMETRIC_TRANSFER 1
+#endif
 
 namespace olden {
 
@@ -65,6 +84,10 @@ struct RunConfig {
 
 class Machine {
  public:
+  /// Throws ConfigError unless `1 <= cfg.nprocs <= kMaxProcs`: nprocs = 0
+  /// has no processor 0 to post the root thread on, and anything past
+  /// kMaxProcs overflows ProcSet's 64-bit masks and GlobalAddr's 6-bit
+  /// processor field.
   explicit Machine(RunConfig cfg);
   ~Machine();
 
@@ -130,9 +153,57 @@ class Machine {
   /// the software cache); false means the caller must suspend and the
   /// machine will migrate the thread to `a`'s owner (call
   /// `migrate_to(...)` from await_suspend, then `finish_access_local`
-  /// from await_resume).
+  /// from await_resume). Inline: this runs once per rd/wr in every
+  /// simulated program, and the local fast path is a handful of branches.
   bool access(GlobalAddr a, void* buf, std::uint32_t size, bool is_write,
-              SiteId site);
+              SiteId site) {
+    OLDEN_REQUIRE(!a.is_null(), "dereference of a null global pointer");
+    if (baseline()) {
+      charge(1, trace::CycleBucket::kCompute);
+      home_copy(a, buf, size, is_write);
+      return true;
+    }
+    charge(cfg_.costs.pointer_test, trace::CycleBucket::kCompute);
+    const bool local = a.proc() == cur_proc();
+    const Mechanism mech = mechanism(site);
+
+    if (mech == Mechanism::kCache) {
+      if (is_write) {
+        ++stats_.cacheable_writes;
+      } else {
+        ++stats_.cacheable_reads;
+      }
+      if (local) {
+        charge(cfg_.costs.local_access, trace::CycleBucket::kCompute);
+        home_copy(a, buf, size, is_write);
+        if (is_write) track_write(a, size);
+        return true;
+      }
+      if (is_write) {
+        ++stats_.cacheable_writes_remote;
+      } else {
+        ++stats_.cacheable_reads_remote;
+      }
+      if (!cached_access_fast(cur_proc(), a, buf, size, is_write, site)) {
+        cached_access(cur_proc(), a, buf, size, is_write, site);
+      }
+      return true;
+    }
+
+    // Migration mechanism.
+    if (local) {
+      if (is_write) {
+        ++stats_.local_writes;
+      } else {
+        ++stats_.local_reads;
+      }
+      charge(cfg_.costs.local_access, trace::CycleBucket::kCompute);
+      home_copy(a, buf, size, is_write);
+      if (is_write) track_write(a, size);
+      return true;
+    }
+    return false;  // the awaiter suspends and calls migrate_to()
+  }
 
   /// Begin a forward computation migration of the current thread to
   /// `target`; `h` resumes on arrival. `site` is the dereference site
@@ -146,17 +217,43 @@ class Machine {
 
   // --- hooks used by Task / future awaiters ------------------------------
 
-  /// A procedure finished. Routes control onward: the caller continuation
-  /// or an inlined future continuation is queued for immediate resumption
-  /// (a scheduler trampoline — unbounded call/return chains must not grow
-  /// the host stack), return stubs and remote resolutions go through the
-  /// event queue, and the thread retires when nothing continues it.
-  void on_task_final(std::coroutine_handle<> cont, ProcId call_proc,
-                     FutureCell* cell);
+  /// A procedure finished. Routes control onward and returns the handle
+  /// the final-suspend awaiter must symmetric-transfer into: the caller
+  /// continuation or an inlined future continuation resumes directly
+  /// (tail-call, so unbounded call/return chains still keep a flat host
+  /// stack), return stubs and remote resolutions go through the event
+  /// queue, and the thread retires when nothing continues it — the latter
+  /// cases return std::noop_coroutine() to unwind to the scheduler.
+  [[nodiscard]] std::coroutine_handle<> on_task_final(
+      std::coroutine_handle<> cont, ProcId call_proc, FutureCell* cell);
 
-  /// Queue `h` to resume next on the current processor, as the current
-  /// thread, at the current time (LIFO, ahead of queued arrivals).
-  void resume_soon(std::coroutine_handle<> h);
+  /// The observer-side twin of the push_ready a symmetric transfer
+  /// bypasses: the handle resumes directly (same processor, same thread,
+  /// same clock), but the ready-queue-depth histogram still receives
+  /// exactly the sample the queued round trip would have recorded.
+  void note_bypassed_push(ProcId p) {
+    if (obs_ != nullptr) {
+      obs_->record(trace::Hist::kReadyQueueDepth, procs_[p].ready.size() + 1);
+    }
+  }
+
+  /// Resume `h` next, on this processor, as this thread. Normal builds
+  /// symmetric-transfer (return `h` from await_suspend — the tail call
+  /// keeps the host stack flat); sanitized builds, where that tail call
+  /// is defeated by instrumentation, queue it at the front of the ready
+  /// queue instead (see OLDEN_SYMMETRIC_TRANSFER above). The two are
+  /// virtually indistinguishable: same processor, same thread, same
+  /// clock, and the same ready-queue-depth histogram sample.
+  [[nodiscard]] std::coroutine_handle<> transfer_to(std::coroutine_handle<> h) {
+    const ProcId p = cur_proc();
+#if OLDEN_SYMMETRIC_TRANSFER
+    note_bypassed_push(p);
+    return h;
+#else
+    push_ready(p, ReadyItem{h, cur_thread_, procs_[p].clock}, /*front=*/true);
+    return std::noop_coroutine();
+#endif
+  }
 
   /// futurecall bookkeeping: make a cell, park the caller continuation on
   /// the work list. The caller then symmetric-transfers into `body`.
@@ -248,6 +345,13 @@ class Machine {
     }
   };
 
+  /// RunConfig sanity gate, run before any member that sizes itself by
+  /// nprocs is constructed. Throws ConfigError on violation.
+  static RunConfig validated(RunConfig cfg);
+
+  /// Unregister `cell` from the live-cell registry and delete it.
+  void free_cell(FutureCell* cell);
+
   void schedule(Event e);
   void apply(const Event& e);
   /// Route a payload message onto the wire. With no fault plane this is
@@ -335,14 +439,94 @@ class Machine {
   /// Acquire on `p` for thread `t` (trace attribution; may be null).
   /// writers == null => full flush.
   void on_acquire(ProcId p, const ProcSet* writers, ThreadState* t);
-  void track_write(GlobalAddr a, std::uint32_t size);
+  /// Compiler-inserted write tracking (Appendix A): log the dirtied lines
+  /// and charge 7 or 23 instructions depending on whether the page is
+  /// shared. The home's directory entry also learns the dirty lines (the
+  /// write-through message carries them). Inline: runs on every tracked
+  /// write, and the common case is a single line.
+  void track_write(GlobalAddr a, std::uint32_t size) {
+    ThreadState& t = *cur_thread_;
+    t.written.add(a.proc());
+    if (!tracks_writes(cfg_.scheme)) return;
+    std::uint32_t done = 0;
+    while (done < size) {
+      const GlobalAddr cur = a.plus(done);
+      const std::uint32_t line_off = cur.raw() % kLineBytes;
+      const std::uint32_t chunk = std::min(size - done, kLineBytes - line_off);
+      HomePageInfo& info = directory_.page(cur.page_id());
+      charge(info.shared ? cfg_.costs.write_track_shared
+                         : cfg_.costs.write_track_unshared,
+             trace::CycleBucket::kCoherence);
+      ++stats_.tracked_writes;
+      const std::uint32_t mask = 1u << cur.line_in_page();
+      t.write_log.record(cur.page_id(), mask);
+      info.dirty_since_bump |= mask;
+      done += chunk;
+    }
+  }
 
   // cache data paths (charge as they go)
   void cached_access(ProcId p, GlobalAddr a, void* buf, std::uint32_t size,
                      bool is_write, SiteId site);
+
+  /// Single-line cached access with the page already resident and not
+  /// suspect: the overwhelmingly common case, handled inline. Charges,
+  /// stats and events are byte-for-byte what `cached_access` produces for
+  /// the same access; anything off the fast path (page fault, line miss
+  /// on a read, suspect page, straddling access) returns false untouched
+  /// — no cycles charged, no stats bumped — and the general path redoes
+  /// the translation from scratch.
+  bool cached_access_fast(ProcId p, GlobalAddr a, void* buf,
+                          std::uint32_t size, bool is_write, SiteId site) {
+    const std::uint32_t line_off = a.raw() % kLineBytes;
+    if (line_off + size > kLineBytes) return false;  // straddles lines
+    Proc& pr = procs_[p];
+    const std::uint32_t page_id = a.page_id();
+    const SoftwareCache::LookupResult lr = pr.cache.lookup(page_id);
+    SoftwareCache::PageEntry* e = lr.entry;
+    if (e == nullptr || e->suspect) return false;
+    const std::uint32_t line = a.line_in_page();
+    const std::uint32_t bit = 1u << line;
+    if (!is_write && (e->valid & bit) == 0) return false;  // read miss
+
+    charge_to(p, cfg_.costs.cache_lookup, trace::CycleBucket::kCacheStall);
+    if (lr.chain_steps > 1) {
+      charge_to(p, (lr.chain_steps - 1) * cfg_.costs.cache_chain_step,
+                trace::CycleBucket::kCacheStall);
+    }
+    auto* user = static_cast<std::byte*>(buf);
+    if (is_write) {
+      // Write-through, no-allocate: the home always gets the bytes; a
+      // valid cached line is updated in place.
+      std::memcpy(heap_.home_ptr(a, size), user, size);
+      if ((e->valid & bit) != 0) {
+        std::memcpy(e->frame + line * kLineBytes + line_off, user, size);
+      }
+    } else {
+      std::memcpy(user, e->frame + line * kLineBytes + line_off, size);
+    }
+    if (obs_ != nullptr) obs_->touch_page(p, page_id);
+    if (is_write) {
+      charge_to(p, cfg_.costs.remote_write, trace::CycleBucket::kCacheStall);
+      charge_to(a.proc(), cfg_.costs.remote_handler,
+                trace::CycleBucket::kCacheStall);
+      track_write(a, size);
+    } else {
+      ++stats_.cache_hits;
+      note_event(trace::EventKind::kCacheHit, p, cur_thread_, site, page_id);
+    }
+    return true;
+  }
   /// Returns true if the page needed a timestamp round trip.
   bool revalidate_suspect_page(ProcId p, SoftwareCache::PageEntry& entry);
-  void home_copy(GlobalAddr a, void* buf, std::uint32_t size, bool is_write);
+  void home_copy(GlobalAddr a, void* buf, std::uint32_t size, bool is_write) {
+    std::byte* home = heap_.home_ptr(a, size);
+    if (is_write) {
+      std::memcpy(home, buf, size);
+    } else {
+      std::memcpy(buf, home, size);
+    }
+  }
   void resolve_future_at_home(FutureCell* cell);
 
   RunConfig cfg_;
@@ -351,7 +535,7 @@ class Machine {
   CoherenceDirectory directory_;
   std::vector<Mechanism> site_mech_;
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  MinHeap<Event> events_;
   std::uint64_t next_seq_ = 0;
 
   std::deque<ThreadState> threads_;  // stable addresses
@@ -360,6 +544,14 @@ class Machine {
   bool root_done_ = false;
   std::uint64_t cells_live_ = 0;
   std::uint64_t live_suspended_ = 0;
+  /// Every FutureCell not yet freed, for leak-proof teardown: a program
+  /// may end with resolved-but-never-touched cells (or unresolved ones,
+  /// under fault injection), which no work list still references.
+  /// Cells swap-pop out via `free_cell`; ~Machine frees the remainder.
+  std::vector<FutureCell*> cells_;
+  /// Retired cells held for reuse — futurecall is hot enough that one
+  /// heap allocation per call shows up in host profiles.
+  std::vector<FutureCell*> cell_pool_;
 
   MachineStats stats_;
   trace::Observer* obs_ = nullptr;

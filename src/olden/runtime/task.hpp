@@ -58,11 +58,14 @@ class [[nodiscard]] Task {
 
     struct FinalAwaiter {
       bool await_ready() noexcept { return false; }
-      void await_suspend(std::coroutine_handle<promise_type> h) noexcept {
-        // Unwinds to the scheduler loop; on_task_final queued whatever
-        // continues (trampoline — see machine.hpp).
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> h) noexcept {
+        // Symmetric transfer into whatever continues (the local caller or
+        // an inlined future continuation), or a noop handle to unwind to
+        // the scheduler loop when control goes through the event queue.
+        // Either way the host stack stays flat (see machine.hpp).
         promise_type& p = h.promise();
-        Machine::current().on_task_final(p.cont, p.call_proc, p.cell);
+        return Machine::current().on_task_final(p.cont, p.call_proc, p.cell);
       }
       void await_resume() noexcept {}
     };
@@ -88,10 +91,11 @@ class [[nodiscard]] Task {
       handle_type h;
       bool await_ready() { return false; }
       std::coroutine_handle<> await_suspend(std::coroutine_handle<> caller) {
+        Machine& m = Machine::current();
         promise_type& p = h.promise();
         p.cont = caller;
-        p.call_proc = Machine::current().cur_proc();
-        Machine::current().charge_call();
+        p.call_proc = m.cur_proc();
+        m.charge_call();
         return h;
       }
       T await_resume() { return h.promise().take(); }

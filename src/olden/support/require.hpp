@@ -1,13 +1,29 @@
-// Error handling: precondition checks that abort with a message.
+// Error handling: precondition checks that abort with a message, and the
+// structured error for rejected configuration.
 //
 // The simulator is deterministic, so a failed invariant is always a
 // programming error, never an environmental condition — we terminate rather
 // than throw (Core Guidelines I.6/E.12: contracts violations are not
-// recoverable errors).
+// recoverable errors). Bad *input* — a RunConfig with an impossible
+// processor count, typically from a CLI flag — is the one recoverable case
+// and throws ConfigError so drivers can print it and exit cleanly.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace olden {
+
+/// Invalid run configuration (e.g. nprocs outside [1, kMaxProcs]).
+/// CLIs catch this and exit with status 2.
+class ConfigError : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace olden
 
 namespace olden::detail {
 

@@ -1,6 +1,7 @@
 // Fundamental scalar types shared by every Olden module.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 
 namespace olden {
@@ -46,9 +47,18 @@ class ProcSet {
  public:
   constexpr ProcSet() = default;
 
-  constexpr void add(ProcId p) { bits_ |= (std::uint64_t{1} << p); }
-  constexpr void remove(ProcId p) { bits_ &= ~(std::uint64_t{1} << p); }
+  // Shifting by >= 64 is undefined behavior, so p must be a real ProcId;
+  // Machine's constructor guarantees nprocs <= kMaxProcs up front.
+  constexpr void add(ProcId p) {
+    assert(p < kMaxProcs);
+    bits_ |= (std::uint64_t{1} << p);
+  }
+  constexpr void remove(ProcId p) {
+    assert(p < kMaxProcs);
+    bits_ &= ~(std::uint64_t{1} << p);
+  }
   [[nodiscard]] constexpr bool contains(ProcId p) const {
+    assert(p < kMaxProcs);
     return (bits_ >> p) & 1U;
   }
   constexpr void clear() { bits_ = 0; }

@@ -1,0 +1,160 @@
+// A/B golden equivalence for the host-speed cache overhaul.
+//
+// Tuning::kOptimized (MRU fast path, move-to-front, frame recycling, flat
+// coherence structures behind it) must be simulation-invisible next to
+// Tuning::kReference, which walks hash chains physically in insertion
+// order exactly like the pre-overhaul cache. The strongest statement we
+// can make is byte equality: every benchmark in the suite, under every
+// coherence scheme, produces a byte-identical binary trace and an
+// identical stats JSON document whichever tuning is selected. Any
+// divergence — one cycle, one counter, one event — fails here before it
+// can reach a baseline diff.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "olden/bench/benchmark.hpp"
+#include "olden/cache/software_cache.hpp"
+#include "olden/support/rng.hpp"
+#include "olden/trace/observer.hpp"
+
+namespace olden::bench {
+namespace {
+
+/// Restores the process-wide tuning no matter how the test exits.
+class TuningGuard {
+ public:
+  explicit TuningGuard(SoftwareCache::Tuning t) {
+    SoftwareCache::set_default_tuning(t);
+  }
+  ~TuningGuard() {
+    SoftwareCache::set_default_tuning(SoftwareCache::Tuning::kOptimized);
+  }
+};
+
+struct Golden {
+  std::string trace_bytes;
+  std::string stats;
+  std::uint64_t checksum = 0;
+  std::uint64_t cycles = 0;
+};
+
+Golden run_with_tuning(const Benchmark& b, Coherence scheme,
+                       SoftwareCache::Tuning tuning) {
+  TuningGuard guard(tuning);
+  trace::Observer obs;
+  obs.set_trace_enabled(true);
+  obs.begin_run(b.name() + "/equiv");
+  BenchConfig cfg{.nprocs = 8, .scheme = scheme};
+  cfg.tiny = true;
+  cfg.observer = &obs;
+  const BenchResult r = b.run(cfg);
+  return {trace::binary_trace_bytes(obs), trace::stats_json(obs), r.checksum,
+          r.total_cycles};
+}
+
+class CacheEquivalence
+    : public ::testing::TestWithParam<std::tuple<std::string, Coherence>> {};
+
+TEST_P(CacheEquivalence, OptimizedMatchesReferenceByteForByte) {
+  const auto [name, scheme] = GetParam();
+  const Benchmark* b = find_benchmark(name);
+  ASSERT_NE(b, nullptr);
+
+  const Golden ref =
+      run_with_tuning(*b, scheme, SoftwareCache::Tuning::kReference);
+  const Golden opt =
+      run_with_tuning(*b, scheme, SoftwareCache::Tuning::kOptimized);
+
+  EXPECT_EQ(opt.checksum, ref.checksum);
+  EXPECT_EQ(opt.cycles, ref.cycles);
+  EXPECT_EQ(opt.stats, ref.stats);
+  // Compare sizes first so a mismatch prints something readable instead
+  // of two megabytes of binary.
+  ASSERT_EQ(opt.trace_bytes.size(), ref.trace_bytes.size());
+  EXPECT_TRUE(opt.trace_bytes == ref.trace_bytes)
+      << "binary traces differ for " << name;
+}
+
+std::vector<std::string> suite_names() {
+  std::vector<std::string> names;
+  for (const Benchmark* b : suite()) names.push_back(b->name());
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FullSuite, CacheEquivalence,
+    ::testing::Combine(::testing::ValuesIn(suite_names()),
+                       ::testing::Values(Coherence::kLocalKnowledge,
+                                         Coherence::kEagerGlobal,
+                                         Coherence::kBilateral)),
+    [](const auto& info) {
+      std::string s;
+      for (char c : std::get<0>(info.param)) {
+        // gtest names must be alphanumeric: "Barnes-Hut" -> "BarnesHut".
+        if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+            (c >= '0' && c <= '9')) {
+          s += c;
+        }
+      }
+      switch (std::get<1>(info.param)) {
+        case Coherence::kLocalKnowledge: s += "_local"; break;
+        case Coherence::kEagerGlobal: s += "_global"; break;
+        case Coherence::kBilateral: s += "_bilateral"; break;
+      }
+      return s;
+    });
+
+// The charged chain position must be identical under both tunings for
+// arbitrary interleavings of inserts and lookups — move-to-front reorders
+// the physical chain, so this fails if anyone ever charges from physical
+// positions again. The bucket-population histogram is checked too: it
+// feeds the Figure 1 claim and must not see host-side reordering.
+TEST(CacheEquivalence, ChainAccountingMatchesPhysicalWalk) {
+  SoftwareCache::set_default_tuning(SoftwareCache::Tuning::kOptimized);
+  SoftwareCache opt;
+  SoftwareCache::set_default_tuning(SoftwareCache::Tuning::kReference);
+  SoftwareCache ref;
+  SoftwareCache::set_default_tuning(SoftwareCache::Tuning::kOptimized);
+  ASSERT_EQ(opt.tuning(), SoftwareCache::Tuning::kOptimized);
+  ASSERT_EQ(ref.tuning(), SoftwareCache::Tuning::kReference);
+
+  Rng rng(20260806);
+  std::vector<std::uint32_t> pages;
+  for (int step = 0; step < 20000; ++step) {
+    const bool insert = pages.empty() || rng.next_below(4) == 0;
+    if (insert) {
+      // Clustered ids (runs per home processor) like a real heap, so
+      // buckets actually grow chains.
+      const std::uint32_t id =
+          static_cast<std::uint32_t>(rng.next_below(40) << (kProcShift - 11)) +
+          static_cast<std::uint32_t>(rng.next_below(96));
+      bool co = false;
+      bool cr = false;
+      opt.ensure_page(id, co);
+      ref.ensure_page(id, cr);
+      ASSERT_EQ(co, cr) << "creation disagreement on page " << id;
+      if (co) pages.push_back(id);
+    } else {
+      // Revisit a previously-seen page (exercises MRU + move-to-front) or
+      // probe a likely-absent one (exercises miss accounting).
+      const std::uint32_t id = rng.next_below(8) == 0
+                                   ? static_cast<std::uint32_t>(
+                                         1000000 + rng.next_below(100000))
+                                   : pages[rng.next_below(pages.size())];
+      const auto lo = opt.lookup(id);
+      const auto lr = ref.lookup(id);
+      ASSERT_EQ(lo.entry == nullptr, lr.entry == nullptr) << id;
+      ASSERT_EQ(lo.chain_steps, lr.chain_steps)
+          << "charged chain position diverged on page " << id;
+    }
+  }
+  EXPECT_EQ(opt.chain_lengths(), ref.chain_lengths());
+  EXPECT_EQ(opt.pages_created(), ref.pages_created());
+  EXPECT_EQ(opt.pages_live(), ref.pages_live());
+}
+
+}  // namespace
+}  // namespace olden::bench

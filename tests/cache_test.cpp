@@ -31,9 +31,9 @@ TEST(SoftwareCache, FramesAreWholePagesAndDistinct) {
   bool created = false;
   auto& a = c.ensure_page(1, created);
   auto& b = c.ensure_page(2, created);
-  ASSERT_NE(a.frame.get(), nullptr);
-  ASSERT_NE(b.frame.get(), nullptr);
-  EXPECT_NE(a.frame.get(), b.frame.get());
+  ASSERT_NE(a.frame, nullptr);
+  ASSERT_NE(b.frame, nullptr);
+  EXPECT_NE(a.frame, b.frame);
   a.frame[kPageBytes - 1] = std::byte{0x5a};  // last byte is addressable
   EXPECT_EQ(a.frame[kPageBytes - 1], std::byte{0x5a});
 }
@@ -69,10 +69,19 @@ TEST(SoftwareCache, InvalidateLinesByMask) {
   SoftwareCache c;
   bool created = false;
   c.ensure_page(9, created).valid = 0b1111;
-  EXPECT_EQ(c.invalidate_lines(9, 0b0110), 2u);
+  auto r = c.invalidate_lines(9, 0b0110);
+  EXPECT_EQ(r.dropped, 2u);
+  EXPECT_EQ(r.remaining, 2u);
   EXPECT_EQ(c.lookup(9).entry->valid, 0b1001u);
-  EXPECT_EQ(c.invalidate_lines(9, 0b0110), 0u);   // already gone
-  EXPECT_EQ(c.invalidate_lines(77, 0xff), 0u);    // absent page
+  r = c.invalidate_lines(9, 0b0110);  // already gone
+  EXPECT_EQ(r.dropped, 0u);
+  EXPECT_EQ(r.remaining, 2u);
+  r = c.invalidate_lines(9, 0b1111);  // drops the rest of the page
+  EXPECT_EQ(r.dropped, 2u);
+  EXPECT_EQ(r.remaining, 0u);
+  r = c.invalidate_lines(77, 0xff);   // absent page
+  EXPECT_EQ(r.dropped, 0u);
+  EXPECT_EQ(r.remaining, 0u);
 }
 
 TEST(SoftwareCache, SuspectMarking) {
@@ -128,8 +137,12 @@ TEST(WriteLog, RecordsAndMergesLineMasks) {
   int seen = 0;
   log.for_each([&](std::uint32_t page, std::uint32_t mask) {
     ++seen;
-    if (page == 10) EXPECT_EQ(mask, 0b11u);
-    if (page == 11) EXPECT_EQ(mask, 0b100u);
+    if (page == 10) {
+      EXPECT_EQ(mask, 0b11u);
+    }
+    if (page == 11) {
+      EXPECT_EQ(mask, 0b100u);
+    }
   });
   EXPECT_EQ(seen, 2);
   log.clear();

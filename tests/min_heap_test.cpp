@@ -1,0 +1,71 @@
+// MinHeap is the event queue under the whole simulator: it replaced
+// std::priority_queue so drain() can move events out and reserve storage.
+// The simulation's determinism rests on it popping exactly the same
+// sequence the old queue did, so check it against std::priority_queue on
+// randomized interleavings of pushes and pops, with (time, seq) keys that
+// collide on time the way real events do.
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <vector>
+
+#include "olden/support/min_heap.hpp"
+#include "olden/support/rng.hpp"
+
+namespace olden {
+namespace {
+
+struct Key {
+  std::uint64_t time = 0;
+  std::uint64_t seq = 0;
+  bool operator>(const Key& o) const {
+    if (time != o.time) return time > o.time;
+    return seq > o.seq;
+  }
+  bool operator==(const Key& o) const {
+    return time == o.time && seq == o.seq;
+  }
+};
+
+TEST(MinHeap, MatchesPriorityQueueOnRandomInterleavings) {
+  Rng rng(42);
+  MinHeap<Key> mine;
+  std::priority_queue<Key, std::vector<Key>, std::greater<Key>> ref;
+  std::uint64_t seq = 0;
+  for (int step = 0; step < 50000; ++step) {
+    const bool push = ref.empty() || rng.next_below(3) != 0;
+    if (push) {
+      // Few distinct times, so seq ordering under collisions is exercised.
+      const Key k{rng.next_below(64), seq++};
+      mine.push(k);
+      ref.push(k);
+    } else {
+      ASSERT_FALSE(mine.empty());
+      const Key expect = ref.top();
+      ref.pop();
+      ASSERT_EQ(mine.pop_min(), expect) << "diverged at step " << step;
+    }
+    ASSERT_EQ(mine.size(), ref.size());
+  }
+  while (!ref.empty()) {
+    const Key expect = ref.top();
+    ref.pop();
+    ASSERT_EQ(mine.pop_min(), expect);
+  }
+  EXPECT_TRUE(mine.empty());
+}
+
+TEST(MinHeap, ReserveDoesNotDisturbContents) {
+  MinHeap<Key> h;
+  for (std::uint64_t i = 0; i < 100; ++i) h.push({100 - i, i});
+  h.reserve(4096);
+  std::uint64_t last = 0;
+  for (int i = 0; i < 100; ++i) {
+    const Key k = h.pop_min();
+    EXPECT_GE(k.time, last);
+    last = k.time;
+  }
+}
+
+}  // namespace
+}  // namespace olden

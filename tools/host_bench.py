@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Time the simulator's own hot paths and diff against the host baseline.
+
+Usage: host_bench.py [--build-dir DIR] [--baseline FILE] [--out FILE]
+                     [--repeat N] [--max-regression X] [--update-baseline]
+
+Runs `bench/host_perf` (the wall-clock harness over the full --tiny
+benchmark matrix), writes its schema-versioned JSON document, and
+compares total and per-cell times against the committed baseline,
+bench/baselines/HOST_seed.json by default.
+
+Interpreting the numbers: host_perf reports best-of-N per cell, which
+filters scheduler noise within one process, but *between* runs on a
+shared machine the same binary can easily drift tens of percent. The
+comparison therefore only FAILS when a cell (or the total) exceeds
+--max-regression (default 2.0x) — a threshold chosen to catch "someone
+made the simulator accidentally quadratic", not a noisy neighbor.
+Speedups and small slowdowns are reported informationally. For a real
+before/after measurement, build both revisions and interleave the
+binaries; see docs/PERFORMANCE.md.
+
+Exit codes: 0 ok, 1 regression above threshold / harness failure,
+2 bad usage. Stdlib only, so it can run in any CI image.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+HOST_BENCH_SCHEMA_VERSION = 1
+
+
+def run_harness(build_dir: str, repeat: int, out_path: str) -> dict:
+    exe = os.path.join(build_dir, "bench", "host_perf")
+    if not os.path.exists(exe):
+        print(f"host_bench: {exe} not found (build the repo first)",
+              file=sys.stderr)
+        sys.exit(1)
+    cmd = [exe, f"--repeat={repeat}", f"--json={out_path}"]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    sys.stdout.write(proc.stdout)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        print(f"host_bench: harness failed with exit {proc.returncode}",
+              file=sys.stderr)
+        sys.exit(1)
+    with open(out_path) as f:
+        return json.load(f)
+
+
+def check_schema(doc: dict, origin: str) -> None:
+    version = doc.get("host_bench_schema_version")
+    if version != HOST_BENCH_SCHEMA_VERSION:
+        print(f"host_bench: {origin} has schema version {version!r}, "
+              f"expected {HOST_BENCH_SCHEMA_VERSION}", file=sys.stderr)
+        sys.exit(1)
+
+
+def cell_map(doc: dict) -> dict:
+    return {(c["benchmark"], c["scheme"]): c for c in doc["cells"]}
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build-dir", default="build")
+    ap.add_argument("--baseline", default=os.path.join(
+        "bench", "baselines", "HOST_seed.json"))
+    ap.add_argument("--out", default="HOST_current.json")
+    ap.add_argument("--repeat", type=int, default=3)
+    ap.add_argument("--max-regression", type=float, default=2.0,
+                    help="fail when current/baseline exceeds this ratio")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="overwrite the baseline with this run and exit 0")
+    args = ap.parse_args()
+    if args.repeat < 1 or args.max_regression <= 1.0:
+        ap.error("--repeat must be >= 1 and --max-regression > 1.0")
+
+    current = run_harness(args.build_dir, args.repeat, args.out)
+    check_schema(current, args.out)
+    print(f"wrote {args.out}")
+
+    if args.update_baseline:
+        os.makedirs(os.path.dirname(args.baseline), exist_ok=True)
+        with open(args.baseline, "w") as f:
+            json.dump(current, f, indent=1)
+            f.write("\n")
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    if not os.path.exists(args.baseline):
+        print(f"host_bench: no baseline at {args.baseline}; "
+              "run with --update-baseline to create one", file=sys.stderr)
+        return 1
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    check_schema(baseline, args.baseline)
+
+    base_cells = cell_map(baseline)
+    cur_cells = cell_map(current)
+    failures = []
+    print(f"{'cell':<24} {'base ms':>9} {'now ms':>9} {'ratio':>7}")
+    for key in sorted(base_cells):
+        if key not in cur_cells:
+            failures.append(f"cell {key} missing from current run")
+            continue
+        base_ms = base_cells[key]["best_ms"]
+        now_ms = cur_cells[key]["best_ms"]
+        ratio = now_ms / base_ms if base_ms > 0 else float("inf")
+        mark = ""
+        if ratio > args.max_regression:
+            failures.append(
+                f"{key[0]}/{key[1]}: {now_ms:.2f} ms vs baseline "
+                f"{base_ms:.2f} ms ({ratio:.2f}x > "
+                f"{args.max_regression:.2f}x)")
+            mark = "  <-- REGRESSION"
+        print(f"{key[0] + '/' + key[1]:<24} {base_ms:9.2f} {now_ms:9.2f} "
+              f"{ratio:7.2f}{mark}")
+
+    base_total = baseline["total_best_ms"]
+    now_total = current["total_best_ms"]
+    total_ratio = now_total / base_total if base_total > 0 else float("inf")
+    print(f"{'TOTAL':<24} {base_total:9.2f} {now_total:9.2f} "
+          f"{total_ratio:7.2f}")
+    if total_ratio > args.max_regression:
+        failures.append(
+            f"total: {now_total:.2f} ms vs baseline {base_total:.2f} ms "
+            f"({total_ratio:.2f}x > {args.max_regression:.2f}x)")
+    if total_ratio < 1.0:
+        print(f"speedup vs baseline: {1.0 / total_ratio:.2f}x")
+
+    if failures:
+        print("\nhost_bench: wall-clock regressions above threshold:",
+              file=sys.stderr)
+        for f_ in failures:
+            print(f"  {f_}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
