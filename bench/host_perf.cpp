@@ -11,17 +11,25 @@
 // event wheel.
 //
 //   host_perf [--repeat=N] [--nprocs=N] [--benchmarks=A,B,...]
-//             [--schemes=A,B] [--json=FILE]
+//             [--schemes=A,B] [--jobs=N] [--json=FILE]
+//
+// --jobs=N times the cells on a pool of N host threads (cells are
+// independent deterministic Machines). Per-cell wall times measured under
+// a loaded pool are noisier than serial ones — use --jobs for throughput
+// (total suite wall-clock), --jobs=1 when comparing per-cell numbers.
 //
 // The JSON document is schema-versioned (host_bench_schema_version) and is
 // what tools/host_bench.py diffs against bench/baselines/HOST_seed.json.
 // Checksums are validated against the sequential reference on every run, so
 // a fast-but-wrong simulator fails here too (exit 1); bad flags exit 2.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "olden/bench/benchmark.hpp"
@@ -48,6 +56,7 @@ struct CellTiming {
   std::string scheme;
   double best_ms = 0.0;
   std::uint64_t makespan_cycles = 0;
+  std::string error;
 };
 
 bool flag_value(const char* arg, const char* name, std::string* out) {
@@ -90,6 +99,9 @@ void usage(std::FILE* to) {
                "  --benchmarks=A,B   subset of the suite (default: all ten)\n"
                "  --schemes=A,B      coherence schemes (default "
                "local,global,bilateral)\n"
+               "  --jobs=N           time cells on N host threads (default 1; "
+               "per-cell ms\n"
+               "                     is noisier under a loaded pool)\n"
                "  --json=FILE        write the schema-versioned timing "
                "document\n");
 }
@@ -110,6 +122,7 @@ std::string json_escape_nothing_needed(const std::string& s) {
 int main(int argc, char** argv) {
   unsigned long repeat = 3;
   unsigned long nprocs = 8;
+  unsigned long jobs = 1;
   std::string benchmarks_str;
   std::string schemes_str = "local,global,bilateral";
   std::string json_path;
@@ -124,6 +137,11 @@ int main(int argc, char** argv) {
       if (!parse_uint(v, &nprocs) || nprocs == 0 || nprocs > kMaxProcs) {
         std::fprintf(stderr, "host_perf: --nprocs must be in [1, %u]\n",
                      static_cast<unsigned>(kMaxProcs));
+        return 2;
+      }
+    } else if (flag_value(argv[i], "--jobs", &v)) {
+      if (!parse_uint(v, &jobs) || jobs == 0) {
+        std::fprintf(stderr, "host_perf: --jobs must be a positive integer\n");
         return 2;
       }
     } else if (flag_value(argv[i], "--benchmarks", &v)) {
@@ -174,39 +192,89 @@ int main(int argc, char** argv) {
   }
 
   using Clock = std::chrono::steady_clock;
-  std::vector<CellTiming> cells;
-  double total_best_ms = 0.0;
+  struct CellSpec {
+    const Benchmark* b;
+    SchemeName s;
+  };
+  std::vector<CellSpec> specs;
   for (const Benchmark* b : benches) {
-    for (const SchemeName& s : schemes) {
-      BenchConfig cfg;
-      cfg.nprocs = static_cast<ProcId>(nprocs);
-      cfg.scheme = s.scheme;
-      cfg.tiny = true;
-      CellTiming cell;
-      cell.benchmark = b->name();
-      cell.scheme = s.name;
-      cell.best_ms = -1.0;
-      for (unsigned long r = 0; r < repeat; ++r) {
-        const auto t0 = Clock::now();
-        const BenchResult res = b->run(cfg);
-        const auto t1 = Clock::now();
-        if (res.checksum != b->reference_checksum(cfg)) {
-          std::fprintf(stderr, "host_perf: %s/%s checksum mismatch\n",
-                       b->name().c_str(), s.name);
-          return 1;
-        }
-        cell.makespan_cycles = res.total_cycles;
-        const double ms =
-            std::chrono::duration<double, std::milli>(t1 - t0).count();
-        if (cell.best_ms < 0.0 || ms < cell.best_ms) cell.best_ms = ms;
+    for (const SchemeName& s : schemes) specs.push_back({b, s});
+  }
+  std::vector<CellTiming> cells(specs.size());
+  const bool serial = jobs <= 1 || specs.size() <= 1;
+  auto time_cell = [&](std::size_t i) {
+    const Benchmark* b = specs[i].b;
+    const SchemeName& s = specs[i].s;
+    BenchConfig cfg;
+    cfg.nprocs = static_cast<ProcId>(nprocs);
+    cfg.scheme = s.scheme;
+    cfg.tiny = true;
+    CellTiming& cell = cells[i];
+    cell.benchmark = b->name();
+    cell.scheme = s.name;
+    cell.best_ms = -1.0;
+    for (unsigned long r = 0; r < repeat; ++r) {
+      const auto t0 = Clock::now();
+      const BenchResult res = b->run(cfg);
+      const auto t1 = Clock::now();
+      if (res.checksum != b->reference_checksum(cfg)) {
+        cell.error = "host_perf: " + b->name() + "/" + s.name +
+                     " checksum mismatch\n";
+        return;
       }
-      total_best_ms += cell.best_ms;
+      cell.makespan_cycles = res.total_cycles;
+      const double ms =
+          std::chrono::duration<double, std::milli>(t1 - t0).count();
+      if (cell.best_ms < 0.0 || ms < cell.best_ms) cell.best_ms = ms;
+    }
+    if (serial) {
       std::printf("%-12s %-9s %8.2f ms\n", cell.benchmark.c_str(),
                   cell.scheme.c_str(), cell.best_ms);
       std::fflush(stdout);
-      cells.push_back(std::move(cell));
     }
+  };
+  if (serial) {
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      time_cell(i);
+      if (!cells[i].error.empty()) {
+        std::fputs(cells[i].error.c_str(), stderr);
+        return 1;
+      }
+    }
+  } else {
+    std::atomic<std::size_t> next{0};
+    const std::size_t nworkers =
+        jobs < specs.size() ? static_cast<std::size_t>(jobs) : specs.size();
+    std::vector<std::thread> pool;
+    pool.reserve(nworkers);
+    for (std::size_t w = 0; w < nworkers; ++w) {
+      pool.emplace_back([&] {
+        for (std::size_t i = next.fetch_add(1); i < specs.size();
+             i = next.fetch_add(1)) {
+          try {
+            time_cell(i);
+          } catch (const std::exception& e) {
+            cells[i].error = "host_perf: " + specs[i].b->name() + "/" +
+                             specs[i].s.name + " failed: " + e.what() + "\n";
+          }
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+    bool failed = false;
+    for (const CellTiming& c : cells) {
+      if (!c.error.empty()) {
+        std::fputs(c.error.c_str(), stderr);
+        failed = true;
+      } else {
+        std::printf("%-12s %-9s %8.2f ms\n", c.benchmark.c_str(),
+                    c.scheme.c_str(), c.best_ms);
+      }
+    }
+    if (failed) return 1;
   }
+  double total_best_ms = 0.0;
+  for (const CellTiming& c : cells) total_best_ms += c.best_ms;
   std::printf("%-12s %-9s %8.2f ms  (%zu cells, best of %lu, p=%lu, tiny)\n",
               "TOTAL", "", total_best_ms, cells.size(), repeat, nprocs);
 
@@ -220,8 +288,9 @@ int main(int argc, char** argv) {
                  "{\n \"host_bench_schema_version\": %d,\n"
                  " \"generator\": \"host_perf\",\n"
                  " \"mode\": \"tiny\",\n"
-                 " \"nprocs\": %lu,\n \"repeat\": %lu,\n \"cells\": [\n",
-                 kHostBenchSchemaVersion, nprocs, repeat);
+                 " \"nprocs\": %lu,\n \"repeat\": %lu,\n \"jobs\": %lu,\n"
+                 " \"cells\": [\n",
+                 kHostBenchSchemaVersion, nprocs, repeat, jobs);
     for (std::size_t i = 0; i < cells.size(); ++i) {
       const CellTiming& c = cells[i];
       std::fprintf(f,

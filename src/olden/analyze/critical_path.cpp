@@ -4,94 +4,14 @@
 #include <limits>
 #include <unordered_map>
 
+#include "olden/analyze/classify.hpp"
+
 namespace olden::analyze {
 
 namespace {
 
 using trace::CycleBucket;
-using trace::EventKind;
 using trace::TraceEvent;
-
-/// What one same-processor gap ending at `dst` was spent on.
-CycleBucket classify_dst(const TraceEvent& dst) {
-  switch (dst.kind) {
-    case EventKind::kCacheMiss:
-    case EventKind::kCacheLineFill:
-      return CycleBucket::kCacheStall;
-    case EventKind::kLineInvalidate:
-    case EventKind::kTimestampCheck:
-      return CycleBucket::kCoherence;
-    // An acquire-time flush / suspect-marking that dropped or marked
-    // nothing did no coherence work; the gap leading to it was the thread
-    // computing (local work emits no events, so such gaps can be long).
-    case EventKind::kCacheFlush:
-    case EventKind::kMarkSuspect:
-      return dst.arg0 > 0 ? CycleBucket::kCoherence : CycleBucket::kCompute;
-    // Reaching an arrival / steal along the processor's own timeline means
-    // the processor sat between its previous event and the hand-off.
-    case EventKind::kMigrationArrive:
-    case EventKind::kReturnStubArrive:
-    case EventKind::kFutureSteal:
-      return CycleBucket::kIdle;
-    // Fault plane: a sender reaching its own retransmit sat out the ack
-    // timeout — that wait is protocol overhead, not computation. Other
-    // fault events are wire-side observations the processor merely
-    // witnessed while waiting.
-    case EventKind::kRetransmit:
-      return CycleBucket::kRetry;
-    case EventKind::kFaultDrop:
-    case EventKind::kFaultDelay:
-    case EventKind::kFaultDuplicate:
-    case EventKind::kDupSuppressed:
-    case EventKind::kHiccup:
-      return CycleBucket::kIdle;
-    default:
-      return CycleBucket::kCompute;
-  }
-}
-
-/// What a same-processor gap between consecutive events was spent on.
-/// After an event that removed the running thread from the processor
-/// (a blocked touch, a migration or return-stub departure), whatever
-/// follows on this processor waited — the gap is idle no matter what the
-/// next event is; otherwise the destination kind names the work.
-CycleBucket classify_chain(const TraceEvent& src, const TraceEvent& dst) {
-  switch (src.kind) {
-    case EventKind::kTouchBlock:
-    case EventKind::kMigrationDepart:
-    case EventKind::kReturnStubSend:
-      return CycleBucket::kIdle;
-    default:
-      return classify_dst(dst);
-  }
-}
-
-/// What a causal (parent -> child) gap was spent on.
-CycleBucket classify_causal(const TraceEvent& src, const TraceEvent& dst) {
-  switch (dst.kind) {
-    case EventKind::kMigrationArrive:
-    case EventKind::kReturnStubArrive:
-      return CycleBucket::kMigration;  // depart -> arrive transit
-    // A causal edge into a fault-plane event (depart -> drop/retransmit/
-    // suppressed duplicate) is time the message spent fighting the wire.
-    case EventKind::kRetransmit:
-    case EventKind::kFaultDrop:
-    case EventKind::kFaultDelay:
-    case EventKind::kFaultDuplicate:
-    case EventKind::kDupSuppressed:
-      return CycleBucket::kRetry;
-    case EventKind::kFutureSteal:
-      // Resolve-created steals waited on the resolution message; idle
-      // steals waited for the continuation to age in the work list.
-      return src.kind == EventKind::kFutureResolve ? CycleBucket::kMigration
-                                                   : CycleBucket::kIdle;
-    default:
-      // A touch wake-up: the waiter's next step waited on the resolve's
-      // delivery. Any other causal gap is sequential work.
-      if (src.kind == EventKind::kFutureResolve) return CycleBucket::kMigration;
-      return classify_dst(dst);
-  }
-}
 
 struct Edge {
   std::size_t dst;
@@ -145,9 +65,12 @@ CriticalPath critical_path(const TraceRun& run) {
       // Processor 0 runs the root from t = 0; every other processor is
       // idle until something reaches it.
       add_edge(kSource, idx,
-               e.proc == 0 ? classify_dst(e) : CycleBucket::kIdle);
+               e.proc == 0 ? classify::dst_bucket(e.kind, e.arg0 > 0)
+                           : CycleBucket::kIdle);
     } else {
-      add_edge(prev, idx, classify_chain(run.events[prev], e));
+      add_edge(prev, idx,
+               classify::chain_bucket(run.events[prev].kind, e.kind,
+                                      e.arg0 > 0));
     }
     last_on_proc[e.proc] = idx;
   }
@@ -171,7 +94,9 @@ CriticalPath critical_path(const TraceRun& run) {
     if (e.parent == trace::kNoEvent) continue;
     const auto it = by_id.find(e.parent);
     if (it == by_id.end()) continue;  // parent dropped at the trace limit
-    add_edge(it->second, i, classify_causal(run.events[it->second], e));
+    add_edge(it->second, i,
+             classify::causal_bucket(run.events[it->second].kind, e.kind,
+                                     e.arg0 > 0));
   }
 
   // DP: minimize idle-attributed cycles from SOURCE. Every path has the
@@ -215,6 +140,7 @@ CriticalPath critical_path(const TraceRun& run) {
     node = pred[node];
   }
   std::reverse(out.steps.begin(), out.steps.end());
+  out.edges = out.steps.size();
   return out;
 }
 

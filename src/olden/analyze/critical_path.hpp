@@ -50,7 +50,13 @@ struct CriticalPath {
   Cycles total_cycles = 0;
   /// Per-bucket attribution; sums to total_cycles.
   trace::BucketCycles attribution{};
+  /// Number of edges on the chosen path. Equals steps.size() when the
+  /// per-edge list is materialized; the streaming analyzer (streaming.hpp)
+  /// fills only this count and leaves `steps` empty, so reports must read
+  /// the edge count from here.
+  std::uint64_t edges = 0;
   /// SOURCE -> SINK, in order. steps[i].event names the edge's head.
+  /// Empty in streaming mode (see `edges`).
   std::vector<PathStep> steps;
 };
 

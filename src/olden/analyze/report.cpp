@@ -160,15 +160,16 @@ std::string human_report(const TraceRun& run, const RunReport& rep) {
   std::string out;
   char buf[256];
   std::snprintf(buf, sizeof buf,
-                "run: %s (%u procs, makespan %" PRIu64 " cycles, %zu events%s)\n",
+                "run: %s (%u procs, makespan %" PRIu64 " cycles, %" PRIu64
+                " events%s)\n",
                 run.label.c_str(), run.nprocs, run.makespan,
-                run.events.size(),
-                run.truncated() ? ", TRUNCATED" : "");
+                run.event_count(), run.truncated() ? ", TRUNCATED" : "");
   out += buf;
 
   out += "critical path:\n";
-  std::snprintf(buf, sizeof buf, "  total %" PRIu64 " cycles over %zu edges\n",
-                rep.path.total_cycles, rep.path.steps.size());
+  std::snprintf(buf, sizeof buf,
+                "  total %" PRIu64 " cycles over %" PRIu64 " edges\n",
+                rep.path.total_cycles, rep.path.edges);
   out += buf;
   for (std::size_t b = 0; b < trace::kNumBuckets; ++b) {
     const std::uint64_t w = rep.path.attribution[b];
@@ -190,6 +191,9 @@ std::string human_report(const TraceRun& run, const RunReport& rep) {
                    });
   if (heavy.size() > 5) heavy.resize(5);
   out += "  heaviest edges:\n";
+  if (rep.path.steps.empty() && rep.path.edges > 0) {
+    out += "    (per-edge detail not retained in streaming mode)\n";
+  }
   for (std::size_t i : heavy) {
     const PathStep& s = rep.path.steps[i];
     const char* src_name = "SOURCE";
@@ -282,13 +286,13 @@ std::string json_report(const TraceFile& file,
     out += "\",";
     append_kv(out, "nprocs", run.nprocs);
     append_kv(out, "makespan_cycles", run.makespan);
-    append_kv(out, "events", run.events.size());
+    append_kv(out, "events", run.event_count());
     append_kv(out, "events_dropped", run.events_dropped);
     out += "\"truncated\":";
     out += run.truncated() ? "true" : "false";
     out += ",\"critical_path\":{";
     append_kv(out, "total_cycles", rep.path.total_cycles);
-    append_kv(out, "edges", rep.path.steps.size());
+    append_kv(out, "edges", rep.path.edges);
     out += "\"attribution\":{";
     for (std::size_t b = 0; b < trace::kNumBuckets; ++b) {
       append_kv(out, to_string(static_cast<CycleBucket>(b)),

@@ -1,0 +1,108 @@
+// Bounded-memory analysis of one traced run.
+//
+// The in-memory pipeline (read_binary_trace -> critical_path/analyze_run)
+// keeps every event of every run resident — roughly 250 bytes per event
+// across the parsed vector and the DP's adjacency lists — which rules out
+// paper-scale traces (hundreds of MB to GB of log). This analyzer consumes
+// the run as a stream, in file order, and retains only the packed
+// per-event fields the critical-path DP needs later (time, kind + an
+// arg0-sign bit, processor, parent: 18 bytes per event), feeding the
+// hot-site / page / fault aggregations as events fly by; their maps scale
+// with the footprint of the simulated heap, not the trace length.
+//
+// finish() then extracts the critical path over the packed arrays. It
+// cannot run the DP online in file order — per-processor streams are not
+// time-monotone (arrivals are stamped with message delivery time while
+// flush events use the processor clock), so the per-processor chains only
+// exist after the (time, id) sort the in-memory extractor performs. The
+// extraction replicates that exactly: the same sort, the same edges (the
+// per-processor chain or SOURCE boundary edge plus the causal parent
+// edge), the same relaxation order and strict-improvement tie-breaks, the
+// same SINK closure — evaluated per destination from the packed arrays
+// instead of materialized adjacency lists. Peak memory is the packed 18
+// bytes plus ~25 DP bytes per event, still an order of magnitude under the
+// in-memory path, and the resulting attribution, total and edge count —
+// and therefore the olden-analyze JSON document — are byte-identical.
+//
+// Two stream invariants are verified as the run is read (runtime traces
+// satisfy them; synthetic ones that do not fail loudly instead of
+// diverging silently):
+//
+//   * ids are dense: record i of a run carries id == i (the observer
+//     numbers events per run and truncation only drops the tail),
+//   * parent links point backwards (a parent is emitted before its child).
+//
+// The per-edge step list is the one thing not reconstructed (it would pin
+// event details in memory); CriticalPath::edges carries the path length
+// instead.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "olden/analyze/report.hpp"
+#include "olden/analyze/trace_reader.hpp"
+
+namespace olden::analyze {
+
+class StreamingRunAnalyzer {
+ public:
+  /// `header` is the run as returned by TraceStream::next_run (events
+  /// not yet read); top_n bounds the hot-site / hot-page lists exactly as
+  /// in analyze_run.
+  StreamingRunAnalyzer(const TraceRun& header, std::size_t top_n);
+
+  /// Feed the run's events in file order. Returns false once a stream
+  /// invariant is violated; the error latches (see error()) and further
+  /// calls are no-ops.
+  bool add(const trace::TraceEvent& e);
+
+  /// Complete the analysis. Returns false (setting *err) if add() failed
+  /// or the stream ended short of the header's event count.
+  bool finish(RunReport* out, std::string* err);
+
+  [[nodiscard]] const std::string& error() const { return err_; }
+
+ private:
+  struct PageAcc {
+    PageStats stats;
+    std::set<ProcId> sharers;
+    /// Processors holding a pending invalidate for this page: the next
+    /// fill there completes an invalidate-then-refill round trip.
+    std::unordered_set<ProcId> invalidated_on;
+  };
+
+  bool set_error(const std::string& msg);
+  void extract_critical_path(CriticalPath* path) const;
+
+  ProcId nprocs_ = 0;
+  Cycles makespan_ = 0;
+  std::uint64_t expected_events_ = 0;
+  std::size_t top_n_ = 10;
+  std::string err_;
+  std::uint64_t count_ = 0;  ///< events consumed so far == next expected id
+
+  // Packed per-event fields, indexed by event id (dense, so id == index).
+  std::vector<Cycles> time_;
+  /// Event kind in the low 7 bits (kNumEventKinds < 0x80), arg0 > 0 in
+  /// the top bit — everything the edge classifiers need of an endpoint.
+  std::vector<std::uint8_t> kindbits_;
+  /// Processor, or kProcNone for records whose proc is out of range
+  /// (corrupt records get causal edges only, like in-memory).
+  std::vector<std::uint8_t> proc_;
+  /// Parent id, or kNoParent when absent / dropped at the trace limit.
+  std::vector<std::uint64_t> parent_;
+
+  // Report aggregation (analyze_run's maps, fed incrementally).
+  std::unordered_map<std::uint64_t, SiteId> depart_site_;  ///< depart id->site
+  std::map<SiteId, SiteStats> sites_;
+  std::map<std::uint64_t, PageAcc> pages_;
+  FaultSummary faults_;
+};
+
+}  // namespace olden::analyze

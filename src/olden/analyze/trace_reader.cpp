@@ -141,6 +141,7 @@ bool parse_binary_trace(std::string_view bytes, TraceFile* out,
       return fail(err, "event count exceeds file size (run " +
                            std::to_string(r) + ")");
     }
+    run.num_events = nevents;
     run.events.reserve(nevents);
     for (std::uint64_t i = 0; i < nevents; ++i) {
       trace::TraceEvent e;
@@ -178,6 +179,180 @@ bool read_binary_trace(const std::string& path, TraceFile* out,
   if (!parse_binary_trace(body, out, err)) {
     if (err != nullptr) *err = path + ": " + *err;
     return false;
+  }
+  return true;
+}
+
+namespace {
+
+bool read_exact(std::FILE* f, void* dst, std::size_t n) {
+  return std::fread(dst, 1, n, f) == n;
+}
+
+std::uint32_t decode_u32le(const unsigned char* b) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(b[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t decode_u64le(const unsigned char* b) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+TraceStream::~TraceStream() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+bool TraceStream::fail(std::string* err, const std::string& msg) {
+  if (err != nullptr) *err = path_.empty() ? msg : path_ + ": " + msg;
+  return false;
+}
+
+bool TraceStream::open(const std::string& path, std::string* err) {
+  if (file_ != nullptr) return fail(err, "stream already open");
+  path_ = path;
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) {
+    path_.clear();
+    return fail(err, "cannot open " + path);
+  }
+  if (std::fseek(file_, 0, SEEK_END) != 0) return fail(err, "seek failed");
+  const long end = std::ftell(file_);
+  if (end < 0) return fail(err, "seek failed");
+  file_size_ = static_cast<std::uint64_t>(end);
+  if (std::fseek(file_, 0, SEEK_SET) != 0) return fail(err, "seek failed");
+
+  unsigned char magic[8];
+  if (file_size_ < 8 || !read_exact(file_, magic, 8)) {
+    return fail(err, "trace too short for magic");
+  }
+  pos_ = 8;
+  if (std::memcmp(magic, trace::kBinaryTraceMagicV1, 8) == 0) {
+    return fail(err,
+                "binary trace is format v1 (OLDNTRC1); this analyzer "
+                "requires v2 (OLDNTRC2) — regenerate the trace with a "
+                "current bench binary");
+  }
+  if (std::memcmp(magic, trace::kBinaryTraceMagic, 8) != 0) {
+    return fail(err, "not an Olden binary trace (bad magic)");
+  }
+  unsigned char hdr[8];
+  if (!read_exact(file_, hdr, 8)) return fail(err, "truncated trace header");
+  pos_ += 8;
+  const std::uint32_t version = decode_u32le(hdr);
+  num_runs_ = decode_u32le(hdr + 4);
+  if (version != static_cast<std::uint32_t>(trace::kBinaryTraceVersion)) {
+    return fail(err, "unsupported binary trace version " +
+                         std::to_string(version) + " (expected " +
+                         std::to_string(trace::kBinaryTraceVersion) + ")");
+  }
+  // Same plausibility bound as parse_binary_trace: a run header is at
+  // least 32 bytes, so a run count the file cannot hold is corruption.
+  if (num_runs_ > (file_size_ - pos_) / 32) {
+    return fail(err, "run count " + std::to_string(num_runs_) +
+                         " exceeds file size (v" + std::to_string(version) +
+                         " header corrupt?)");
+  }
+  version_ = static_cast<int>(version);
+  return true;
+}
+
+bool TraceStream::next_run(TraceRun* run, std::string* err) {
+  if (err != nullptr) err->clear();
+  if (file_ == nullptr) return fail(err, "stream not open");
+  if (run_events_left_ > 0) {
+    // Caller moved on without draining the events: seek past them.
+    const std::uint64_t skip = run_events_left_ * trace::kBinaryRecordBytes;
+    if (std::fseek(file_, static_cast<long>(skip), SEEK_CUR) != 0) {
+      return fail(err, "seek failed");
+    }
+    pos_ += skip;
+    run_events_left_ = 0;
+  }
+  if (runs_delivered_ >= num_runs_) return false;  // clean end of file
+  const std::string rno = std::to_string(runs_delivered_);
+
+  unsigned char lenb[4];
+  if (!read_exact(file_, lenb, 4)) {
+    return fail(err, "truncated run header (run " + rno + ")");
+  }
+  pos_ += 4;
+  const std::uint32_t label_len = decode_u32le(lenb);
+  if (label_len > file_size_ - pos_) {
+    return fail(err, "run label length " + std::to_string(label_len) +
+                         " exceeds file size (run " + rno + ")");
+  }
+  run->label.resize(label_len);
+  if (label_len > 0 && !read_exact(file_, run->label.data(), label_len)) {
+    return fail(err, "truncated run header (run " + rno + ")");
+  }
+  pos_ += label_len;
+
+  unsigned char tail[4 + 8 + 8 + 8];
+  if (!read_exact(file_, tail, sizeof tail)) {
+    return fail(err, "truncated run header (run " + rno + ")");
+  }
+  pos_ += sizeof tail;
+  const std::uint32_t nprocs = decode_u32le(tail);
+  run->makespan = decode_u64le(tail + 4);
+  run->events_dropped = decode_u64le(tail + 12);
+  const std::uint64_t nevents = decode_u64le(tail + 20);
+  if (nprocs == 0 || nprocs > kMaxProcs) {
+    return fail(err, "implausible processor count " + std::to_string(nprocs) +
+                         " (run " + rno + ", max " + std::to_string(kMaxProcs) +
+                         ")");
+  }
+  run->nprocs = static_cast<ProcId>(nprocs);
+  if (nevents > (file_size_ - pos_) / trace::kBinaryRecordBytes) {
+    return fail(err, "event count exceeds file size (run " + rno + ")");
+  }
+  run->num_events = nevents;
+  run->events.clear();
+  run_events_left_ = nevents;
+  ++runs_delivered_;
+  return true;
+}
+
+bool TraceStream::next_events(std::vector<trace::TraceEvent>* batch,
+                              std::size_t max, std::string* err) {
+  if (err != nullptr) err->clear();
+  batch->clear();
+  if (file_ == nullptr) return fail(err, "stream not open");
+  if (run_events_left_ == 0 || max == 0) return false;  // run exhausted
+
+  const std::uint64_t want =
+      max < run_events_left_ ? max : run_events_left_;
+  buf_.resize(static_cast<std::size_t>(want) * trace::kBinaryRecordBytes);
+  if (!read_exact(file_, buf_.data(), buf_.size())) {
+    return fail(err, "truncated event record");
+  }
+  pos_ += buf_.size();
+  run_events_left_ -= want;
+
+  batch->reserve(static_cast<std::size_t>(want));
+  const auto* p = reinterpret_cast<const unsigned char*>(buf_.data());
+  for (std::uint64_t i = 0; i < want; ++i, p += trace::kBinaryRecordBytes) {
+    trace::TraceEvent e;
+    e.time = decode_u64le(p);
+    e.proc = decode_u32le(p + 8);
+    e.thread = decode_u64le(p + 12);
+    const std::uint8_t kind = p[20];  // 3 pad bytes follow
+    e.site = decode_u32le(p + 24);
+    e.arg0 = decode_u64le(p + 28);
+    e.arg1 = decode_u64le(p + 36);
+    e.id = decode_u64le(p + 44);
+    e.chain = decode_u64le(p + 52);
+    e.parent = decode_u64le(p + 60);
+    if (kind >= trace::kNumEventKinds) {
+      return fail(err, "event record with out-of-range kind " +
+                           std::to_string(kind));
+    }
+    e.kind = static_cast<trace::EventKind>(kind);
+    batch->push_back(e);
   }
   return true;
 }

@@ -7,6 +7,7 @@
 // and rejected with a versioned error, never mis-parsed.
 #pragma once
 
+#include <cstdio>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -24,8 +25,15 @@ struct TraceRun {
   /// the event stream is incomplete and analyses flag the run truncated.
   std::uint64_t events_dropped = 0;
   std::vector<trace::TraceEvent> events;
+  /// Total events recorded in the run's file header. Streaming consumers
+  /// (TraceStream) leave `events` empty and report counts from here;
+  /// event_count() picks the right source either way.
+  std::uint64_t num_events = 0;
 
   [[nodiscard]] bool truncated() const { return events_dropped > 0; }
+  [[nodiscard]] std::uint64_t event_count() const {
+    return events.empty() ? num_events : events.size();
+  }
 };
 
 struct TraceFile {
@@ -42,5 +50,56 @@ bool parse_binary_trace(std::string_view bytes, TraceFile* out,
 /// Read and parse a binary trace file.
 bool read_binary_trace(const std::string& path, TraceFile* out,
                        std::string* err);
+
+/// Streaming reader over a binary trace file: run headers and bounded
+/// event batches instead of one giant vector, so multi-GB traces can be
+/// analyzed without loading them (see olden-analyze --stream). Applies the
+/// same validation as parse_binary_trace — magic / version / v1 detection,
+/// counts checked against the file size, nprocs plausibility, event-kind
+/// range — so corrupt logs fail with the same loud errors.
+///
+///   TraceStream ts;
+///   ts.open(path, &err);
+///   TraceRun run;                       // header only; events stays empty
+///   while (ts.next_run(&run, &err)) {
+///     while (ts.next_events(&batch, 65536, &err)) { ... }
+///     // falls out with err empty when the run is exhausted
+///   }
+///   // next_run false + empty err = clean end of file
+class TraceStream {
+ public:
+  TraceStream() = default;
+  ~TraceStream();
+  TraceStream(const TraceStream&) = delete;
+  TraceStream& operator=(const TraceStream&) = delete;
+
+  bool open(const std::string& path, std::string* err);
+  [[nodiscard]] int version() const { return version_; }
+  [[nodiscard]] std::uint32_t num_runs() const { return num_runs_; }
+
+  /// Advance to the next run header. Skips any unread events of the
+  /// current run. Returns false with *err empty at end of file, false with
+  /// *err set on malformed input.
+  bool next_run(TraceRun* run, std::string* err);
+
+  /// Read up to `max` events of the current run into *batch (replaced,
+  /// not appended). Returns false with *err empty when the run's events
+  /// are exhausted, false with *err set on malformed input.
+  bool next_events(std::vector<trace::TraceEvent>* batch, std::size_t max,
+                   std::string* err);
+
+ private:
+  bool fail(std::string* err, const std::string& msg);
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  std::uint64_t file_size_ = 0;
+  std::uint64_t pos_ = 0;
+  int version_ = 0;
+  std::uint32_t num_runs_ = 0;
+  std::uint32_t runs_delivered_ = 0;
+  std::uint64_t run_events_left_ = 0;
+  std::string buf_;  ///< batch read buffer, reused across next_events calls
+};
 
 }  // namespace olden::analyze

@@ -68,6 +68,8 @@ void ObsCli::parse(int* argc, char** argv,
       trace_path_ = v;
     } else if (flag_value(argv[i], "--trace-bin", &v)) {
       trace_bin_path_ = v;
+    } else if (flag_value(argv[i], "--trace-stream", &v)) {
+      trace_stream_path_ = v;
     } else if (flag_value(argv[i], "--stats-json", &v)) {
       stats_path_ = v;
     } else if (flag_value(argv[i], "--trace-limit", &v)) {
@@ -109,6 +111,7 @@ void ObsCli::parse(int* argc, char** argv,
 
   env_default(&trace_path_, "OLDEN_TRACE");
   env_default(&trace_bin_path_, "OLDEN_TRACE_BIN");
+  env_default(&trace_stream_path_, "OLDEN_TRACE_STREAM");
   env_default(&stats_path_, "OLDEN_STATS_JSON");
   env_default(&limit_str, "OLDEN_TRACE_LIMIT");
   env_default(&faults_str, "OLDEN_FAULTS");
@@ -135,9 +138,28 @@ void ObsCli::parse(int* argc, char** argv,
     }
   }
   breakdown_ = breakdown_ || breakdown_env;
+  if (!trace_stream_path_.empty() &&
+      (!trace_path_.empty() || !trace_bin_path_.empty())) {
+    // The streamed events are not retained in memory, so neither in-memory
+    // export could include them; refuse the combination instead of writing
+    // an empty file.
+    flag_error(argv[0],
+               "--trace-stream cannot be combined with --trace/--trace-bin "
+               "(streamed events are not retained in memory)");
+  }
   active_ = breakdown_ || !trace_path_.empty() || !trace_bin_path_.empty() ||
-            !stats_path_.empty();
-  obs_.set_trace_enabled(!trace_path_.empty() || !trace_bin_path_.empty());
+            !trace_stream_path_.empty() || !stats_path_.empty();
+  obs_.set_trace_enabled(!trace_path_.empty() || !trace_bin_path_.empty() ||
+                         !trace_stream_path_.empty());
+  if (!trace_stream_path_.empty()) {
+    sink_ = std::make_unique<trace::StreamingTraceSink>(trace_stream_path_);
+    if (!sink_->ok()) {
+      std::fprintf(stderr, "streaming trace export failed: %s\n",
+                   sink_->error().c_str());
+      std::exit(1);
+    }
+    obs_.set_sink(sink_.get());
+  }
 }
 
 void ObsCli::begin_run(std::string label,
@@ -173,6 +195,18 @@ bool ObsCli::finish() {
       ok = false;
     }
   }
+  if (sink_ != nullptr) {
+    std::string serr;
+    if (sink_->finalize(&serr)) {
+      std::printf("wrote streaming trace: %s (%llu events)\n",
+                  trace_stream_path_.c_str(),
+                  static_cast<unsigned long long>(sink_->events_written()));
+    } else {
+      std::fprintf(stderr, "streaming trace export failed: %s\n",
+                   serr.c_str());
+      ok = false;
+    }
+  }
   if (!stats_path_.empty()) {
     if (trace::write_stats_json(obs_, stats_path_, &err)) {
       std::printf("wrote stats: %s (%zu runs)\n", stats_path_.c_str(),
@@ -189,6 +223,10 @@ const char* ObsCli::usage() {
   return "  --trace=FILE       write a Chrome trace_event JSON "
          "(Perfetto-loadable)\n"
          "  --trace-bin=FILE   write a compact binary event log\n"
+         "  --trace-stream=FILE\n"
+         "                     stream the binary event log to disk as events\n"
+         "                     fire (bounded memory; excludes "
+         "--trace/--trace-bin)\n"
          "  --stats-json=FILE  write the structured stats document\n"
          "  --trace-limit=N    cap retained trace events (default 1000000)\n"
          "  --breakdown        print per-processor cycle breakdowns\n"
@@ -198,9 +236,9 @@ const char* ObsCli::usage() {
          "src/olden/fault/fault_spec.hpp)\n"
          "  --fault-seed=N     fault-plane RNG seed (default 1)\n"
          "  --version          print stats/trace schema versions and exit\n"
-         "  (env: OLDEN_TRACE, OLDEN_TRACE_BIN, OLDEN_STATS_JSON, "
-         "OLDEN_TRACE_LIMIT, OLDEN_BREAKDOWN, OLDEN_FAULTS, "
-         "OLDEN_FAULT_SEED)\n";
+         "  (env: OLDEN_TRACE, OLDEN_TRACE_BIN, OLDEN_TRACE_STREAM, "
+         "OLDEN_STATS_JSON, OLDEN_TRACE_LIMIT, OLDEN_BREAKDOWN, "
+         "OLDEN_FAULTS, OLDEN_FAULT_SEED)\n";
 }
 
 }  // namespace olden::bench

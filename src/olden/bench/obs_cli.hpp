@@ -1,18 +1,20 @@
 // The uniform observability command-line surface every bench binary
 // shares:
 //
-//   --trace=FILE        Chrome trace_event JSON (Perfetto / chrome://tracing)
-//   --trace-bin=FILE    compact binary event log ("OLDNTRC2")
-//   --stats-json=FILE   structured stats document (schema_version'd)
-//   --trace-limit=N     cap on retained trace events (default 1000000)
-//   --breakdown         print per-processor cycle-breakdown tables
-//   --faults=SPEC       fault-injection plan (see fault_spec.hpp grammar)
-//   --fault-seed=N      RNG seed for the fault plane (default 1)
+//   --trace=FILE         Chrome trace_event JSON (Perfetto / chrome://tracing)
+//   --trace-bin=FILE     compact binary event log ("OLDNTRC2"), in memory
+//   --trace-stream=FILE  same binary log, streamed to disk as events fire
+//                        (paper-scale runs; excludes --trace/--trace-bin)
+//   --stats-json=FILE    structured stats document (schema_version'd)
+//   --trace-limit=N      cap on retained trace events (default 1000000)
+//   --breakdown          print per-processor cycle-breakdown tables
+//   --faults=SPEC        fault-injection plan (see fault_spec.hpp grammar)
+//   --fault-seed=N       RNG seed for the fault plane (default 1)
 //
-// Environment variables OLDEN_TRACE, OLDEN_TRACE_BIN, OLDEN_STATS_JSON,
-// OLDEN_TRACE_LIMIT, OLDEN_FAULTS and OLDEN_FAULT_SEED supply defaults when
-// the corresponding flag is absent, so wrappers can enable collection
-// without editing command lines.
+// Environment variables OLDEN_TRACE, OLDEN_TRACE_BIN, OLDEN_TRACE_STREAM,
+// OLDEN_STATS_JSON, OLDEN_TRACE_LIMIT, OLDEN_FAULTS and OLDEN_FAULT_SEED
+// supply defaults when the corresponding flag is absent, so wrappers can
+// enable collection without editing command lines.
 //
 // Malformed values (a non-numeric --trace-limit / --fault-seed, an
 // unparsable --faults spec) are rejected with a one-line message on stderr
@@ -22,6 +24,7 @@
 #include <cstdint>
 #include <initializer_list>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "olden/fault/fault_spec.hpp"
@@ -73,10 +76,12 @@ class ObsCli {
 
  private:
   trace::Observer obs_;
+  std::unique_ptr<trace::StreamingTraceSink> sink_;
   bool active_ = false;
   bool breakdown_ = false;
   std::string trace_path_;
   std::string trace_bin_path_;
+  std::string trace_stream_path_;
   std::string stats_path_;
   fault::FaultSpec fault_spec_;
   std::uint64_t fault_seed_ = 1;

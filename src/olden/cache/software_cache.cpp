@@ -1,19 +1,29 @@
 #include "olden/cache/software_cache.hpp"
 
+#include <atomic>
+#include <bit>
+
 #include "olden/support/require.hpp"
 
 namespace olden {
 
 namespace {
-SoftwareCache::Tuning g_default_tuning = SoftwareCache::Tuning::kOptimized;
+// Atomic so host-parallel cell pools (bench_cell/host_perf --jobs) can
+// construct Machines on several threads while a test elsewhere holds the
+// process-wide default steady. Relaxed is enough: the value is a pure
+// configuration knob, never used to publish other data.
+std::atomic<SoftwareCache::Tuning> g_default_tuning{
+    SoftwareCache::Tuning::kOptimized};
 }  // namespace
 
-void SoftwareCache::set_default_tuning(Tuning t) { g_default_tuning = t; }
+void SoftwareCache::set_default_tuning(Tuning t) {
+  g_default_tuning.store(t, std::memory_order_relaxed);
+}
 SoftwareCache::Tuning SoftwareCache::default_tuning() {
-  return g_default_tuning;
+  return g_default_tuning.load(std::memory_order_relaxed);
 }
 
-SoftwareCache::SoftwareCache() : tuning_(g_default_tuning) {}
+SoftwareCache::SoftwareCache() : tuning_(default_tuning()) {}
 
 std::byte* SoftwareCache::alloc_frame() {
   if (!free_frames_.empty()) {
@@ -74,7 +84,7 @@ SoftwareCache::PageEntry& SoftwareCache::ensure_page(std::uint32_t page_id,
 std::uint64_t SoftwareCache::invalidate_all() {
   std::uint64_t lines = 0;
   for (PageEntry& e : pool_) {
-    lines += static_cast<std::uint64_t>(__builtin_popcount(e.valid));
+    lines += static_cast<std::uint64_t>(std::popcount(e.valid));
     e.valid = 0;
   }
   return lines;
@@ -84,7 +94,7 @@ std::uint64_t SoftwareCache::invalidate_from_procs(ProcSet procs) {
   std::uint64_t lines = 0;
   for (PageEntry& e : pool_) {
     if (procs.contains(page_home(e.page_id))) {
-      lines += static_cast<std::uint64_t>(__builtin_popcount(e.valid));
+      lines += static_cast<std::uint64_t>(std::popcount(e.valid));
       e.valid = 0;
     }
   }
@@ -98,9 +108,9 @@ SoftwareCache::InvalidateResult SoftwareCache::invalidate_lines(
   InvalidateResult res;
   const std::uint32_t hit = r.entry->valid & mask;
   r.entry->valid &= ~mask;
-  res.dropped = static_cast<std::uint64_t>(__builtin_popcount(hit));
+  res.dropped = static_cast<std::uint64_t>(std::popcount(hit));
   res.remaining =
-      static_cast<std::uint32_t>(__builtin_popcount(r.entry->valid));
+      static_cast<std::uint32_t>(std::popcount(r.entry->valid));
   if (res.remaining == 0) release_frame(*r.entry);
   return res;
 }

@@ -1,6 +1,7 @@
 #include "olden/runtime/machine.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "olden/fault/fault_plane.hpp"
 
@@ -9,7 +10,10 @@ namespace olden {
 using trace::CycleBucket;
 using trace::EventKind;
 
-Machine* Machine::current_ = nullptr;
+// thread_local so independent Machines can run on separate host threads
+// (bench_cell/host_perf --jobs); the save/restore pair in the ctor/dtor
+// still supports nested Machines within one thread.
+thread_local Machine* Machine::current_ = nullptr;
 
 RunConfig Machine::validated(RunConfig cfg) {
   if (cfg.nprocs < 1 || cfg.nprocs > kMaxProcs) {
@@ -186,10 +190,10 @@ bool Machine::revalidate_suspect_page(ProcId p,
     // Nothing released since we validated: every line stays valid.
   } else if (entry.version + 1 == info.version) {
     dropped = static_cast<std::uint64_t>(
-        __builtin_popcount(entry.valid & info.last_released));
+        std::popcount(entry.valid & info.last_released));
     entry.valid &= ~info.last_released;
   } else {
-    dropped = static_cast<std::uint64_t>(__builtin_popcount(entry.valid));
+    dropped = static_cast<std::uint64_t>(std::popcount(entry.valid));
     entry.valid = 0;
   }
   stats_.lines_invalidated += dropped;

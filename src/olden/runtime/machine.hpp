@@ -559,7 +559,7 @@ class Machine {
   std::unique_ptr<fault::FaultPlane> fault_;
 
   Machine* prev_machine_ = nullptr;
-  static Machine* current_;
+  static thread_local Machine* current_;
 
   friend class fault::FaultPlane;
 };

@@ -1,6 +1,7 @@
 // Fundamental scalar types shared by every Olden module.
 #pragma once
 
+#include <bit>
 #include <cassert>
 #include <cstdint>
 
@@ -64,14 +65,14 @@ class ProcSet {
   constexpr void clear() { bits_ = 0; }
   [[nodiscard]] constexpr bool empty() const { return bits_ == 0; }
   [[nodiscard]] constexpr std::uint64_t raw() const { return bits_; }
-  [[nodiscard]] int count() const { return __builtin_popcountll(bits_); }
+  [[nodiscard]] int count() const { return std::popcount(bits_); }
 
   /// Calls fn(ProcId) for every member.
   template <class Fn>
   void for_each(Fn&& fn) const {
     std::uint64_t b = bits_;
     while (b != 0) {
-      const int p = __builtin_ctzll(b);
+      const int p = std::countr_zero(b);
       fn(static_cast<ProcId>(p));
       b &= b - 1;
     }

@@ -331,7 +331,7 @@ std::string stats_json(const Observer& obs) {
                 run.event_counts[k], /*comma=*/false);
     }
     out += "},";
-    append_kv(out, "retained", run.events.size());
+    append_kv(out, "retained", run.events.size() + run.events_streamed);
     append_kv(out, "dropped", run.events_dropped, /*comma=*/false);
     out += "}}";
   }

@@ -25,6 +25,9 @@ void Observer::attach(const RunConfig& cfg) {
   next_event_id_ = 0;
   next_chain_id_ = 0;
   run_open_ = true;
+  // The sink mirrors runs_ exactly: every run gets a header even when
+  // event collection is off (the in-memory export also emits empty runs).
+  if (sink_ != nullptr) sink_->begin_run(cur_.label, cur_.nprocs);
 }
 
 void Observer::finish(const Machine& m) {
@@ -85,8 +88,38 @@ void Observer::finish(const Machine& m) {
   c["threads_created"] = m.threads_created();
   c["makespan_cycles"] = cur_.makespan;
 
+  if (sink_ != nullptr) sink_->end_run(cur_.makespan, cur_.events_dropped);
   runs_.push_back(std::move(cur_));
   cur_ = RunRecord{};
+}
+
+void Observer::adopt_run(RunRecord&& r) {
+  // Re-apply the cross-run retention limit. A serial observer would have
+  // entered this run with `budget` slots left and kept the first `budget`
+  // events; the donor (which started from a full limit) necessarily kept a
+  // superset prefix, so truncation reconstructs the serial record exactly.
+  const std::uint64_t budget =
+      event_limit_ > events_retained_ ? event_limit_ - events_retained_ : 0;
+  if (r.events.size() > budget) {
+    r.events_dropped += r.events.size() - budget;
+    r.events.resize(static_cast<std::size_t>(budget));
+  }
+  events_retained_ += r.events.size();
+  if (sink_ != nullptr) {
+    sink_->begin_run(r.label, r.nprocs);
+    for (const TraceEvent& e : r.events) sink_->append(e);
+    sink_->end_run(r.makespan, r.events_dropped);
+    r.events_streamed = r.events.size();
+    r.events.clear();
+    r.events.shrink_to_fit();
+  }
+  runs_.push_back(std::move(r));
+}
+
+void Observer::adopt_runs_from(Observer& donor) {
+  for (RunRecord& r : donor.runs_) adopt_run(std::move(r));
+  donor.runs_.clear();
+  donor.events_retained_ = 0;
 }
 
 }  // namespace olden::trace

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "olden/support/types.hpp"
+#include "olden/trace/streaming_sink.hpp"
 #include "olden/trace/trace.hpp"
 
 namespace olden {
@@ -57,6 +58,9 @@ struct RunRecord {
 
   std::vector<TraceEvent> events;
   std::uint64_t events_dropped = 0;
+  /// Events written through a StreamingTraceSink instead of `events`; the
+  /// run's retained count is events.size() + events_streamed either way.
+  std::uint64_t events_streamed = 0;
 
   [[nodiscard]] BucketCycles bucket_totals() const {
     BucketCycles t{};
@@ -83,6 +87,14 @@ class Observer {
   void set_event_limit(std::uint64_t n) { event_limit_ = n; }
   [[nodiscard]] std::uint64_t event_limit() const { return event_limit_; }
 
+  /// Stream retained events to `sink` (v2 binary bytes on disk) instead of
+  /// accumulating them in RunRecord::events. Install before the first run;
+  /// the caller owns the sink and finalizes it after the last run. The
+  /// retention limit and `events_dropped` accounting behave exactly as in
+  /// the in-memory path.
+  void set_sink(StreamingTraceSink* sink) { sink_ = sink; }
+  [[nodiscard]] StreamingTraceSink* sink() const { return sink_; }
+
   // --- run lifecycle ------------------------------------------------------
 
   /// Name the next Machine run (call before constructing the Machine).
@@ -99,6 +111,20 @@ class Observer {
   [[nodiscard]] std::uint64_t events_retained() const {
     return events_retained_;
   }
+
+  /// Append a run completed in another Observer (a host-parallel worker
+  /// cell), re-applying this observer's cross-run retention limit so the
+  /// merged record is byte-identical to what a serial run would have
+  /// produced: the serial path retains a prefix of each run's events and
+  /// counts the rest in events_dropped, so truncating the donor's prefix
+  /// against the remaining budget reproduces it exactly. Streams the
+  /// events into the sink (and drops the vector) when one is installed.
+  void adopt_run(RunRecord&& r);
+
+  /// adopt_run for every run in `donor`, in order; leaves donor empty.
+  /// Callers merge worker observers in serial cell order to keep output
+  /// deterministic regardless of completion order.
+  void adopt_runs_from(Observer& donor);
 
   // --- hot-path hooks (called by the runtime, observer non-null) ---------
 
@@ -118,8 +144,13 @@ class Observer {
       ++cur_.events_dropped;
       return id;
     }
-    cur_.events.push_back(TraceEvent{t, p, th, k, site, a0, a1, id, chain,
-                                     parent});
+    if (sink_ != nullptr) {
+      sink_->append(TraceEvent{t, p, th, k, site, a0, a1, id, chain, parent});
+      ++cur_.events_streamed;
+    } else {
+      cur_.events.push_back(TraceEvent{t, p, th, k, site, a0, a1, id, chain,
+                                       parent});
+    }
     ++events_retained_;
     return id;
   }
@@ -150,6 +181,7 @@ class Observer {
   std::uint64_t next_chain_id_ = 0;  ///< per-run; reset in attach()
 
   bool run_open_ = false;
+  StreamingTraceSink* sink_ = nullptr;
   RunRecord cur_;
   std::vector<BucketCycles> acct_;
   std::unordered_map<std::uint64_t, std::uint64_t> page_heat_;
@@ -175,16 +207,8 @@ bool write_chrome_trace(const Observer& obs, const std::string& path,
 [[nodiscard]] std::string binary_trace_bytes(const Observer& obs);
 bool write_binary_trace(const Observer& obs, const std::string& path,
                         std::string* err = nullptr);
-inline constexpr int kBinaryTraceVersion = 2;
-inline constexpr char kBinaryTraceMagic[8] = {'O', 'L', 'D', 'N',
-                                              'T', 'R', 'C', '2'};
-/// The v1 magic, kept so readers can name the version they refuse.
-inline constexpr char kBinaryTraceMagicV1[8] = {'O', 'L', 'D', 'N',
-                                                'T', 'R', 'C', '1'};
-/// Size of one packed binary record (time, proc, thread, kind, site, args,
-/// id, chain, parent).
-inline constexpr std::size_t kBinaryRecordBytes =
-    8 + 4 + 8 + 1 + 3 + 4 + 8 + 8 + 8 + 8 + 8;
+// (The v2 format constants — kBinaryTraceVersion, kBinaryTraceMagic,
+// kBinaryRecordBytes — live in trace.hpp, shared with the streaming sink.)
 
 /// The structured stats document (schema documented in
 /// docs/OBSERVABILITY.md and validated by tools/check_stats_schema.py).

@@ -1,0 +1,117 @@
+#include "olden/trace/streaming_sink.hpp"
+
+namespace olden::trace {
+
+namespace {
+
+/// Offset of the file-level u32 run count: magic(8) + version(4).
+constexpr long kNumRunsOffset = 8 + 4;
+
+void encode_u32le(char* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+}
+void encode_u64le(char* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+}  // namespace
+
+StreamingTraceSink::StreamingTraceSink(std::string path,
+                                       std::size_t buffer_bytes)
+    : path_(std::move(path)),
+      // Always leave room for at least one record plus a run header.
+      buffer_bytes_(buffer_bytes < 4096 ? 4096 : buffer_bytes) {
+  buf_.reserve(buffer_bytes_);
+  // "wb+" so the back-patch seeks can rewrite committed header bytes.
+  file_ = std::fopen(path_.c_str(), "wb+");
+  if (file_ == nullptr) {
+    set_error("cannot open " + path_ + " for writing");
+    return;
+  }
+  buf_.append(kBinaryTraceMagic, sizeof kBinaryTraceMagic);
+  put_u32(static_cast<std::uint32_t>(kBinaryTraceVersion));
+  put_u32(0);  // run count, patched in finalize()
+}
+
+StreamingTraceSink::~StreamingTraceSink() { finalize(); }
+
+void StreamingTraceSink::set_error(std::string what) {
+  if (err_.empty()) err_ = std::move(what);
+}
+
+void StreamingTraceSink::flush() {
+  if (buf_.empty() || file_ == nullptr || !err_.empty()) {
+    buf_.clear();
+    return;
+  }
+  if (std::fwrite(buf_.data(), 1, buf_.size(), file_) != buf_.size()) {
+    set_error("short write to " + path_);
+  }
+  written_ += buf_.size();
+  buf_.clear();
+}
+
+void StreamingTraceSink::patch(long off, const char* bytes, std::size_t n) {
+  if (file_ == nullptr || !err_.empty()) return;
+  flush();
+  if (!err_.empty()) return;
+  if (std::fseek(file_, off, SEEK_SET) != 0 ||
+      std::fwrite(bytes, 1, n, file_) != n ||
+      std::fseek(file_, 0, SEEK_END) != 0) {
+    set_error("back-patch failed in " + path_);
+  }
+}
+
+void StreamingTraceSink::begin_run(const std::string& label, ProcId nprocs) {
+  if (finalized_) {
+    set_error("begin_run after finalize");
+    return;
+  }
+  if (run_open_) {
+    set_error("begin_run with a run still open");
+    return;
+  }
+  run_open_ = true;
+  run_events_ = 0;
+  ++runs_begun_;
+  put_u32(static_cast<std::uint32_t>(label.size()));
+  buf_ += label;
+  put_u32(nprocs);
+  run_patch_off_ = written_ + buf_.size();
+  put_u64(0);  // makespan, patched in end_run()
+  put_u64(0);  // events_dropped, patched in end_run()
+  put_u64(0);  // event count, patched in end_run()
+}
+
+void StreamingTraceSink::end_run(Cycles makespan,
+                                 std::uint64_t events_dropped) {
+  if (!run_open_) {
+    set_error("end_run with no run open");
+    return;
+  }
+  run_open_ = false;
+  char bytes[24];
+  encode_u64le(bytes, makespan);
+  encode_u64le(bytes + 8, events_dropped);
+  encode_u64le(bytes + 16, run_events_);
+  patch(static_cast<long>(run_patch_off_), bytes, sizeof bytes);
+}
+
+bool StreamingTraceSink::finalize(std::string* err) {
+  if (!finalized_) {
+    finalized_ = true;
+    if (run_open_) set_error("finalize with a run still open");
+    char bytes[4];
+    encode_u32le(bytes, runs_begun_);
+    patch(kNumRunsOffset, bytes, sizeof bytes);
+    if (file_ != nullptr) {
+      if (std::fflush(file_) != 0) set_error("flush failed for " + path_);
+      if (std::fclose(file_) != 0) set_error("close failed for " + path_);
+      file_ = nullptr;
+    }
+  }
+  if (!err_.empty() && err != nullptr) *err = err_;
+  return err_.empty();
+}
+
+}  // namespace olden::trace

@@ -1,0 +1,126 @@
+// StreamingTraceSink — the disk-backed twin of Observer::events.
+//
+// The in-memory event vector cannot hold a paper-scale run (a 256K-node
+// TreeAdd at p=8 emits millions of events; the full paper suite would need
+// gigabytes of RAM). The sink writes the exact v2 ("OLDNTRC2") byte stream
+// binary_trace_bytes() would have produced, but incrementally: events go
+// through a large private buffer as they are emitted, and the fields a
+// writer cannot know up front — the file-level run count and each run's
+// makespan / dropped-event / event counts — are back-patched with fseek
+// when the run (or file) closes. A finished file is indistinguishable,
+// byte for byte, from the in-memory export of the same run
+// (tests/streaming_trace_test.cpp proves it).
+//
+// Lifecycle (driven by trace::Observer once installed via set_sink()):
+//
+//   StreamingTraceSink sink("trace.bin");
+//   obs.set_sink(&sink);
+//   ... runs: Observer calls begin_run()/append()/end_run() ...
+//   sink.finalize(&err);   // back-patch the run count, flush, close
+//
+// Errors are sticky: the first I/O failure is recorded, every later call
+// becomes a no-op, and finalize() reports it. The sink is single-threaded
+// by design — in host-parallel mode (bench_cell --jobs) worker cells
+// retain events in their private Observers and the main thread replays
+// them into the sink in deterministic serial order (adopt_runs_from).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "olden/support/types.hpp"
+#include "olden/trace/trace.hpp"
+
+namespace olden::trace {
+
+class StreamingTraceSink {
+ public:
+  /// Default write-buffer size: big enough that paper-scale runs hit the
+  /// filesystem in ~4 MiB sequential chunks, small enough to be invisible
+  /// next to the simulator's own footprint.
+  static constexpr std::size_t kDefaultBufferBytes = std::size_t{4} << 20;
+
+  explicit StreamingTraceSink(std::string path,
+                              std::size_t buffer_bytes = kDefaultBufferBytes);
+  ~StreamingTraceSink();
+  StreamingTraceSink(const StreamingTraceSink&) = delete;
+  StreamingTraceSink& operator=(const StreamingTraceSink&) = delete;
+
+  [[nodiscard]] bool ok() const { return err_.empty(); }
+  [[nodiscard]] const std::string& error() const { return err_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] std::uint64_t events_written() const {
+    return events_written_;
+  }
+  [[nodiscard]] std::uint32_t runs_written() const { return runs_begun_; }
+
+  /// Open one run: writes the label header with zero placeholders for
+  /// makespan / dropped / event count.
+  void begin_run(const std::string& label, ProcId nprocs);
+
+  /// Append one event record to the open run (hot path: 68 bytes into the
+  /// buffer, amortized one fwrite per buffer fill).
+  void append(const TraceEvent& e) {
+    if (!run_open_ || !err_.empty()) {
+      if (err_.empty()) set_error("event emitted outside a run");
+      return;
+    }
+    if (buf_.size() + kBinaryRecordBytes > buffer_bytes_) flush();
+    put_u64(e.time);
+    put_u32(e.proc);
+    put_u64(e.thread);
+    buf_ += static_cast<char>(e.kind);
+    buf_.append(3, '\0');
+    put_u32(e.site);
+    put_u64(e.arg0);
+    put_u64(e.arg1);
+    put_u64(e.id);
+    put_u64(e.chain);
+    put_u64(e.parent);
+    ++run_events_;
+    ++events_written_;
+  }
+
+  /// Close the open run: back-patches its makespan / dropped / event-count
+  /// header fields.
+  void end_run(Cycles makespan, std::uint64_t events_dropped);
+
+  /// Back-patch the file-level run count, flush and close. Idempotent; the
+  /// destructor calls it as a safety net. Returns false (and sets *err)
+  /// if any write along the way failed.
+  bool finalize(std::string* err = nullptr);
+
+ private:
+  void put_u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      buf_ += static_cast<char>((v >> (8 * i)) & 0xff);
+    }
+  }
+  void put_u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      buf_ += static_cast<char>((v >> (8 * i)) & 0xff);
+    }
+  }
+  void flush();
+  void set_error(std::string what);
+  /// Seek to `off`, overwrite `n` bytes, seek back to the end.
+  void patch(long off, const char* bytes, std::size_t n);
+
+  std::string path_;
+  std::size_t buffer_bytes_;
+  std::FILE* file_ = nullptr;
+  std::string buf_;
+  std::string err_;
+  /// Bytes already fwritten; logical position = written_ + buf_.size().
+  std::uint64_t written_ = 0;
+  /// File offset of the open run's makespan/dropped/nevents patch area.
+  std::uint64_t run_patch_off_ = 0;
+  std::uint64_t run_events_ = 0;
+  std::uint64_t events_written_ = 0;
+  std::uint32_t runs_begun_ = 0;
+  bool run_open_ = false;
+  bool finalized_ = false;
+};
+
+}  // namespace olden::trace

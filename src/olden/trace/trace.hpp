@@ -9,6 +9,7 @@
 #pragma once
 
 #include <array>
+#include <bit>
 #include <cstdint>
 #include <limits>
 
@@ -156,7 +157,7 @@ class Histogram {
   }
 
   [[nodiscard]] static std::size_t bucket_of(std::uint64_t v) {
-    return v == 0 ? 0 : static_cast<std::size_t>(64 - __builtin_clzll(v));
+    return static_cast<std::size_t>(std::bit_width(v));
   }
   /// Inclusive lower bound of bucket b.
   [[nodiscard]] static std::uint64_t bucket_lo(std::size_t b) {
@@ -202,6 +203,23 @@ enum class Hist : std::uint8_t {
 };
 
 inline constexpr std::size_t kNumHists = 6;
+
+// --- binary trace format v2 ("OLDNTRC2") ------------------------------------
+// Shared by the in-memory exporter (export.cpp), the streaming sink
+// (streaming_sink.hpp) and the readers in src/olden/analyze/. The two
+// writers must stay byte-identical; tests/streaming_trace_test.cpp holds
+// them to that.
+
+inline constexpr int kBinaryTraceVersion = 2;
+inline constexpr char kBinaryTraceMagic[8] = {'O', 'L', 'D', 'N',
+                                              'T', 'R', 'C', '2'};
+/// The v1 magic, kept so readers can name the version they refuse.
+inline constexpr char kBinaryTraceMagicV1[8] = {'O', 'L', 'D', 'N',
+                                                'T', 'R', 'C', '1'};
+/// Size of one packed binary record (time, proc, thread, kind, site, args,
+/// id, chain, parent).
+inline constexpr std::size_t kBinaryRecordBytes =
+    8 + 4 + 8 + 1 + 3 + 4 + 8 + 8 + 8 + 8 + 8;
 
 [[nodiscard]] constexpr const char* to_string(Hist h) {
   switch (h) {

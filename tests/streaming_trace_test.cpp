@@ -1,0 +1,383 @@
+// Equivalence guarantees for the streaming trace plane.
+//
+// Three promises are tested to the byte, because every downstream
+// consumer (baseline diffs, olden-analyze, the schema checker) depends on
+// streamed output being indistinguishable from the in-memory path:
+//
+//   * StreamingTraceSink writes the exact bytes binary_trace_bytes()
+//     would have produced — including multi-run files and dropped-event
+//     accounting at the retention limit — while the stats JSON document
+//     is unchanged,
+//   * Observer::adopt_runs_from reconstructs the serial record from
+//     host-parallel worker observers (the bench_cell --jobs merge),
+//     including when the cross-run retention limit truncates mid-suite,
+//   * the streaming analyzer (TraceStream + StreamingRunAnalyzer)
+//     produces a json_report byte-identical to read_binary_trace +
+//     analyze_run, for healthy, truncated and fault-injected runs —
+//     and fails loudly, never silently diverging, on streams that break
+//     its invariants.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "olden/analyze/report.hpp"
+#include "olden/analyze/streaming.hpp"
+#include "olden/analyze/trace_reader.hpp"
+#include "olden/bench/benchmark.hpp"
+#include "olden/fault/fault_spec.hpp"
+#include "olden/trace/observer.hpp"
+#include "olden/trace/streaming_sink.hpp"
+
+namespace olden::bench {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "olden_streaming_" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  if (f == nullptr) return {};
+  std::string body;
+  char buf[1 << 16];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) body.append(buf, got);
+  std::fclose(f);
+  return body;
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+}
+
+/// One (benchmark, scheme) cell into `obs`, the way bench_cell labels it.
+void run_cell(trace::Observer& obs, const std::string& name, Coherence scheme,
+              const fault::FaultSpec* faults = nullptr) {
+  const Benchmark* b = find_benchmark(name);
+  ASSERT_NE(b, nullptr) << name;
+  obs.begin_run(name + "/stream-equiv");
+  BenchConfig cfg{.nprocs = 4, .scheme = scheme};
+  cfg.tiny = true;
+  cfg.observer = &obs;
+  cfg.faults = faults;
+  (void)b->run(cfg);
+}
+
+struct Golden {
+  std::string trace_bytes;
+  std::string stats;
+};
+
+Golden run_in_memory(const std::vector<std::pair<std::string, Coherence>>& cells,
+                     std::uint64_t limit) {
+  trace::Observer obs;
+  obs.set_trace_enabled(true);
+  obs.set_event_limit(limit);
+  for (const auto& [name, scheme] : cells) run_cell(obs, name, scheme);
+  return {trace::binary_trace_bytes(obs), trace::stats_json(obs)};
+}
+
+Golden run_streamed(const std::vector<std::pair<std::string, Coherence>>& cells,
+                    std::uint64_t limit, const std::string& path) {
+  trace::Observer obs;
+  obs.set_trace_enabled(true);
+  obs.set_event_limit(limit);
+  trace::StreamingTraceSink sink(path);
+  EXPECT_TRUE(sink.ok()) << sink.error();
+  obs.set_sink(&sink);
+  for (const auto& [name, scheme] : cells) run_cell(obs, name, scheme);
+  std::string err;
+  EXPECT_TRUE(sink.finalize(&err)) << err;
+  return {read_file(path), trace::stats_json(obs)};
+}
+
+class StreamingSinkEquivalence
+    : public ::testing::TestWithParam<std::tuple<std::string, Coherence>> {};
+
+TEST_P(StreamingSinkEquivalence, SinkBytesMatchInMemoryExport) {
+  const auto [name, scheme] = GetParam();
+  const std::vector<std::pair<std::string, Coherence>> cells = {{name, scheme}};
+  const Golden mem = run_in_memory(cells, 1'000'000);
+  const Golden str =
+      run_streamed(cells, 1'000'000, temp_path("sink_" + name + ".bin"));
+
+  EXPECT_EQ(mem.stats, str.stats);
+  ASSERT_EQ(mem.trace_bytes.size(), str.trace_bytes.size());
+  EXPECT_TRUE(mem.trace_bytes == str.trace_bytes)
+      << "streamed trace bytes differ for " << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cells, StreamingSinkEquivalence,
+    ::testing::Combine(::testing::Values("TreeAdd", "MST", "Health"),
+                       ::testing::Values(Coherence::kLocalKnowledge,
+                                         Coherence::kEagerGlobal,
+                                         Coherence::kBilateral)),
+    [](const auto& info) {
+      const Coherence scheme = std::get<1>(info.param);
+      const char* s = scheme == Coherence::kLocalKnowledge ? "local"
+                      : scheme == Coherence::kEagerGlobal  ? "global"
+                                                           : "bilateral";
+      return std::get<0>(info.param) + "_" + s;
+    });
+
+TEST(StreamingSink, MultiRunFileWithCrossRunTruncationMatches) {
+  // A limit small enough that the suite runs dry mid-file: the first run
+  // retains a prefix, later runs drop everything. The sink must write the
+  // same retained events and the same events_dropped headers.
+  const std::vector<std::pair<std::string, Coherence>> cells = {
+      {"TreeAdd", Coherence::kLocalKnowledge},
+      {"MST", Coherence::kEagerGlobal},
+      {"Health", Coherence::kBilateral}};
+  const Golden mem = run_in_memory(cells, 2'000);
+  const Golden str = run_streamed(cells, 2'000, temp_path("trunc.bin"));
+
+  EXPECT_EQ(mem.stats, str.stats);
+  ASSERT_EQ(mem.trace_bytes.size(), str.trace_bytes.size());
+  EXPECT_TRUE(mem.trace_bytes == str.trace_bytes);
+}
+
+/// The bench_cell --jobs merge: workers record into private observers
+/// with the full retention limit, the main observer re-applies the
+/// cross-run budget at adopt time. Byte equality with the serial record
+/// is what makes --jobs output-invisible.
+TEST(AdoptRuns, MergeReconstructsSerialRecord) {
+  const std::vector<std::pair<std::string, Coherence>> cells = {
+      {"TreeAdd", Coherence::kLocalKnowledge},
+      {"MST", Coherence::kLocalKnowledge},
+      {"Health", Coherence::kLocalKnowledge}};
+  for (const std::uint64_t limit : {std::uint64_t{1'000'000},
+                                    std::uint64_t{2'500}}) {
+    const Golden serial = run_in_memory(cells, limit);
+
+    trace::Observer main_obs;
+    main_obs.set_trace_enabled(true);
+    main_obs.set_event_limit(limit);
+    for (const auto& [name, scheme] : cells) {
+      trace::Observer worker;
+      worker.set_trace_enabled(true);
+      worker.set_event_limit(limit);  // full budget: superset of serial
+      run_cell(worker, name, scheme);
+      main_obs.adopt_runs_from(worker);
+    }
+    EXPECT_EQ(trace::stats_json(main_obs), serial.stats) << "limit " << limit;
+    const std::string merged = trace::binary_trace_bytes(main_obs);
+    ASSERT_EQ(merged.size(), serial.trace_bytes.size()) << "limit " << limit;
+    EXPECT_TRUE(merged == serial.trace_bytes) << "limit " << limit;
+  }
+}
+
+TEST(AdoptRuns, MergeIntoSinkMatchesSerialBytes) {
+  // --jobs combined with --trace-stream: adopted runs are streamed at
+  // merge time, so the file must still match the serial in-memory export.
+  const std::vector<std::pair<std::string, Coherence>> cells = {
+      {"TreeAdd", Coherence::kBilateral}, {"MST", Coherence::kBilateral}};
+  const Golden serial = run_in_memory(cells, 3'000);
+
+  const std::string path = temp_path("adopt_sink.bin");
+  trace::Observer main_obs;
+  main_obs.set_trace_enabled(true);
+  main_obs.set_event_limit(3'000);
+  trace::StreamingTraceSink sink(path);
+  ASSERT_TRUE(sink.ok()) << sink.error();
+  main_obs.set_sink(&sink);
+  for (const auto& [name, scheme] : cells) {
+    trace::Observer worker;
+    worker.set_trace_enabled(true);
+    worker.set_event_limit(3'000);
+    run_cell(worker, name, scheme);
+    main_obs.adopt_runs_from(worker);
+  }
+  std::string err;
+  ASSERT_TRUE(sink.finalize(&err)) << err;
+  EXPECT_EQ(trace::stats_json(main_obs), serial.stats);
+  const std::string streamed = read_file(path);
+  ASSERT_EQ(streamed.size(), serial.trace_bytes.size());
+  EXPECT_TRUE(streamed == serial.trace_bytes);
+}
+
+/// End-to-end analyzer parity: the streaming pipeline's JSON document
+/// must be byte-identical to the in-memory pipeline's, across a healthy
+/// run, a truncated run, and a fault-injected run (which exercises the
+/// retry buckets and the fault summary).
+TEST(StreamingAnalyzer, JsonReportByteIdentical) {
+  fault::FaultSpec spec;
+  std::string err;
+  ASSERT_TRUE(
+      fault::parse_fault_spec("drop=0.05,dup=0.02,delay=0.1:800", &spec, &err))
+      << err;
+
+  trace::Observer obs;
+  obs.set_trace_enabled(true);
+  obs.set_event_limit(20'000);  // truncates the middle run
+  run_cell(obs, "TreeAdd", Coherence::kLocalKnowledge);
+  run_cell(obs, "MST", Coherence::kEagerGlobal);
+  {
+    const Benchmark* b = find_benchmark("TreeAdd");
+    ASSERT_NE(b, nullptr);
+    obs.begin_run("TreeAdd/faulty");
+    BenchConfig cfg{.nprocs = 4, .scheme = Coherence::kBilateral};
+    cfg.tiny = true;
+    cfg.observer = &obs;
+    cfg.faults = &spec;
+    (void)b->run(cfg);
+  }
+  const std::string path = temp_path("analyze.bin");
+  write_file(path, trace::binary_trace_bytes(obs));
+
+  constexpr std::size_t kTopN = 10;
+  analyze::TraceFile mem_file;
+  ASSERT_TRUE(analyze::read_binary_trace(path, &mem_file, &err)) << err;
+  std::vector<analyze::RunReport> mem_reports;
+  for (const analyze::TraceRun& run : mem_file.runs) {
+    mem_reports.push_back(analyze::analyze_run(run, kTopN));
+  }
+  const std::string mem_json = analyze::json_report(mem_file, mem_reports);
+
+  analyze::TraceStream ts;
+  ASSERT_TRUE(ts.open(path, &err)) << err;
+  analyze::TraceFile str_file;
+  str_file.version = ts.version();
+  std::vector<analyze::RunReport> str_reports;
+  analyze::TraceRun run;
+  std::vector<trace::TraceEvent> batch;
+  while (ts.next_run(&run, &err)) {
+    analyze::StreamingRunAnalyzer an(run, kTopN);
+    while (ts.next_events(&batch, 4'096, &err)) {
+      for (const trace::TraceEvent& e : batch) ASSERT_TRUE(an.add(e))
+          << an.error();
+    }
+    ASSERT_TRUE(err.empty()) << err;
+    analyze::RunReport rep;
+    ASSERT_TRUE(an.finish(&rep, &err)) << err;
+    str_reports.push_back(std::move(rep));
+    str_file.runs.push_back(run);  // header only, events empty
+  }
+  ASSERT_TRUE(err.empty()) << err;
+  ASSERT_EQ(str_file.runs.size(), mem_file.runs.size());
+  EXPECT_TRUE(mem_file.runs[1].truncated());  // the limit actually bit
+
+  const std::string str_json = analyze::json_report(str_file, str_reports);
+  EXPECT_EQ(mem_json, str_json);
+}
+
+TEST(TraceStream, RejectsCorruptInput) {
+  std::string err;
+  // Build one small valid file to corrupt.
+  trace::Observer obs;
+  obs.set_trace_enabled(true);
+  obs.set_event_limit(64);
+  run_cell(obs, "TreeAdd", Coherence::kLocalKnowledge);
+  const std::string good = trace::binary_trace_bytes(obs);
+
+  {
+    analyze::TraceStream ts;
+    EXPECT_FALSE(ts.open(temp_path("missing.bin"), &err));
+    EXPECT_NE(err.find("cannot open"), std::string::npos) << err;
+  }
+  {
+    const std::string path = temp_path("badmagic.bin");
+    std::string bad = good;
+    bad[0] = 'X';
+    write_file(path, bad);
+    analyze::TraceStream ts;
+    EXPECT_FALSE(ts.open(path, &err));
+    EXPECT_NE(err.find("bad magic"), std::string::npos) << err;
+  }
+  {
+    const std::string path = temp_path("v1.bin");
+    std::string v1 = good;
+    std::memcpy(v1.data(), trace::kBinaryTraceMagicV1, 8);
+    write_file(path, v1);
+    analyze::TraceStream ts;
+    EXPECT_FALSE(ts.open(path, &err));
+    EXPECT_NE(err.find("OLDNTRC1"), std::string::npos) << err;
+  }
+  {
+    // Chop the file mid-events: the per-run plausibility bound must
+    // refuse the run instead of crashing or spinning.
+    const std::string path = temp_path("chopped.bin");
+    write_file(path, good.substr(0, good.size() - 10));
+    analyze::TraceStream ts;
+    ASSERT_TRUE(ts.open(path, &err)) << err;
+    analyze::TraceRun run;
+    EXPECT_FALSE(ts.next_run(&run, &err));
+    EXPECT_NE(err.find("exceeds file size"), std::string::npos) << err;
+  }
+  {
+    // Corrupt one event's kind byte past kNumEventKinds: next_events must
+    // reject the record. Record layout: header(16) + label_len(4) + label
+    // + run tail(28), then 68-byte records with the kind byte at +20.
+    const std::string path = temp_path("badkind.bin");
+    std::string bad = good;
+    const std::uint32_t label_len =
+        static_cast<std::uint8_t>(bad[16]) |
+        static_cast<std::uint32_t>(static_cast<std::uint8_t>(bad[17])) << 8 |
+        static_cast<std::uint32_t>(static_cast<std::uint8_t>(bad[18])) << 16 |
+        static_cast<std::uint32_t>(static_cast<std::uint8_t>(bad[19])) << 24;
+    const std::size_t first_record = 16 + 4 + label_len + 28;
+    ASSERT_LT(first_record + 68, bad.size());
+    bad[first_record + 20] = static_cast<char>(0xEE);
+    write_file(path, bad);
+    analyze::TraceStream ts;
+    ASSERT_TRUE(ts.open(path, &err)) << err;
+    analyze::TraceRun run;
+    ASSERT_TRUE(ts.next_run(&run, &err)) << err;
+    std::vector<trace::TraceEvent> batch;
+    EXPECT_FALSE(ts.next_events(&batch, 4'096, &err));
+    EXPECT_NE(err.find("out-of-range kind"), std::string::npos) << err;
+  }
+}
+
+TEST(StreamingAnalyzer, RejectsInvariantViolations) {
+  analyze::TraceRun header;
+  header.label = "synthetic";
+  header.nprocs = 2;
+  header.makespan = 100;
+  header.num_events = 2;
+
+  auto event = [](std::uint64_t id, std::uint64_t parent) {
+    trace::TraceEvent e;
+    e.time = 10 * (id + 1);
+    e.proc = 0;
+    e.kind = trace::EventKind::kCacheMiss;
+    e.id = id;
+    e.parent = parent;
+    return e;
+  };
+
+  {
+    // Non-dense ids: record 0 claims id 5.
+    analyze::StreamingRunAnalyzer an(header, 10);
+    EXPECT_FALSE(an.add(event(5, trace::kNoEvent)));
+    EXPECT_NE(an.error().find("dense"), std::string::npos) << an.error();
+  }
+  {
+    // Forward parent link: event 0 points at event 1.
+    analyze::StreamingRunAnalyzer an(header, 10);
+    EXPECT_FALSE(an.add(event(0, 1)));
+    EXPECT_NE(an.error().find("forward parent"), std::string::npos)
+        << an.error();
+  }
+  {
+    // Stream ends short of the header's event count.
+    analyze::StreamingRunAnalyzer an(header, 10);
+    EXPECT_TRUE(an.add(event(0, trace::kNoEvent)));
+    analyze::RunReport rep;
+    std::string err;
+    EXPECT_FALSE(an.finish(&rep, &err));
+    EXPECT_NE(err.find("ended at 1 of 2"), std::string::npos) << err;
+  }
+}
+
+}  // namespace
+}  // namespace olden::bench

@@ -66,8 +66,8 @@ def check_document(doc, path):
             f"{path}: generator must be 'bench_runner'")
     require(isinstance(doc.get("revision"), str),
             f"{path}: missing revision")
-    require(doc.get("mode") in ("tiny", "default"),
-            f"{path}: mode must be 'tiny' or 'default'")
+    require(doc.get("mode") in ("tiny", "default", "paper"),
+            f"{path}: mode must be 'tiny', 'default' or 'paper'")
     require(isinstance(doc.get("nprocs"), int) and doc["nprocs"] >= 1,
             f"{path}: nprocs must be a positive integer")
     cells = doc.get("cells")

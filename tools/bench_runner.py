@@ -1,32 +1,51 @@
 #!/usr/bin/env python3
 """Run the Olden benchmark suite as a regression matrix and emit BENCH JSON.
 
-Usage: bench_runner.py [--build-dir DIR] [--out FILE] [--tiny]
+Usage: bench_runner.py [--build-dir DIR] [--out FILE] [--tiny | --paper]
                        [--nprocs N] [--revision REV] [--benchmarks A,B,...]
+                       [--jobs N] [--timeout SECS]
 
 For every benchmark in the suite (or the --benchmarks subset) this runs
 `bench_cell` across the three coherence schemes with --stats-json and
---trace-bin enabled, feeds the binary trace through `olden-analyze
---json`, and merges the two documents into one cell per
-(benchmark, scheme): makespan, per-bucket cycle totals, key counters,
-the remote-miss rate, and the critical-path attribution. The result is
-written as a deterministic, sorted JSON file (BENCH_<rev>.json by
-default) that tools/bench_compare.py can diff against a committed
-baseline.
+a binary trace enabled, feeds the trace through `olden-analyze --json`,
+and merges the two documents into one cell per (benchmark, scheme):
+makespan, per-bucket cycle totals, key counters, the remote-miss rate,
+and the critical-path attribution. The result is written as a
+deterministic, sorted JSON file (BENCH_<rev>.json by default) that
+tools/bench_compare.py can diff against a committed baseline.
+
+--jobs N runs up to N benchmarks' bench_cell processes concurrently;
+each child stays serial internally, so every cell's simulated results,
+traces and stats are identical to a serial run, and the output document
+is assembled in suite order regardless of completion order.
+
+--paper selects the original paper problem sizes. Paper traces run to
+hundreds of MB, so this tier streams them to disk (--trace-stream) and
+analyzes them in bounded memory (olden-analyze --stream); the documents
+produced are byte-identical to what the in-memory paths would emit.
 
 bench_cell validates every cell's checksum against the host-side
 sequential reference, so a nonzero exit here means a *correctness*
-regression, not just a slow one.
+regression, not just a slow one. A failing child's exit code is
+propagated; a child exceeding --timeout is killed and reported with
+exit 124.
 
 Stdlib only, so it can run in any CI image.
 """
 
 import argparse
+import concurrent.futures
 import json
 import os
 import subprocess
 import sys
 import tempfile
+
+# Cumulative per-process event budget for --paper. The limit spans all
+# three scheme runs of one benchmark; the largest (Barnes-Hut, ~16M
+# events per traced run) needs most of it. Raising it costs only disk:
+# traces are streamed, never held in memory.
+PAPER_TRACE_LIMIT = 60_000_000
 
 BENCH_SCHEMA_VERSION = 1
 
@@ -46,9 +65,17 @@ COUNTER_KEYS = [
 ]
 
 
-def fail(msg):
+def fail(msg, code=1):
     print(f"bench_runner: {msg}", file=sys.stderr)
-    sys.exit(1)
+    sys.exit(code)
+
+
+class CellError(Exception):
+    """A child process failed; carries the exit code to propagate."""
+
+    def __init__(self, msg, code):
+        super().__init__(msg)
+        self.code = code
 
 
 def git_revision():
@@ -79,26 +106,49 @@ def miss_rate_percent(counters):
                     + counters["timestamp_stalls"]) / remote
 
 
-def run_benchmark(bench_cell, analyze, name, nprocs, tiny, tmpdir):
-    """Run one benchmark across all schemes; return its cells."""
+def run_child(cmd, what, timeout):
+    """Run one child process; raise CellError on failure or timeout."""
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True,
+                              timeout=timeout)
+    except subprocess.TimeoutExpired as e:
+        tail = (e.stdout or b"")[-2000:] if e.stdout else b""
+        if isinstance(tail, bytes):
+            tail = tail.decode("utf-8", "replace")
+        raise CellError(
+            f"{what} exceeded --timeout={timeout:g}s and was killed; "
+            f"last output:\n{tail}", 124) from e
+    if proc.returncode != 0:
+        raise CellError(f"{what} failed (exit {proc.returncode}):\n"
+                        f"{proc.stdout}{proc.stderr}", proc.returncode)
+    return proc
+
+
+def run_benchmark(bench_cell, analyze, name, nprocs, mode, timeout, tmpdir):
+    """Run one benchmark across all schemes; return its cells.
+
+    Thread-safe: all paths under tmpdir are keyed by benchmark name and
+    failures are raised as CellError, never sys.exit (which a worker
+    thread could not deliver)."""
+    paper = mode == "paper"
     stats_path = os.path.join(tmpdir, f"{name}.stats.json")
     trace_path = os.path.join(tmpdir, f"{name}.trace.bin")
+    trace_flag = "--trace-stream" if paper else "--trace-bin"
     cmd = [bench_cell, f"--benchmark={name}", f"--nprocs={nprocs}",
            f"--schemes={','.join(SCHEMES)}",
-           f"--stats-json={stats_path}", f"--trace-bin={trace_path}"]
-    if tiny:
+           f"--stats-json={stats_path}", f"{trace_flag}={trace_path}"]
+    if mode == "tiny":
         cmd.append("--tiny")
-    proc = subprocess.run(cmd, capture_output=True, text=True)
-    if proc.returncode != 0:
-        fail(f"bench_cell failed for {name} (exit {proc.returncode}):\n"
-             f"{proc.stdout}{proc.stderr}")
+    elif paper:
+        cmd += ["--paper-size", f"--trace-limit={PAPER_TRACE_LIMIT}"]
+    run_child(cmd, f"bench_cell for {name}", timeout)
 
-    proc = subprocess.run([analyze, "--trace-bin", trace_path, "--json"],
-                          capture_output=True, text=True)
-    if proc.returncode != 0:
-        fail(f"olden-analyze failed for {name} (exit {proc.returncode}):\n"
-             f"{proc.stderr}")
+    analyze_cmd = [analyze, "--trace-bin", trace_path, "--json"]
+    if paper:
+        analyze_cmd.append("--stream")
+    proc = run_child(analyze_cmd, f"olden-analyze for {name}", timeout)
     analysis = json.loads(proc.stdout)
+    os.unlink(trace_path)  # paper traces are large; drop them eagerly
     paths_by_label = {run["label"]: run for run in analysis["runs"]}
 
     with open(stats_path, "r", encoding="utf-8") as f:
@@ -128,10 +178,34 @@ def run_benchmark(bench_cell, analyze, name, nprocs, tiny, tmpdir):
                 "attribution": path["attribution"],
             }
             if path["total_cycles"] != run["makespan_cycles"]:
-                fail(f"{run['label']}: critical path ({path['total_cycles']}"
-                     f" cycles) != makespan ({run['makespan_cycles']})")
+                raise CellError(
+                    f"{run['label']}: critical path ({path['total_cycles']}"
+                    f" cycles) != makespan ({run['makespan_cycles']})", 1)
         cells.append(cell)
     return cells
+
+
+def run_matrix(bench_cell, analyze, names, args, mode, cells):
+    """Run every benchmark, serially or on a --jobs thread pool."""
+    with tempfile.TemporaryDirectory(prefix="olden-bench-") as tmpdir:
+        if args.jobs == 1:
+            for name in names:
+                cells.extend(run_benchmark(bench_cell, analyze, name,
+                                           args.nprocs, mode, args.timeout,
+                                           tmpdir))
+                print(f"  {name}: {len(SCHEMES)} cells ok")
+            return
+        # Completion order is nondeterministic; assembly order is not:
+        # results are gathered per future and appended in suite order.
+        with concurrent.futures.ThreadPoolExecutor(
+                max_workers=args.jobs) as pool:
+            futures = {
+                name: pool.submit(run_benchmark, bench_cell, analyze, name,
+                                  args.nprocs, mode, args.timeout, tmpdir)
+                for name in names}
+            for name in names:
+                cells.extend(futures[name].result())
+                print(f"  {name}: {len(SCHEMES)} cells ok")
 
 
 def main(argv):
@@ -141,15 +215,29 @@ def main(argv):
                     help="CMake build directory (default: build)")
     ap.add_argument("--out", default=None,
                     help="output file (default: BENCH_<rev>.json)")
-    ap.add_argument("--tiny", action="store_true",
-                    help="pinned tiny problem sizes (the CI configuration)")
+    size = ap.add_mutually_exclusive_group()
+    size.add_argument("--tiny", action="store_true",
+                      help="pinned tiny problem sizes (the CI configuration)")
+    size.add_argument("--paper", action="store_true",
+                      help="original paper problem sizes (streams traces, "
+                      "analyzes in bounded memory)")
     ap.add_argument("--nprocs", type=int, default=8,
                     help="processors per cell (default: 8)")
+    ap.add_argument("--jobs", type=int, default=1,
+                    help="benchmarks to run concurrently (default: 1; "
+                    "results identical to serial)")
+    ap.add_argument("--timeout", type=float, default=None,
+                    help="per-child timeout in seconds (default: none); "
+                    "a killed child exits this runner with code 124")
     ap.add_argument("--revision", default=None,
                     help="revision label (default: git rev-parse --short)")
     ap.add_argument("--benchmarks", default=None,
                     help="comma-separated subset (default: full suite)")
     args = ap.parse_args(argv[1:])
+    if args.jobs < 1:
+        ap.error("--jobs must be >= 1")
+    if args.timeout is not None and args.timeout <= 0:
+        ap.error("--timeout must be > 0")
 
     bench_cell = os.path.join(args.build_dir, "bench", "bench_cell")
     analyze = os.path.join(args.build_dir, "tools", "olden-analyze")
@@ -166,19 +254,19 @@ def main(argv):
         names = [n for n in names if n in wanted]
 
     revision = args.revision or git_revision()
+    mode = "tiny" if args.tiny else "paper" if args.paper else "default"
     cells = []
-    with tempfile.TemporaryDirectory(prefix="olden-bench-") as tmpdir:
-        for name in names:
-            cells.extend(run_benchmark(bench_cell, analyze, name,
-                                       args.nprocs, args.tiny, tmpdir))
-            print(f"  {name}: {len(SCHEMES)} cells ok")
+    try:
+        run_matrix(bench_cell, analyze, names, args, mode, cells)
+    except CellError as e:
+        fail(str(e), e.code)
     cells.sort(key=lambda c: (c["benchmark"], c["scheme"]))
 
     doc = {
         "bench_schema_version": BENCH_SCHEMA_VERSION,
         "generator": "bench_runner",
         "revision": revision,
-        "mode": "tiny" if args.tiny else "default",
+        "mode": mode,
         "nprocs": args.nprocs,
         "cells": cells,
     }

@@ -2,7 +2,8 @@
 """Time the simulator's own hot paths and diff against the host baseline.
 
 Usage: host_bench.py [--build-dir DIR] [--baseline FILE] [--out FILE]
-                     [--repeat N] [--max-regression X] [--update-baseline]
+                     [--repeat N] [--jobs N] [--max-regression X]
+                     [--update-baseline]
 
 Runs `bench/host_perf` (the wall-clock harness over the full --tiny
 benchmark matrix), writes its schema-versioned JSON document, and
@@ -32,13 +33,14 @@ import sys
 HOST_BENCH_SCHEMA_VERSION = 1
 
 
-def run_harness(build_dir: str, repeat: int, out_path: str) -> dict:
+def run_harness(build_dir: str, repeat: int, jobs: int,
+                out_path: str) -> dict:
     exe = os.path.join(build_dir, "bench", "host_perf")
     if not os.path.exists(exe):
         print(f"host_bench: {exe} not found (build the repo first)",
               file=sys.stderr)
         sys.exit(1)
-    cmd = [exe, f"--repeat={repeat}", f"--json={out_path}"]
+    cmd = [exe, f"--repeat={repeat}", f"--jobs={jobs}", f"--json={out_path}"]
     proc = subprocess.run(cmd, capture_output=True, text=True)
     sys.stdout.write(proc.stdout)
     if proc.returncode != 0:
@@ -69,6 +71,10 @@ def main() -> int:
         "bench", "baselines", "HOST_seed.json"))
     ap.add_argument("--out", default="HOST_current.json")
     ap.add_argument("--repeat", type=int, default=3)
+    ap.add_argument("--jobs", type=int, default=1,
+                    help="host threads for host_perf (default: 1; per-cell "
+                    "ms is noisier under a loaded pool — keep 1 for "
+                    "baseline comparisons)")
     ap.add_argument("--max-regression", type=float, default=2.0,
                     help="fail when current/baseline exceeds this ratio")
     ap.add_argument("--update-baseline", action="store_true",
@@ -76,8 +82,10 @@ def main() -> int:
     args = ap.parse_args()
     if args.repeat < 1 or args.max_regression <= 1.0:
         ap.error("--repeat must be >= 1 and --max-regression > 1.0")
+    if args.jobs < 1:
+        ap.error("--jobs must be >= 1")
 
-    current = run_harness(args.build_dir, args.repeat, args.out)
+    current = run_harness(args.build_dir, args.repeat, args.jobs, args.out)
     check_schema(current, args.out)
     print(f"wrote {args.out}")
 

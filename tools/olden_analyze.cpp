@@ -1,12 +1,20 @@
 // olden-analyze: offline trace analysis for Olden binary traces (v2).
 //
-//   olden-analyze --trace-bin FILE [--json] [--json-out FILE] [--top N]
+//   olden-analyze --trace-bin FILE [--stream] [--json] [--json-out FILE]
+//                 [--top N]
 //
 // Reads a binary trace produced by a bench binary's --trace-bin flag and
 // reports, per run: the critical path (total weight always equals the
 // traced makespan; per-edge attribution over compute / migration /
 // cache_stall / coherence / idle), the hottest migration sites, and
 // per-page heat with ping-pong (invalidate-then-refill) detection.
+//
+// --stream analyzes the trace in bounded memory (see streaming.hpp):
+// events are never loaded as a whole, only ~18 packed bytes per event
+// (peaking at ~43 during critical-path extraction) are retained, and the
+// JSON report is byte-identical to the in-memory path. The human report
+// is identical except that the per-edge "heaviest edges" detail is not
+// reconstructed.
 //
 // Exit codes: 0 success, 1 unreadable/unsupported trace (including v1
 // logs, which are named explicitly), 2 usage error.
@@ -17,6 +25,7 @@
 #include <vector>
 
 #include "olden/analyze/report.hpp"
+#include "olden/analyze/streaming.hpp"
 #include "olden/trace/observer.hpp"
 
 namespace {
@@ -25,11 +34,54 @@ void usage(std::FILE* to) {
   std::fprintf(to,
                "usage: olden-analyze --trace-bin FILE [options]\n"
                "  --trace-bin FILE   binary trace to analyze (required)\n"
+               "  --stream           single-pass bounded-memory analysis "
+               "(identical JSON)\n"
                "  --json             print the JSON report to stdout\n"
                "  --json-out FILE    also write the JSON report to FILE\n"
                "  --top N            keep the N hottest sites/pages (default 10)\n"
                "  --version          print schema versions and exit\n"
                "  --help             this message\n");
+}
+
+void warn_truncated(const olden::analyze::TraceRun& run) {
+  if (!run.truncated()) return;
+  std::fprintf(stderr,
+               "olden-analyze: warning: run '%s' dropped %llu events at "
+               "the trace limit; analyses cover the retained prefix\n",
+               run.label.c_str(),
+               static_cast<unsigned long long>(run.events_dropped));
+}
+
+/// Streaming path: one pass per run, headers retained, events not.
+bool analyze_streamed(const std::string& path, std::size_t top_n,
+                      olden::analyze::TraceFile* file,
+                      std::vector<olden::analyze::RunReport>* reports,
+                      std::string* err) {
+  olden::analyze::TraceStream ts;
+  if (!ts.open(path, err)) return false;
+  file->version = ts.version();
+  std::vector<olden::trace::TraceEvent> batch;
+  constexpr std::size_t kBatch = 1 << 16;
+  olden::analyze::TraceRun run;
+  while (ts.next_run(&run, err)) {
+    warn_truncated(run);
+    olden::analyze::StreamingRunAnalyzer an(run, top_n);
+    while (ts.next_events(&batch, kBatch, err)) {
+      for (const olden::trace::TraceEvent& e : batch) {
+        if (!an.add(e)) break;
+      }
+      if (!an.error().empty()) break;
+    }
+    if (!err->empty()) return false;
+    olden::analyze::RunReport rep;
+    if (!an.finish(&rep, err)) {
+      *err = path + ": run '" + run.label + "': " + *err;
+      return false;
+    }
+    reports->push_back(std::move(rep));
+    file->runs.push_back(run);  // header only; run.events is empty
+  }
+  return err->empty();
 }
 
 }  // namespace
@@ -38,6 +90,7 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string json_out;
   bool json_stdout = false;
+  bool stream = false;
   std::size_t top_n = 10;
 
   for (int i = 1; i < argc; ++i) {
@@ -51,6 +104,8 @@ int main(int argc, char** argv) {
     };
     if (std::strcmp(a, "--trace-bin") == 0) {
       trace_path = value("--trace-bin");
+    } else if (std::strcmp(a, "--stream") == 0) {
+      stream = true;
     } else if (std::strcmp(a, "--json") == 0) {
       json_stdout = true;
     } else if (std::strcmp(a, "--json-out") == 0) {
@@ -78,23 +133,23 @@ int main(int argc, char** argv) {
   }
 
   olden::analyze::TraceFile file;
-  std::string err;
-  if (!olden::analyze::read_binary_trace(trace_path, &file, &err)) {
-    std::fprintf(stderr, "olden-analyze: %s\n", err.c_str());
-    return 1;
-  }
-
   std::vector<olden::analyze::RunReport> reports;
-  reports.reserve(file.runs.size());
-  for (const olden::analyze::TraceRun& run : file.runs) {
-    if (run.truncated()) {
-      std::fprintf(stderr,
-                   "olden-analyze: warning: run '%s' dropped %llu events at "
-                   "the trace limit; analyses cover the retained prefix\n",
-                   run.label.c_str(),
-                   static_cast<unsigned long long>(run.events_dropped));
+  std::string err;
+  if (stream) {
+    if (!analyze_streamed(trace_path, top_n, &file, &reports, &err)) {
+      std::fprintf(stderr, "olden-analyze: %s\n", err.c_str());
+      return 1;
     }
-    reports.push_back(olden::analyze::analyze_run(run, top_n));
+  } else {
+    if (!olden::analyze::read_binary_trace(trace_path, &file, &err)) {
+      std::fprintf(stderr, "olden-analyze: %s\n", err.c_str());
+      return 1;
+    }
+    reports.reserve(file.runs.size());
+    for (const olden::analyze::TraceRun& run : file.runs) {
+      warn_truncated(run);
+      reports.push_back(olden::analyze::analyze_run(run, top_n));
+    }
   }
 
   if (json_stdout || !json_out.empty()) {
