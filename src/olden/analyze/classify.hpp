@@ -13,6 +13,28 @@
 
 namespace olden::analyze::classify {
 
+/// Sentinel for "this event is not about a page" (see page_of).
+inline constexpr std::uint64_t kNoPage = ~std::uint64_t{0};
+
+/// The page an event is about, or kNoPage. Only the cache/coherence kinds
+/// carry a page id in arg0; kCacheFlush's arg0 is a line count and the
+/// fault kinds carry processor/sequence payloads, so both map to kNoPage.
+/// Shared by the in-memory and streaming diff-profile builders — per-page
+/// delta attribution must bucket identical events identically in both.
+inline std::uint64_t page_of(trace::EventKind kind, std::uint64_t arg0) {
+  using trace::EventKind;
+  switch (kind) {
+    case EventKind::kCacheHit:
+    case EventKind::kCacheMiss:
+    case EventKind::kCacheLineFill:
+    case EventKind::kLineInvalidate:
+    case EventKind::kTimestampCheck:
+      return arg0;
+    default:
+      return kNoPage;
+  }
+}
+
 /// What one same-processor gap ending at the destination was spent on.
 /// `dst_arg0_pos` is dst.arg0 > 0 (whether a flush / suspect-marking
 /// actually dropped or marked anything).

@@ -134,6 +134,11 @@ CriticalPath critical_path(const TraceRun& run) {
     step.event = node == kSink ? PathStep::kSinkStep : node;
     step.weight = e.weight;
     step.bucket = e.bucket;
+    if (node != kSink) {
+      step.site = run.events[node].site;
+      step.page = classify::page_of(run.events[node].kind,
+                                    run.events[node].arg0);
+    }
     out.steps.push_back(step);
     out.total_cycles += e.weight;
     out.attribution[static_cast<std::size_t>(e.bucket)] += e.weight;

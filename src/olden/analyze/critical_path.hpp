@@ -42,6 +42,12 @@ struct PathStep {
   std::size_t event = kSinkStep;
   Cycles weight = 0;
   trace::CycleBucket bucket = trace::CycleBucket::kCompute;
+  /// Dereference site of the edge's head event (kNoSite for SINK or
+  /// unattributed events) — what the diff engine charges site deltas to.
+  SiteId site = trace::kNoSite;
+  /// Page the head event is about (classify::page_of), or
+  /// classify::kNoPage. Diff engine input, like `site`.
+  std::uint64_t page = ~std::uint64_t{0};
 };
 
 struct CriticalPath {

@@ -10,16 +10,20 @@
 
 namespace olden::analyze {
 
-namespace {
-
-using trace::CycleBucket;
-using trace::EventKind;
-using trace::TraceEvent;
+namespace jsonio {
 
 void append_kv(std::string& out, const char* key, std::uint64_t v,
-               bool comma = true) {
+               bool comma) {
   char buf[96];
   std::snprintf(buf, sizeof buf, "\"%s\":%" PRIu64 "%s", key, v,
+                comma ? "," : "");
+  out += buf;
+}
+
+void append_kv_i64(std::string& out, const char* key, std::int64_t v,
+                   bool comma) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "\"%s\":%" PRId64 "%s", key, v,
                 comma ? "," : "");
   out += buf;
 }
@@ -43,6 +47,16 @@ void append_escaped(std::string& out, const std::string& s) {
     }
   }
 }
+
+}  // namespace jsonio
+
+namespace {
+
+using jsonio::append_escaped;
+using jsonio::append_kv;
+using trace::CycleBucket;
+using trace::EventKind;
+using trace::TraceEvent;
 
 }  // namespace
 

@@ -32,7 +32,9 @@ static_assert(kMaxProcs < kProcNone, "proc must fit a byte with a sentinel");
 
 StreamingRunAnalyzer::StreamingRunAnalyzer(const TraceRun& header,
                                            std::size_t top_n)
-    : nprocs_(header.nprocs),
+    : label_(header.label),
+      run_truncated_(header.truncated()),
+      nprocs_(header.nprocs),
       makespan_(header.makespan),
       expected_events_(header.num_events),
       top_n_(top_n) {
@@ -40,6 +42,12 @@ StreamingRunAnalyzer::StreamingRunAnalyzer(const TraceRun& header,
   kindbits_.reserve(expected_events_);
   proc_.reserve(expected_events_);
   parent_.reserve(expected_events_);
+}
+
+void StreamingRunAnalyzer::enable_diff_profile() {
+  diff_ = true;
+  site_.reserve(expected_events_);
+  page_.reserve(expected_events_);
 }
 
 bool StreamingRunAnalyzer::set_error(const std::string& msg) {
@@ -74,6 +82,16 @@ bool StreamingRunAnalyzer::add(const TraceEvent& e) {
   proc_.push_back(e.proc < nprocs_ ? static_cast<std::uint8_t>(e.proc)
                                    : kProcNone);
   parent_.push_back(parent);
+  if (diff_) {
+    site_.push_back(e.site);
+    page_.push_back(classify::page_of(e.kind, e.arg0));
+    // First sighting of a chain in file order carries its spawn
+    // signature — exactly how diff_profile() counts over run.events.
+    if (e.chain != trace::kNoChain && chains_seen_.insert(e.chain).second) {
+      ++chains_;
+      ++chain_counts_[{static_cast<std::uint8_t>(e.kind), e.site}];
+    }
+  }
 
   // --- report aggregation (analyze_run, fed one event at a time) ---------
   switch (e.kind) {
@@ -145,7 +163,8 @@ bool StreamingRunAnalyzer::add(const TraceEvent& e) {
   return true;
 }
 
-void StreamingRunAnalyzer::extract_critical_path(CriticalPath* path) const {
+void StreamingRunAnalyzer::extract_critical_path(CriticalPath* path,
+                                                 DiffProfile* profile) const {
   path->attribution.fill(0);
   const std::uint64_t n = count_;
 
@@ -279,12 +298,29 @@ void StreamingRunAnalyzer::extract_critical_path(CriticalPath* path) const {
   }
 
   // Walk SINK -> SOURCE accumulating attribution; edge weights are tight,
-  // so each is just the time gap to the predecessor.
+  // so each is just the time gap to the predecessor. In diff mode the same
+  // walk charges each edge's cycles to the profile's site / page / edge
+  // partitions (zero-weight edges skipped, as in diff_profile()).
+  const auto src_kind_of = [&](std::uint64_t src) {
+    return src == kFromSource
+               ? EdgeKey::kSourceKind
+               : static_cast<std::uint8_t>(kindbits_[src] & 0x7F);
+  };
   const Cycles sink_w =
       makespan_ - (sink_pred == kFromSource ? 0 : time_[sink_pred]);
   path->attribution[static_cast<std::size_t>(CycleBucket::kIdle)] += sink_w;
   path->total_cycles += sink_w;
   ++path->edges;
+  if (profile != nullptr && sink_w > 0) {
+    EdgeKey key;
+    key.src_kind = src_kind_of(sink_pred);
+    key.dst_kind = EdgeKey::kSinkKind;
+    key.bucket = static_cast<std::uint8_t>(CycleBucket::kIdle);
+    key.site = trace::kNoSite;
+    profile->site_cycles[trace::kNoSite] += sink_w;
+    profile->page_cycles[classify::kNoPage] += sink_w;
+    profile->edge_cycles[key] += sink_w;
+  }
   std::uint64_t cur = sink_pred;
   while (cur != kFromSource) {
     const std::uint64_t p = pred[cur];
@@ -293,11 +329,47 @@ void StreamingRunAnalyzer::extract_critical_path(CriticalPath* path) const {
     path->attribution[bucket[cur]] += w;
     path->total_cycles += w;
     ++path->edges;
+    if (profile != nullptr && w > 0) {
+      EdgeKey key;
+      key.src_kind = src_kind_of(p);
+      key.dst_kind = static_cast<std::uint8_t>(kindbits_[cur] & 0x7F);
+      key.bucket = bucket[cur];
+      key.site = site_[cur];
+      profile->site_cycles[site_[cur]] += w;
+      profile->page_cycles[page_[cur]] += w;
+      profile->edge_cycles[key] += w;
+    }
     cur = p;
   }
 }
 
 bool StreamingRunAnalyzer::finish(RunReport* out, std::string* err) {
+  return finish_impl(out, nullptr, err);
+}
+
+bool StreamingRunAnalyzer::finish_diff(RunReport* out, DiffProfile* profile,
+                                       std::string* err) {
+  *profile = DiffProfile{};
+  if (!diff_) {
+    if (err != nullptr) {
+      *err = "finish_diff requires enable_diff_profile() before add()";
+    }
+    return false;
+  }
+  if (!finish_impl(out, profile, err)) return false;
+  profile->label = label_;
+  profile->nprocs = nprocs_;
+  profile->makespan = makespan_;
+  profile->events = count_;
+  profile->truncated = run_truncated_;
+  profile->buckets = out->path.attribution;
+  profile->chain_counts = chain_counts_;
+  profile->chains = chains_;
+  return true;
+}
+
+bool StreamingRunAnalyzer::finish_impl(RunReport* out, DiffProfile* profile,
+                                       std::string* err) {
   if (err_.empty() && count_ != expected_events_) {
     set_error("run event stream ended at " + std::to_string(count_) + " of " +
               std::to_string(expected_events_) + " events");
@@ -307,7 +379,7 @@ bool StreamingRunAnalyzer::finish(RunReport* out, std::string* err) {
     return false;
   }
   RunReport rep;
-  extract_critical_path(&rep.path);
+  extract_critical_path(&rep.path, profile);
 
   // --- rank sites and pages (exactly analyze_run's ordering) -------------
   for (const auto& [site, s] : sites_) rep.hot_sites.push_back(s);

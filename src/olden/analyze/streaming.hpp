@@ -45,6 +45,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "olden/analyze/diff.hpp"
 #include "olden/analyze/report.hpp"
 #include "olden/analyze/trace_reader.hpp"
 
@@ -57,6 +58,12 @@ class StreamingRunAnalyzer {
   /// in analyze_run.
   StreamingRunAnalyzer(const TraceRun& header, std::size_t top_n);
 
+  /// Opt in to diff-profile retention before the first add(): keeps the
+  /// head event's site and page per event (12 extra bytes each) and
+  /// tracks chain spawn signatures incrementally, so finish_diff() can
+  /// hand back the same DiffProfile diff_profile() builds in memory.
+  void enable_diff_profile();
+
   /// Feed the run's events in file order. Returns false once a stream
   /// invariant is violated; the error latches (see error()) and further
   /// calls are no-ops.
@@ -65,6 +72,12 @@ class StreamingRunAnalyzer {
   /// Complete the analysis. Returns false (setting *err) if add() failed
   /// or the stream ended short of the header's event count.
   bool finish(RunReport* out, std::string* err);
+
+  /// finish() plus the cross-run diff profile (diff.hpp), extracted in
+  /// the same DP walk. Requires enable_diff_profile() before the first
+  /// add(). The profile is identical to diff_profile() over the same run
+  /// parsed in memory, so diff reports are byte-identical across modes.
+  bool finish_diff(RunReport* out, DiffProfile* profile, std::string* err);
 
   [[nodiscard]] const std::string& error() const { return err_; }
 
@@ -78,8 +91,13 @@ class StreamingRunAnalyzer {
   };
 
   bool set_error(const std::string& msg);
-  void extract_critical_path(CriticalPath* path) const;
+  bool finish_impl(RunReport* out, DiffProfile* profile, std::string* err);
+  /// `profile`, when non-null, receives the site/page/edge cycle charges
+  /// of every walked edge (the diff-detail mode).
+  void extract_critical_path(CriticalPath* path, DiffProfile* profile) const;
 
+  std::string label_;
+  bool run_truncated_ = false;
   ProcId nprocs_ = 0;
   Cycles makespan_ = 0;
   std::uint64_t expected_events_ = 0;
@@ -97,6 +115,14 @@ class StreamingRunAnalyzer {
   std::vector<std::uint8_t> proc_;
   /// Parent id, or kNoParent when absent / dropped at the trace limit.
   std::vector<std::uint64_t> parent_;
+
+  // Diff-detail retention (populated only after enable_diff_profile()).
+  bool diff_ = false;
+  std::vector<SiteId> site_;          ///< head-event site per event
+  std::vector<std::uint64_t> page_;   ///< classify::page_of per event
+  std::unordered_set<std::uint64_t> chains_seen_;
+  std::map<ChainSig, std::uint64_t> chain_counts_;
+  std::uint64_t chains_ = 0;
 
   // Report aggregation (analyze_run's maps, fed incrementally).
   std::unordered_map<std::uint64_t, SiteId> depart_site_;  ///< depart id->site

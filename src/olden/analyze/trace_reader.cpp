@@ -164,6 +164,18 @@ bool parse_binary_trace(std::string_view bytes, TraceFile* out,
     }
     out->runs.push_back(std::move(run));
   }
+  // The streaming sink back-patches run/event counts at finalize; a crash
+  // (or a copy taken mid-write) leaves zeroed counts with the records
+  // still present. Accepting that would silently analyze an empty or
+  // partial prefix, so any bytes past the declared runs are an error.
+  if (c.remaining() > 0) {
+    return fail(err, "v" + std::to_string(version) + " header declares " +
+                         std::to_string(nruns) + " run(s) but " +
+                         std::to_string(c.remaining()) +
+                         " byte(s) follow the last declared record — "
+                         "header counts disagree with records present "
+                         "(unfinalized streaming trace?)");
+  }
   return true;
 }
 
@@ -273,7 +285,21 @@ bool TraceStream::next_run(TraceRun* run, std::string* err) {
     pos_ += skip;
     run_events_left_ = 0;
   }
-  if (runs_delivered_ >= num_runs_) return false;  // clean end of file
+  if (runs_delivered_ >= num_runs_) {
+    // Same trailing-bytes rejection as parse_binary_trace: a clean end of
+    // file must land exactly on the file size, or the back-patched header
+    // under-claims what was written (unfinalized streaming trace).
+    if (pos_ != file_size_) {
+      return fail(err,
+                  "v" + std::to_string(version_) + " header declares " +
+                      std::to_string(num_runs_) + " run(s) but " +
+                      std::to_string(file_size_ - pos_) +
+                      " byte(s) follow the last declared record — header "
+                      "counts disagree with records present (unfinalized "
+                      "streaming trace?)");
+    }
+    return false;  // clean end of file
+  }
   const std::string rno = std::to_string(runs_delivered_);
 
   unsigned char lenb[4];

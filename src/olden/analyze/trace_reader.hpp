@@ -43,7 +43,10 @@ struct TraceFile {
 
 /// Parse an in-memory binary trace. Returns false and sets *err on any
 /// malformed input: wrong magic, v1 logs (named explicitly), truncated
-/// framing, or out-of-range event kinds.
+/// framing, out-of-range event kinds, or trailing bytes past the declared
+/// runs (a back-patched header whose counts disagree with the records
+/// present — e.g. an unfinalized streaming trace — is rejected rather
+/// than silently analyzed as a prefix).
 bool parse_binary_trace(std::string_view bytes, TraceFile* out,
                         std::string* err);
 

@@ -1,0 +1,341 @@
+// Cross-run trace diffing (src/olden/analyze/diff.hpp).
+//
+// The load-bearing property is exactness: the per-bucket, per-site,
+// per-page and per-edge delta attributions must each sum to precisely the
+// makespan delta — no residuals, no double counting — because a report
+// that "roughly" explains a regression cannot be trusted to name its
+// cause. That invariant is held here across benchmarks x scheme pairs,
+// with and without fault injection, through the top-N/other rollup, and
+// for both profile pipelines (in-memory diff_profile and the streaming
+// analyzer's diff-detail mode), whose outputs must be byte-identical —
+// including when the traces were produced by the host-parallel
+// adopt_runs_from merge instead of serially.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "olden/analyze/diff.hpp"
+#include "olden/analyze/streaming.hpp"
+#include "olden/analyze/trace_reader.hpp"
+#include "olden/bench/benchmark.hpp"
+#include "olden/fault/fault_spec.hpp"
+#include "olden/trace/observer.hpp"
+
+namespace olden::bench {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "olden_diff_" + name;
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+}
+
+void run_cell(trace::Observer& obs, const std::string& name, Coherence scheme,
+              const fault::FaultSpec* faults = nullptr) {
+  const Benchmark* b = find_benchmark(name);
+  ASSERT_NE(b, nullptr) << name;
+  obs.begin_run(name + "/diff");
+  BenchConfig cfg{.nprocs = 4, .scheme = scheme};
+  cfg.tiny = true;
+  cfg.observer = &obs;
+  cfg.faults = faults;
+  (void)b->run(cfg);
+}
+
+/// Trace one cell and return its diff profile via the in-memory pipeline.
+analyze::DiffProfile profile_cell(const std::string& name, Coherence scheme,
+                                  const fault::FaultSpec* faults = nullptr) {
+  trace::Observer obs;
+  obs.set_trace_enabled(true);
+  run_cell(obs, name, scheme, faults);
+  analyze::TraceFile file;
+  std::string err;
+  EXPECT_TRUE(analyze::parse_binary_trace(trace::binary_trace_bytes(obs),
+                                          &file, &err))
+      << err;
+  EXPECT_EQ(file.runs.size(), 1u);
+  return analyze::diff_profile(file.runs[0]);
+}
+
+/// Every partition of the report — including the emitted top rows plus
+/// their other-rollup — must balance to the makespan delta.
+void expect_exact(const analyze::DiffReport& rep) {
+  EXPECT_EQ(rep.makespan_delta, static_cast<std::int64_t>(rep.b.makespan) -
+                                    static_cast<std::int64_t>(rep.a.makespan));
+  EXPECT_EQ(rep.bucket_delta_sum, rep.makespan_delta);
+  EXPECT_EQ(rep.site_delta_sum, rep.makespan_delta);
+  EXPECT_EQ(rep.page_delta_sum, rep.makespan_delta);
+  EXPECT_EQ(rep.edge_delta_sum, rep.makespan_delta);
+
+  std::int64_t buckets = 0;
+  for (const analyze::DiffRow& row : rep.buckets) buckets += row.delta;
+  EXPECT_EQ(buckets, rep.makespan_delta);
+
+  std::int64_t sites = rep.sites_other.delta;
+  for (const analyze::SiteDiff& s : rep.sites) sites += s.row.delta;
+  EXPECT_EQ(sites, rep.makespan_delta);
+
+  std::int64_t pages = rep.pages_other.delta;
+  for (const analyze::PageDiff& p : rep.pages) pages += p.row.delta;
+  EXPECT_EQ(pages, rep.makespan_delta);
+
+  std::int64_t edges = rep.edges_other.delta;
+  for (const analyze::EdgeDiff& e : rep.edges) edges += e.row.delta;
+  EXPECT_EQ(edges, rep.makespan_delta);
+}
+
+class DiffExactness
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, std::pair<Coherence, Coherence>>> {};
+
+TEST_P(DiffExactness, EveryPartitionSumsToTheMakespanDelta) {
+  const auto& [name, schemes] = GetParam();
+  const analyze::DiffProfile a = profile_cell(name, schemes.first);
+  const analyze::DiffProfile b = profile_cell(name, schemes.second);
+
+  // Per-run exactness first: each profile's partitions sum to its own
+  // makespan (the critical-path telescoping property the diff builds on).
+  for (const analyze::DiffProfile* p : {&a, &b}) {
+    std::uint64_t total = 0;
+    for (const std::uint64_t c : p->buckets) total += c;
+    EXPECT_EQ(total, p->makespan) << p->label;
+    std::uint64_t site_total = 0;
+    for (const auto& [site, c] : p->site_cycles) site_total += c;
+    EXPECT_EQ(site_total, p->makespan) << p->label;
+    std::uint64_t edge_total = 0;
+    for (const auto& [key, c] : p->edge_cycles) edge_total += c;
+    EXPECT_EQ(edge_total, p->makespan) << p->label;
+  }
+
+  // A small top_n forces the other-rollup path; exactness must survive it.
+  for (const std::size_t top_n : {std::size_t{100}, std::size_t{2}}) {
+    analyze::DiffReport rep;
+    std::string err;
+    ASSERT_TRUE(analyze::diff_runs(a, b, top_n, &rep, &err)) << err;
+    expect_exact(rep);
+    EXPECT_LE(rep.sites.size(), top_n);
+    EXPECT_LE(rep.pages.size(), top_n);
+    EXPECT_LE(rep.edges.size(), top_n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cells, DiffExactness,
+    ::testing::Combine(
+        ::testing::Values("TreeAdd", "MST", "Health"),
+        ::testing::Values(
+            std::pair{Coherence::kLocalKnowledge, Coherence::kEagerGlobal},
+            std::pair{Coherence::kLocalKnowledge, Coherence::kBilateral},
+            std::pair{Coherence::kEagerGlobal, Coherence::kBilateral})),
+    [](const auto& info) {
+      auto s = [](Coherence c) {
+        return c == Coherence::kLocalKnowledge ? "local"
+               : c == Coherence::kEagerGlobal  ? "global"
+                                               : "bilateral";
+      };
+      return std::get<0>(info.param) + "_" + s(std::get<1>(info.param).first) +
+             "_vs_" + s(std::get<1>(info.param).second);
+    });
+
+TEST(Diff, SelfDiffIsZeroEverywhereAndFullyAligned) {
+  const analyze::DiffProfile p =
+      profile_cell("TreeAdd", Coherence::kLocalKnowledge);
+  analyze::DiffReport rep;
+  std::string err;
+  ASSERT_TRUE(analyze::diff_runs(p, p, 1000, &rep, &err)) << err;
+  expect_exact(rep);
+  EXPECT_EQ(rep.makespan_delta, 0);
+  for (const analyze::DiffRow& row : rep.buckets) EXPECT_EQ(row.delta, 0);
+  for (const analyze::SiteDiff& s : rep.sites) EXPECT_EQ(s.row.delta, 0);
+  for (const analyze::PageDiff& g : rep.pages) EXPECT_EQ(g.row.delta, 0);
+  for (const analyze::EdgeDiff& e : rep.edges) EXPECT_EQ(e.row.delta, 0);
+  EXPECT_EQ(rep.chains_a, rep.chains_b);
+  EXPECT_EQ(rep.chains_aligned, rep.chains_a);
+  EXPECT_GT(rep.chains_a, 0u);
+}
+
+TEST(Diff, ExactnessHoldsUnderFaultInjection) {
+  fault::FaultSpec spec;
+  std::string err;
+  ASSERT_TRUE(
+      fault::parse_fault_spec("drop=0.05,dup=0.02,delay=0.1:800", &spec, &err))
+      << err;
+  const analyze::DiffProfile clean =
+      profile_cell("TreeAdd", Coherence::kBilateral);
+  const analyze::DiffProfile faulty =
+      profile_cell("TreeAdd", Coherence::kBilateral, &spec);
+  analyze::DiffReport rep;
+  ASSERT_TRUE(analyze::diff_runs(clean, faulty, 10, &rep, &err)) << err;
+  expect_exact(rep);
+}
+
+void expect_profiles_equal(const analyze::DiffProfile& mem,
+                           const analyze::DiffProfile& str) {
+  EXPECT_EQ(mem.label, str.label);
+  EXPECT_EQ(mem.nprocs, str.nprocs);
+  EXPECT_EQ(mem.makespan, str.makespan);
+  EXPECT_EQ(mem.events, str.events);
+  EXPECT_EQ(mem.truncated, str.truncated);
+  EXPECT_EQ(mem.buckets, str.buckets);
+  EXPECT_EQ(mem.site_cycles, str.site_cycles) << mem.label;
+  EXPECT_EQ(mem.page_cycles, str.page_cycles) << mem.label;
+  EXPECT_TRUE(mem.edge_cycles == str.edge_cycles) << mem.label;
+  EXPECT_TRUE(mem.chain_counts == str.chain_counts) << mem.label;
+  EXPECT_EQ(mem.chains, str.chains);
+}
+
+/// The streaming analyzer's diff-detail mode must reproduce diff_profile
+/// exactly — healthy, truncated, and fault-injected runs alike — which is
+/// what makes --diff --stream byte-identical to the in-memory path.
+TEST(Diff, StreamingProfileMatchesInMemory) {
+  fault::FaultSpec spec;
+  std::string err;
+  ASSERT_TRUE(
+      fault::parse_fault_spec("drop=0.05,dup=0.02,delay=0.1:800", &spec, &err))
+      << err;
+  trace::Observer obs;
+  obs.set_trace_enabled(true);
+  obs.set_event_limit(20'000);  // truncates the middle run
+  run_cell(obs, "TreeAdd", Coherence::kLocalKnowledge);
+  run_cell(obs, "MST", Coherence::kEagerGlobal);
+  run_cell(obs, "Health", Coherence::kBilateral, &spec);
+  const std::string path = temp_path("stream_parity.bin");
+  write_file(path, trace::binary_trace_bytes(obs));
+
+  analyze::TraceFile file;
+  ASSERT_TRUE(analyze::read_binary_trace(path, &file, &err)) << err;
+  std::vector<analyze::DiffProfile> mem;
+  for (const analyze::TraceRun& run : file.runs) {
+    mem.push_back(analyze::diff_profile(run));
+  }
+
+  analyze::TraceStream ts;
+  ASSERT_TRUE(ts.open(path, &err)) << err;
+  std::vector<analyze::DiffProfile> str;
+  analyze::TraceRun run;
+  std::vector<trace::TraceEvent> batch;
+  while (ts.next_run(&run, &err)) {
+    analyze::StreamingRunAnalyzer an(run, 10);
+    an.enable_diff_profile();
+    while (ts.next_events(&batch, 4'096, &err)) {
+      for (const trace::TraceEvent& e : batch) {
+        ASSERT_TRUE(an.add(e)) << an.error();
+      }
+    }
+    ASSERT_TRUE(err.empty()) << err;
+    analyze::RunReport rep;
+    analyze::DiffProfile profile;
+    ASSERT_TRUE(an.finish_diff(&rep, &profile, &err)) << err;
+    str.push_back(std::move(profile));
+  }
+  ASSERT_TRUE(err.empty()) << err;
+  ASSERT_EQ(str.size(), mem.size());
+  EXPECT_TRUE(file.runs[1].truncated());  // the limit actually bit
+  for (std::size_t i = 0; i < mem.size(); ++i) {
+    expect_profiles_equal(mem[i], str[i]);
+  }
+
+  // And the rendered documents — human and JSON — are byte-identical.
+  for (std::size_t i = 0; i + 1 < mem.size(); ++i) {
+    analyze::DiffReport rm;
+    analyze::DiffReport rs;
+    ASSERT_TRUE(analyze::diff_runs(mem[i], mem[i + 1], 10, &rm, &err)) << err;
+    ASSERT_TRUE(analyze::diff_runs(str[i], str[i + 1], 10, &rs, &err)) << err;
+    EXPECT_EQ(analyze::human_diff(rm), analyze::human_diff(rs));
+    EXPECT_EQ(analyze::json_diff({rm}), analyze::json_diff({rs}));
+  }
+}
+
+/// Determinism: the same workload pair diffed twice — and diffed from
+/// traces produced by the host-parallel adopt_runs_from merge instead of
+/// serially — yields byte-identical documents.
+TEST(Diff, OutputBytesInvariantAcrossRepeatsAndTraceProduction) {
+  const std::vector<std::pair<std::string, Coherence>> cells = {
+      {"TreeAdd", Coherence::kLocalKnowledge},
+      {"TreeAdd", Coherence::kEagerGlobal}};
+
+  fault::FaultSpec spec;
+  {
+    std::string err;
+    ASSERT_TRUE(fault::parse_fault_spec("drop=0.05,delay=0.1:800", &spec, &err))
+        << err;
+  }
+  auto diff_json_serial = [&]() {
+    trace::Observer obs;
+    obs.set_trace_enabled(true);
+    for (const auto& [name, scheme] : cells) run_cell(obs, name, scheme);
+    // A fault-injected third run: deterministic replay of the fault plane
+    // is part of the byte-identity promise.
+    run_cell(obs, "TreeAdd", Coherence::kEagerGlobal, &spec);
+    analyze::TraceFile file;
+    std::string err;
+    EXPECT_TRUE(analyze::parse_binary_trace(trace::binary_trace_bytes(obs),
+                                            &file, &err))
+        << err;
+    EXPECT_EQ(file.runs.size(), 3u);
+    analyze::DiffReport rep;
+    EXPECT_TRUE(analyze::diff_runs(analyze::diff_profile(file.runs[0]),
+                                   analyze::diff_profile(file.runs[1]), 10,
+                                   &rep, &err))
+        << err;
+    analyze::DiffReport faulty;
+    EXPECT_TRUE(analyze::diff_runs(analyze::diff_profile(file.runs[1]),
+                                   analyze::diff_profile(file.runs[2]), 10,
+                                   &faulty, &err))
+        << err;
+    return analyze::json_diff({rep, faulty}) + analyze::human_diff(rep) +
+           analyze::human_diff(faulty);
+  };
+  const std::string first = diff_json_serial();
+  const std::string second = diff_json_serial();
+  EXPECT_EQ(first, second);
+
+  // The --jobs production path: workers record into private observers,
+  // the main observer adopts. Trace bytes are documented identical, so
+  // the diff must be too.
+  trace::Observer main_obs;
+  main_obs.set_trace_enabled(true);
+  for (const auto& [name, scheme] : cells) {
+    trace::Observer worker;
+    worker.set_trace_enabled(true);
+    run_cell(worker, name, scheme);
+    main_obs.adopt_runs_from(worker);
+  }
+  {
+    trace::Observer worker;
+    worker.set_trace_enabled(true);
+    run_cell(worker, "TreeAdd", Coherence::kEagerGlobal, &spec);
+    main_obs.adopt_runs_from(worker);
+  }
+  analyze::TraceFile file;
+  std::string err;
+  ASSERT_TRUE(analyze::parse_binary_trace(trace::binary_trace_bytes(main_obs),
+                                          &file, &err))
+      << err;
+  ASSERT_EQ(file.runs.size(), 3u);
+  analyze::DiffReport rep;
+  ASSERT_TRUE(analyze::diff_runs(analyze::diff_profile(file.runs[0]),
+                                 analyze::diff_profile(file.runs[1]), 10,
+                                 &rep, &err))
+      << err;
+  analyze::DiffReport faulty;
+  ASSERT_TRUE(analyze::diff_runs(analyze::diff_profile(file.runs[1]),
+                                 analyze::diff_profile(file.runs[2]), 10,
+                                 &faulty, &err))
+      << err;
+  EXPECT_EQ(analyze::json_diff({rep, faulty}) + analyze::human_diff(rep) +
+                analyze::human_diff(faulty),
+            first);
+}
+
+}  // namespace
+}  // namespace olden::bench

@@ -338,6 +338,88 @@ TEST(TraceStream, RejectsCorruptInput) {
   }
 }
 
+/// A streaming sink that dies (or a file copied mid-write) leaves the
+/// back-patched header placeholders zeroed while the event records are
+/// already on disk. Both readers must reject the disagreement instead of
+/// silently analyzing the declared (empty or partial) prefix.
+TEST(TraceReader, RejectsBackPatchedHeaderDisagreement) {
+  std::string err;
+  trace::Observer obs;
+  obs.set_trace_enabled(true);
+  obs.set_event_limit(64);
+  run_cell(obs, "TreeAdd", Coherence::kLocalKnowledge);
+  const std::string good = trace::binary_trace_bytes(obs);
+
+  // File layout: magic(8) + version(4) + num_runs(4), then per run
+  // label_len(4) + label + nprocs(4) + makespan(8) + dropped(8) +
+  // nevents(8) + 68-byte records.
+  const std::uint32_t label_len =
+      static_cast<std::uint8_t>(good[16]) |
+      static_cast<std::uint32_t>(static_cast<std::uint8_t>(good[17])) << 8 |
+      static_cast<std::uint32_t>(static_cast<std::uint8_t>(good[18])) << 16 |
+      static_cast<std::uint32_t>(static_cast<std::uint8_t>(good[19])) << 24;
+  const std::size_t nevents_off = 16 + 4 + label_len + 4 + 8 + 8;
+
+  const auto expect_rejected_by_both = [&](const std::string& name,
+                                           const std::string& bytes) {
+    const std::string path = temp_path(name);
+    write_file(path, bytes);
+    analyze::TraceFile file;
+    EXPECT_FALSE(analyze::read_binary_trace(path, &file, &err)) << name;
+    EXPECT_NE(err.find("disagree"), std::string::npos) << name << ": " << err;
+    EXPECT_NE(err.find("v2"), std::string::npos) << name << ": " << err;
+
+    analyze::TraceStream ts;
+    ASSERT_TRUE(ts.open(path, &err)) << name << ": " << err;
+    analyze::TraceRun run;
+    std::vector<trace::TraceEvent> batch;
+    bool stream_rejected = false;
+    while (ts.next_run(&run, &err)) {
+      while (ts.next_events(&batch, 4'096, &err)) {
+      }
+      if (!err.empty()) break;
+    }
+    stream_rejected = !err.empty();
+    EXPECT_TRUE(stream_rejected) << name;
+    EXPECT_NE(err.find("disagree"), std::string::npos) << name << ": " << err;
+  };
+
+  {
+    // Unfinalized run header: nevents still holds the zero placeholder,
+    // but the records were written. The old readers parsed "0 events" and
+    // ignored the rest of the file.
+    std::string bad = good;
+    for (std::size_t i = 0; i < 8; ++i) bad[nevents_off + i] = 0;
+    expect_rejected_by_both("zeroed_nevents.bin", bad);
+  }
+  {
+    // Unfinalized file header: num_runs still zero, every run unclaimed.
+    std::string bad = good;
+    for (std::size_t i = 12; i < 16; ++i) bad[i] = 0;
+    expect_rejected_by_both("zeroed_nruns.bin", bad);
+  }
+  {
+    // Garbage appended past a perfectly finalized file.
+    expect_rejected_by_both("appended.bin", good + std::string(13, '\xAB'));
+  }
+
+  // Control: the untouched bytes still parse in both pipelines.
+  const std::string path = temp_path("backpatch_good.bin");
+  write_file(path, good);
+  analyze::TraceFile file;
+  EXPECT_TRUE(analyze::read_binary_trace(path, &file, &err)) << err;
+  analyze::TraceStream ts;
+  ASSERT_TRUE(ts.open(path, &err)) << err;
+  analyze::TraceRun run;
+  std::vector<trace::TraceEvent> batch;
+  while (ts.next_run(&run, &err)) {
+    while (ts.next_events(&batch, 4'096, &err)) {
+    }
+    ASSERT_TRUE(err.empty()) << err;
+  }
+  EXPECT_TRUE(err.empty()) << err;
+}
+
 TEST(StreamingAnalyzer, RejectsInvariantViolations) {
   analyze::TraceRun header;
   header.label = "synthetic";

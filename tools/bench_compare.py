@@ -3,17 +3,30 @@
 
 Usage: bench_compare.py OLD.json NEW.json [--threshold PCT]
                         [--cell BENCHMARK/SCHEME/NPROCS]
+                        [--traces-old DIR --traces-new DIR --analyze BIN]
+                        [--diff-top K]
        bench_compare.py --check FILE.json
 
 Cells are keyed by (benchmark, scheme, nprocs). The comparison FAILS
 (exit 1) when a cell present in OLD is missing from NEW, or when a
 cell's makespan regressed by more than --threshold percent (default 5).
-Because the simulator is fully deterministic, any makespan change at all
-is a real behavioral change; the threshold only decides how large a
-slowdown blocks CI. Improvements and sub-threshold drifts are reported
-but don't fail.
+Every regressed cell is reported — the comparison never stops at the
+first one. Because the simulator is fully deterministic, any makespan
+change at all is a real behavioral change; the threshold only decides
+how large a slowdown blocks CI. Improvements and sub-threshold drifts
+are reported but don't fail.
 
 --cell restricts the comparison to one cell, e.g. --cell TreeAdd/local/8.
+
+--traces-old/--traces-new name archives written by bench_runner.py
+--keep-traces (one <benchmark>.trace.bin per benchmark). When both are
+given along with --analyze (the olden-analyze binary), every regressed
+cell whose traces exist on both sides is automatically attributed:
+`olden-analyze --diff` decomposes the makespan delta and the top-K
+responsible edges, sites and buckets are attached to the report
+(--diff-top, default 5). A run that regressed *and* carries at least one
+such attribution exits 5 instead of 1, so CI can tell "regression with a
+named cause" from a bare failure.
 
 --check validates a single file's schema (structure, bucket arithmetic,
 critical-path exactness) without comparing — used by CI on freshly
@@ -27,11 +40,15 @@ Exit codes are distinct so CI scripts can tell the failure modes apart:
      schema-invalid) — always a one-line error, never a traceback
   4  the requested --cell is absent from both files, or the two files
      share no cells at all
+  5  regression found AND at least one cell's diff attribution was
+     attached (--traces-old/--traces-new/--analyze)
 
 Stdlib only, so it can run in any CI image.
 """
 
 import json
+import os
+import subprocess
 import sys
 
 BENCH_SCHEMA_VERSION = 1
@@ -46,6 +63,9 @@ EXIT_COMPARE_FAILED = 1
 EXIT_USAGE = 2
 EXIT_BAD_INPUT = 3
 EXIT_NO_SUCH_CELL = 4
+EXIT_REGRESSION_ATTRIBUTED = 5
+
+DIFF_SCHEMA_VERSION = 1
 
 
 class SchemaError(Exception):
@@ -149,12 +169,14 @@ def parse_cell_selector(sel):
 
 
 def compare(old_doc, new_doc, threshold, only_cell=None):
+    """Print the comparison; return (ok, regressed_keys)."""
     old = {cell_key(c): c for c in old_doc["cells"]}
     new = {cell_key(c): c for c in new_doc["cells"]}
     if only_cell is not None:
         old = {k: v for k, v in old.items() if k == only_cell}
         new = {k: v for k, v in new.items() if k == only_cell}
     regressions, improvements, drifts = [], [], []
+    regressed_keys = []
     missing = sorted(set(old) - set(new))
     added = sorted(set(new) - set(old))
     for key in sorted(set(old) & set(new)):
@@ -165,6 +187,7 @@ def compare(old_doc, new_doc, threshold, only_cell=None):
         line = f"{name}: {before} -> {after} cycles ({delta:+.2f}%)"
         if delta > threshold:
             regressions.append(line)
+            regressed_keys.append(key)
         elif delta < -threshold:
             improvements.append(line)
         elif after != before:
@@ -187,7 +210,76 @@ def compare(old_doc, new_doc, threshold, only_cell=None):
           f"{unchanged} unchanged, {len(drifts)} drifted, "
           f"{len(improvements)} improved, {len(regressions)} regressed, "
           f"{len(missing)} missing (threshold {threshold:g}%)")
-    return not regressions and not missing
+    return (not regressions and not missing), regressed_keys
+
+
+def describe_edge(edge):
+    where = f" @ site {edge['site']}" if edge.get("site") is not None else ""
+    return (f"{edge['delta']:+d} {edge['bucket']} "
+            f"{edge['src']} -> {edge['dst']}{where} "
+            f"({edge['a']} -> {edge['b']})")
+
+
+def attribute_regression(key, diff_cfg):
+    """Diff one regressed cell's archived traces; True if attached.
+
+    A missing trace or a failing olden-analyze degrades to a note, never
+    an error: attribution is best-effort garnish on an already-failing
+    comparison."""
+    bench, scheme, nprocs = key
+    name = f"{bench}/{scheme}/p={nprocs}"
+    old_trace = os.path.join(diff_cfg["traces_old"], f"{bench}.trace.bin")
+    new_trace = os.path.join(diff_cfg["traces_new"], f"{bench}.trace.bin")
+    missing = [p for p in (old_trace, new_trace) if not os.path.exists(p)]
+    if missing:
+        print(f"  {name}: no diff attribution (missing {missing[0]})")
+        return False
+    label = f"BENCH/{bench}/p={nprocs}/{scheme}"
+    cmd = [diff_cfg["analyze"], "--diff", old_trace, new_trace,
+           "--run", label, "--json", "--top", str(diff_cfg["top"])]
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+    except OSError as e:
+        print(f"  {name}: no diff attribution (cannot run "
+              f"{diff_cfg['analyze']}: {e.strerror})")
+        return False
+    if proc.returncode != 0:
+        print(f"  {name}: no diff attribution (olden-analyze exit "
+              f"{proc.returncode}: {proc.stderr.strip()})")
+        return False
+    try:
+        doc = json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        print(f"  {name}: no diff attribution (unparseable diff JSON)")
+        return False
+    if doc.get("diff_schema_version") != DIFF_SCHEMA_VERSION or \
+            not doc.get("diffs"):
+        print(f"  {name}: no diff attribution (unexpected diff schema "
+              f"{doc.get('diff_schema_version')!r})")
+        return False
+    d = doc["diffs"][0]
+    print(f"  {name}: {d['makespan_delta_cycles']:+d} cycles "
+          f"({d['makespan_delta_percent']:+.2f}%), attributed exactly:")
+    moved = [b for b in d["buckets"] if b["delta"] != 0]
+    moved.sort(key=lambda b: -abs(b["delta"]))
+    print("    buckets: " + (", ".join(
+        f"{b['bucket']} {b['delta']:+d}" for b in moved) or "(no movement)"))
+    for edge in d["edges"]["top"]:
+        print(f"    edge {describe_edge(edge)}")
+    for site in d["sites"]["top"]:
+        sname = ("(no site)" if site.get("site") is None
+                 else f"site {site['site']}")
+        print(f"    {sname}: {site['delta']:+d} "
+              f"({site['a']} -> {site['b']})")
+    return True
+
+
+def attribute_regressions(regressed_keys, diff_cfg):
+    """Attach --diff attributions to every regressed cell; count attached."""
+    print(f"diff attribution (top {diff_cfg['top']}, "
+          f"{diff_cfg['traces_old']} -> {diff_cfg['traces_new']}):")
+    return sum(1 for key in regressed_keys
+               if attribute_regression(key, diff_cfg))
 
 
 def main(argv):
@@ -227,6 +319,36 @@ def main(argv):
                   file=sys.stderr)
             return EXIT_USAGE
         del args[i:i + 2]
+    diff_opts = {}
+    for flag, dest in (("--traces-old", "traces_old"),
+                       ("--traces-new", "traces_new"),
+                       ("--analyze", "analyze"), ("--diff-top", "top")):
+        if flag in args:
+            i = args.index(flag)
+            if i + 1 >= len(args):
+                print(__doc__.strip(), file=sys.stderr)
+                return EXIT_USAGE
+            diff_opts[dest] = args[i + 1]
+            del args[i:i + 2]
+    diff_cfg = None
+    if diff_opts:
+        required = {"traces_old", "traces_new", "analyze"}
+        missing = sorted(required - set(diff_opts))
+        if missing:
+            print("bench_compare: --traces-old, --traces-new and --analyze "
+                  f"must be given together (missing {missing})",
+                  file=sys.stderr)
+            return EXIT_USAGE
+        try:
+            diff_opts["top"] = int(diff_opts.get("top", "5"))
+        except ValueError:
+            print(f"bench_compare: bad --diff-top {diff_opts['top']!r}",
+                  file=sys.stderr)
+            return EXIT_USAGE
+        if diff_opts["top"] < 1:
+            print("bench_compare: --diff-top must be >= 1", file=sys.stderr)
+            return EXIT_USAGE
+        diff_cfg = diff_opts
     if len(args) != 2:
         print(__doc__.strip(), file=sys.stderr)
         return EXIT_USAGE
@@ -251,8 +373,14 @@ def main(argv):
         print("FAIL: the two files share no cells — nothing to compare",
               file=sys.stderr)
         return EXIT_NO_SUCH_CELL
-    ok = compare(old_doc, new_doc, threshold, only_cell)
-    return EXIT_OK if ok else EXIT_COMPARE_FAILED
+    ok, regressed_keys = compare(old_doc, new_doc, threshold, only_cell)
+    if ok:
+        return EXIT_OK
+    if diff_cfg is not None and regressed_keys:
+        attached = attribute_regressions(regressed_keys, diff_cfg)
+        if attached > 0:
+            return EXIT_REGRESSION_ATTRIBUTED
+    return EXIT_COMPARE_FAILED
 
 
 if __name__ == "__main__":

@@ -3,7 +3,7 @@
 
 Usage: bench_runner.py [--build-dir DIR] [--out FILE] [--tiny | --paper]
                        [--nprocs N] [--revision REV] [--benchmarks A,B,...]
-                       [--jobs N] [--timeout SECS]
+                       [--jobs N] [--timeout SECS] [--keep-traces DIR]
 
 For every benchmark in the suite (or the --benchmarks subset) this runs
 `bench_cell` across the three coherence schemes with --stats-json and
@@ -18,6 +18,12 @@ tools/bench_compare.py can diff against a committed baseline.
 each child stays serial internally, so every cell's simulated results,
 traces and stats are identical to a serial run, and the output document
 is assembled in suite order regardless of completion order.
+
+--keep-traces DIR archives each benchmark's binary trace as
+DIR/<benchmark>.trace.bin instead of deleting it after analysis. Paired
+with a baseline's archive, tools/bench_compare.py --traces-old/--traces-new
+can then attribute any regression with `olden-analyze --diff` (the runs
+inside are labeled BENCH/<benchmark>/p=<nprocs>/<scheme>).
 
 --paper selects the original paper problem sizes. Paper traces run to
 hundreds of MB, so this tier streams them to disk (--trace-stream) and
@@ -37,6 +43,7 @@ import argparse
 import concurrent.futures
 import json
 import os
+import shutil
 import subprocess
 import sys
 import tempfile
@@ -124,7 +131,8 @@ def run_child(cmd, what, timeout):
     return proc
 
 
-def run_benchmark(bench_cell, analyze, name, nprocs, mode, timeout, tmpdir):
+def run_benchmark(bench_cell, analyze, name, nprocs, mode, timeout, tmpdir,
+                  keep_traces=None):
     """Run one benchmark across all schemes; return its cells.
 
     Thread-safe: all paths under tmpdir are keyed by benchmark name and
@@ -148,7 +156,14 @@ def run_benchmark(bench_cell, analyze, name, nprocs, mode, timeout, tmpdir):
         analyze_cmd.append("--stream")
     proc = run_child(analyze_cmd, f"olden-analyze for {name}", timeout)
     analysis = json.loads(proc.stdout)
-    os.unlink(trace_path)  # paper traces are large; drop them eagerly
+    if keep_traces is not None:
+        # Archive for later cross-run diffing (bench_compare.py
+        # --traces-old/--traces-new); shutil.move survives tmpdir living
+        # on a different filesystem than the archive.
+        shutil.move(trace_path,
+                    os.path.join(keep_traces, f"{name}.trace.bin"))
+    else:
+        os.unlink(trace_path)  # paper traces are large; drop them eagerly
     paths_by_label = {run["label"]: run for run in analysis["runs"]}
 
     with open(stats_path, "r", encoding="utf-8") as f:
@@ -192,7 +207,7 @@ def run_matrix(bench_cell, analyze, names, args, mode, cells):
             for name in names:
                 cells.extend(run_benchmark(bench_cell, analyze, name,
                                            args.nprocs, mode, args.timeout,
-                                           tmpdir))
+                                           tmpdir, args.keep_traces))
                 print(f"  {name}: {len(SCHEMES)} cells ok")
             return
         # Completion order is nondeterministic; assembly order is not:
@@ -201,7 +216,8 @@ def run_matrix(bench_cell, analyze, names, args, mode, cells):
                 max_workers=args.jobs) as pool:
             futures = {
                 name: pool.submit(run_benchmark, bench_cell, analyze, name,
-                                  args.nprocs, mode, args.timeout, tmpdir)
+                                  args.nprocs, mode, args.timeout, tmpdir,
+                                  args.keep_traces)
                 for name in names}
             for name in names:
                 cells.extend(futures[name].result())
@@ -229,6 +245,10 @@ def main(argv):
     ap.add_argument("--timeout", type=float, default=None,
                     help="per-child timeout in seconds (default: none); "
                     "a killed child exits this runner with code 124")
+    ap.add_argument("--keep-traces", default=None, metavar="DIR",
+                    help="archive each benchmark's binary trace as "
+                    "DIR/<benchmark>.trace.bin for later cross-run diffing "
+                    "(default: traces are deleted after analysis)")
     ap.add_argument("--revision", default=None,
                     help="revision label (default: git rev-parse --short)")
     ap.add_argument("--benchmarks", default=None,
@@ -254,6 +274,8 @@ def main(argv):
         names = [n for n in names if n in wanted]
 
     revision = args.revision or git_revision()
+    if args.keep_traces is not None:
+        os.makedirs(args.keep_traces, exist_ok=True)
     mode = "tiny" if args.tiny else "paper" if args.paper else "default"
     cells = []
     try:

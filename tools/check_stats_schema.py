@@ -2,12 +2,19 @@
 """Validate a --stats-json document produced by the Olden bench binaries.
 
 Usage: check_stats_schema.py STATS.json [STATS2.json ...]
+       check_stats_schema.py --diff DIFF.json [DIFF2.json ...]
 
-Checks the structural schema (version 2, documented in
+Default mode checks the structural schema (version 2, documented in
 docs/OBSERVABILITY.md) and the arithmetic invariants the exporter
 promises: per-processor cycle buckets sum to the makespan, histogram
 bucket counts sum to the histogram count, and event retention arithmetic
 is consistent. Exits non-zero with a message on the first violation.
+
+--diff validates `olden-analyze --diff --json` documents instead
+(diff_schema_version 1, documented in docs/ANALYSIS.md) and
+independently re-verifies the exactness invariant: the bucket-row
+deltas, and each partition's top rows plus "other" rollup, must sum
+exactly to makespan_delta_cycles.
 
 Stdlib only, so it can run in any CI image.
 """
@@ -16,6 +23,7 @@ import json
 import sys
 
 SCHEMA_VERSION = 2
+DIFF_SCHEMA_VERSION = 1
 
 COUNTER_KEYS = {
     "local_reads", "local_writes",
@@ -167,19 +175,151 @@ def check_document(doc, path):
     return len(runs)
 
 
+def check_delta_row(row, ctx):
+    """A {a, b, delta} triple; returns the delta after checking b - a."""
+    for key in ("a", "b"):
+        check_counter(row, key, ctx)
+    require(isinstance(row.get("delta"), int), f"{ctx}: missing delta")
+    require(row["delta"] == row["b"] - row["a"],
+            f"{ctx}: delta is {row['delta']}, b - a is "
+            f"{row['b'] - row['a']}")
+    return row["delta"]
+
+
+def check_diff_side(side, ctx):
+    require(isinstance(side, dict), f"{ctx}: missing side object")
+    require(isinstance(side.get("path"), str) and side["path"],
+            f"{ctx}: missing path")
+    require(isinstance(side.get("label"), str) and side["label"],
+            f"{ctx}: missing label")
+    for key in ("nprocs", "makespan_cycles", "events"):
+        check_counter(side, key, ctx)
+    require(isinstance(side.get("truncated"), bool),
+            f"{ctx}: missing truncated flag")
+
+
+def check_partition(part, name, want_delta, key_field, ctx):
+    """A sites/pages/edges object: delta_sum + top rows + other rollup.
+
+    Re-derives the exactness invariant from the emitted rows alone: the
+    top rows and the "other" rollup must sum to delta_sum, and delta_sum
+    must equal the makespan delta.
+    """
+    ctx = f"{ctx} {name}"
+    require(isinstance(part, dict), f"{ctx}: missing partition object")
+    require(isinstance(part.get("delta_sum"), int),
+            f"{ctx}: missing delta_sum")
+    require(isinstance(part.get("top"), list), f"{ctx}: missing top")
+    emitted = 0
+    for i, row in enumerate(part["top"]):
+        rctx = f"{ctx} top[{i}]"
+        require(isinstance(row, dict), f"{rctx}: must be an object")
+        if key_field == "edge":
+            for key in ("src", "dst", "bucket"):
+                require(isinstance(row.get(key), str) and row[key],
+                        f"{rctx}: missing {key}")
+            require(row["bucket"] in BUCKET_KEYS,
+                    f"{rctx}: unknown bucket {row['bucket']!r}")
+            require("site" in row, f"{rctx}: missing site")
+            require(row["site"] is None or isinstance(row["site"], int),
+                    f"{rctx}: site must be an integer or null")
+        else:
+            require(key_field in row, f"{rctx}: missing {key_field}")
+            require(row[key_field] is None
+                    or isinstance(row[key_field], int),
+                    f"{rctx}: {key_field} must be an integer or null")
+        emitted += check_delta_row(row, rctx)
+    require(isinstance(part.get("other"), dict), f"{ctx}: missing other")
+    emitted += check_delta_row(part["other"], ctx + " other")
+    require(emitted == part["delta_sum"],
+            f"{ctx}: top + other deltas sum to {emitted}, delta_sum says "
+            f"{part['delta_sum']}")
+    require(part["delta_sum"] == want_delta,
+            f"{ctx}: delta_sum is {part['delta_sum']}, makespan delta is "
+            f"{want_delta} — exactness invariant violated")
+
+
+def check_diff(diff, idx):
+    ctx = f"diff[{idx}]"
+    for side in ("a", "b"):
+        check_diff_side(diff.get(side), f"{ctx} side {side!r}")
+    ctx = f"diff[{idx}] ({diff['a']['label']} vs {diff['b']['label']})"
+
+    require(isinstance(diff.get("makespan_delta_cycles"), int),
+            f"{ctx}: missing makespan_delta_cycles")
+    delta = diff["makespan_delta_cycles"]
+    require(delta == diff["b"]["makespan_cycles"]
+            - diff["a"]["makespan_cycles"],
+            f"{ctx}: makespan_delta_cycles disagrees with the sides")
+    require(isinstance(diff.get("makespan_delta_percent"), (int, float)),
+            f"{ctx}: missing makespan_delta_percent")
+    require(diff.get("exact") is True, f"{ctx}: missing exact:true")
+
+    buckets = diff.get("buckets")
+    require(isinstance(buckets, list)
+            and all(isinstance(b, dict) for b in buckets),
+            f"{ctx}: missing buckets")
+    require([b.get("bucket") for b in buckets] == BUCKET_KEYS,
+            f"{ctx}: buckets must be exactly {BUCKET_KEYS}, in order")
+    total = sum(check_delta_row(b, f"{ctx} bucket {b['bucket']!r}")
+                for b in buckets)
+    require(total == delta,
+            f"{ctx}: bucket deltas sum to {total}, makespan delta is "
+            f"{delta} — exactness invariant violated")
+
+    check_partition(diff.get("sites"), "sites", delta, "site", ctx)
+    check_partition(diff.get("pages"), "pages", delta, "page", ctx)
+    check_partition(diff.get("edges"), "edges", delta, "edge", ctx)
+
+    chains = diff.get("chains")
+    require(isinstance(chains, dict), f"{ctx}: missing chains")
+    for key in ("a", "b", "aligned"):
+        check_counter(chains, key, ctx + " chains")
+    require(chains["aligned"] <= min(chains["a"], chains["b"]),
+            f"{ctx}: more chains aligned than either side has")
+
+
+def check_diff_document(doc, path):
+    require(isinstance(doc, dict), f"{path}: top level must be an object")
+    require(doc.get("diff_schema_version") == DIFF_SCHEMA_VERSION,
+            f"{path}: diff_schema_version must be {DIFF_SCHEMA_VERSION}, "
+            f"got {doc.get('diff_schema_version')!r}")
+    require(doc.get("generator") == "olden-analyze",
+            f"{path}: generator must be 'olden-analyze'")
+    require(isinstance(doc.get("trace_version"), int),
+            f"{path}: missing trace_version")
+    diffs = doc.get("diffs")
+    require(isinstance(diffs, list), f"{path}: missing diffs array")
+    for idx, diff in enumerate(diffs):
+        check_diff(diff, idx)
+    return len(diffs)
+
+
 def main(argv):
-    if len(argv) < 2:
+    args = argv[1:]
+    diff_mode = False
+    if args and args[0] == "--diff":
+        diff_mode = True
+        args = args[1:]
+    if not args:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    for path in argv[1:]:
+    for path in args:
         try:
             with open(path, "r", encoding="utf-8") as f:
                 doc = json.load(f)
-            n = check_document(doc, path)
+            if diff_mode:
+                n = check_diff_document(doc, path)
+            else:
+                n = check_document(doc, path)
         except (OSError, json.JSONDecodeError, SchemaError) as e:
             print(f"FAIL {path}: {e}", file=sys.stderr)
             return 1
-        print(f"OK   {path}: {n} run(s), schema v{SCHEMA_VERSION}")
+        if diff_mode:
+            print(f"OK   {path}: {n} diff(s), "
+                  f"diff schema v{DIFF_SCHEMA_VERSION}, exactness verified")
+        else:
+            print(f"OK   {path}: {n} run(s), schema v{SCHEMA_VERSION}")
     return 0
 
 

@@ -16,14 +16,27 @@
 // is identical except that the per-edge "heaviest edges" detail is not
 // reconstructed.
 //
+//   olden-analyze --diff A B [--run LABEL | --run-a LA --run-b LB]
+//                 [--stream] [--json] [--json-out FILE] [--top N]
+//
+// Diff mode (see diff.hpp) compares two traces of the same workload and
+// decomposes the makespan delta into per-bucket, per-site, per-page and
+// per-edge contributions, each summing exactly to the delta. Runs are
+// paired index-wise by default, by label with --run, or asymmetrically
+// with --run-a/--run-b (A and B may be the same file, e.g. to diff two
+// schemes recorded in one suite trace). --stream applies to both sides
+// and produces byte-identical output.
+//
 // Exit codes: 0 success, 1 unreadable/unsupported trace (including v1
-// logs, which are named explicitly), 2 usage error.
+// logs, which are named explicitly), missing run labels, or a diff
+// invariant violation, 2 usage error.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "olden/analyze/diff.hpp"
 #include "olden/analyze/report.hpp"
 #include "olden/analyze/streaming.hpp"
 #include "olden/trace/observer.hpp"
@@ -33,12 +46,18 @@ namespace {
 void usage(std::FILE* to) {
   std::fprintf(to,
                "usage: olden-analyze --trace-bin FILE [options]\n"
-               "  --trace-bin FILE   binary trace to analyze (required)\n"
+               "       olden-analyze --diff A B [pairing] [options]\n"
+               "  --trace-bin FILE   binary trace to analyze\n"
+               "  --diff A B         diff two traces of the same workload\n"
+               "  --run LABEL        diff the run labeled LABEL from each side\n"
+               "  --run-a LABEL      A-side run label (with --run-b; A and B\n"
+               "  --run-b LABEL      may then be the same file)\n"
                "  --stream           single-pass bounded-memory analysis "
                "(identical JSON)\n"
                "  --json             print the JSON report to stdout\n"
                "  --json-out FILE    also write the JSON report to FILE\n"
-               "  --top N            keep the N hottest sites/pages (default 10)\n"
+               "  --top N            keep the N hottest sites/pages/edges "
+               "(default 10)\n"
                "  --version          print schema versions and exit\n"
                "  --help             this message\n");
 }
@@ -84,10 +103,150 @@ bool analyze_streamed(const std::string& path, std::size_t top_n,
   return err->empty();
 }
 
+/// Build diff profiles for every run of one trace file, via either
+/// pipeline. The two produce identical profiles (tests hold them to it).
+bool collect_profiles(const std::string& path, bool stream,
+                      std::vector<olden::analyze::DiffProfile>* out,
+                      std::string* err) {
+  if (!stream) {
+    olden::analyze::TraceFile file;
+    if (!olden::analyze::read_binary_trace(path, &file, err)) return false;
+    for (const olden::analyze::TraceRun& run : file.runs) {
+      warn_truncated(run);
+      out->push_back(olden::analyze::diff_profile(run));
+    }
+    return true;
+  }
+  olden::analyze::TraceStream ts;
+  if (!ts.open(path, err)) return false;
+  std::vector<olden::trace::TraceEvent> batch;
+  constexpr std::size_t kBatch = 1 << 16;
+  olden::analyze::TraceRun run;
+  while (ts.next_run(&run, err)) {
+    warn_truncated(run);
+    olden::analyze::StreamingRunAnalyzer an(run, /*top_n=*/0);
+    an.enable_diff_profile();
+    while (ts.next_events(&batch, kBatch, err)) {
+      for (const olden::trace::TraceEvent& e : batch) {
+        if (!an.add(e)) break;
+      }
+      if (!an.error().empty()) break;
+    }
+    if (!err->empty()) return false;
+    olden::analyze::RunReport rep;
+    olden::analyze::DiffProfile profile;
+    if (!an.finish_diff(&rep, &profile, err)) {
+      *err = path + ": run '" + run.label + "': " + *err;
+      return false;
+    }
+    out->push_back(std::move(profile));
+  }
+  return err->empty();
+}
+
+const olden::analyze::DiffProfile* find_run(
+    const std::vector<olden::analyze::DiffProfile>& profiles,
+    const std::string& path, const std::string& label) {
+  for (const olden::analyze::DiffProfile& p : profiles) {
+    if (p.label == label) return &p;
+  }
+  std::fprintf(stderr, "olden-analyze: %s has no run labeled '%s'\n",
+               path.c_str(), label.c_str());
+  std::fprintf(stderr, "  runs present:\n");
+  for (const olden::analyze::DiffProfile& p : profiles) {
+    std::fprintf(stderr, "    %s\n", p.label.c_str());
+  }
+  return nullptr;
+}
+
+int run_diff(const std::string& path_a, const std::string& path_b,
+             const std::string& run_label, const std::string& run_a,
+             const std::string& run_b, bool stream, std::size_t top_n,
+             bool json_stdout, const std::string& json_out) {
+  std::vector<olden::analyze::DiffProfile> pa;
+  std::vector<olden::analyze::DiffProfile> pb;
+  std::string err;
+  if (!collect_profiles(path_a, stream, &pa, &err)) {
+    std::fprintf(stderr, "olden-analyze: %s\n", err.c_str());
+    return 1;
+  }
+  if (!collect_profiles(path_b, stream, &pb, &err)) {
+    std::fprintf(stderr, "olden-analyze: %s\n", err.c_str());
+    return 1;
+  }
+
+  std::vector<std::pair<const olden::analyze::DiffProfile*,
+                        const olden::analyze::DiffProfile*>>
+      pairs;
+  if (!run_a.empty() || !run_b.empty()) {
+    const auto* a = find_run(pa, path_a, run_a);
+    const auto* b = find_run(pb, path_b, run_b);
+    if (a == nullptr || b == nullptr) return 1;
+    pairs.emplace_back(a, b);
+  } else if (!run_label.empty()) {
+    const auto* a = find_run(pa, path_a, run_label);
+    const auto* b = find_run(pb, path_b, run_label);
+    if (a == nullptr || b == nullptr) return 1;
+    pairs.emplace_back(a, b);
+  } else {
+    if (pa.size() != pb.size()) {
+      std::fprintf(stderr,
+                   "olden-analyze: cannot pair runs: %s has %zu, %s has %zu "
+                   "(use --run / --run-a / --run-b to select)\n",
+                   path_a.c_str(), pa.size(), path_b.c_str(), pb.size());
+      return 1;
+    }
+    for (std::size_t i = 0; i < pa.size(); ++i) {
+      pairs.emplace_back(&pa[i], &pb[i]);
+    }
+  }
+
+  std::vector<olden::analyze::DiffReport> reports;
+  reports.reserve(pairs.size());
+  for (const auto& [a, b] : pairs) {
+    olden::analyze::DiffReport rep;
+    if (!olden::analyze::diff_runs(*a, *b, top_n, &rep, &err)) {
+      std::fprintf(stderr, "olden-analyze: %s\n", err.c_str());
+      return 1;
+    }
+    rep.a.path = path_a;
+    rep.b.path = path_b;
+    reports.push_back(std::move(rep));
+  }
+
+  if (json_stdout || !json_out.empty()) {
+    const std::string json = olden::analyze::json_diff(reports);
+    if (json_stdout) std::fputs(json.c_str(), stdout);
+    if (!json_out.empty()) {
+      std::FILE* f = std::fopen(json_out.c_str(), "wb");
+      if (f == nullptr) {
+        std::fprintf(stderr, "olden-analyze: cannot open %s for writing\n",
+                     json_out.c_str());
+        return 1;
+      }
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+    }
+  }
+  if (!json_stdout) {
+    for (std::size_t r = 0; r < reports.size(); ++r) {
+      if (r != 0) std::printf("\n");
+      std::fputs(olden::analyze::human_diff(reports[r]).c_str(), stdout);
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string trace_path;
+  std::string diff_a;
+  std::string diff_b;
+  std::string run_label;
+  std::string run_a;
+  std::string run_b;
+  bool diff_mode = false;
   std::string json_out;
   bool json_stdout = false;
   bool stream = false;
@@ -104,6 +263,16 @@ int main(int argc, char** argv) {
     };
     if (std::strcmp(a, "--trace-bin") == 0) {
       trace_path = value("--trace-bin");
+    } else if (std::strcmp(a, "--diff") == 0) {
+      diff_mode = true;
+      diff_a = value("--diff");
+      diff_b = value("--diff");
+    } else if (std::strcmp(a, "--run") == 0) {
+      run_label = value("--run");
+    } else if (std::strcmp(a, "--run-a") == 0) {
+      run_a = value("--run-a");
+    } else if (std::strcmp(a, "--run-b") == 0) {
+      run_b = value("--run-b");
     } else if (std::strcmp(a, "--stream") == 0) {
       stream = true;
     } else if (std::strcmp(a, "--json") == 0) {
@@ -113,9 +282,12 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(a, "--top") == 0) {
       top_n = static_cast<std::size_t>(std::strtoull(value("--top"), nullptr, 10));
     } else if (std::strcmp(a, "--version") == 0) {
-      std::printf("olden-analyze: analysis schema v%d, binary trace format v%d\n",
-                  olden::analyze::kAnalysisSchemaVersion,
-                  olden::trace::kBinaryTraceVersion);
+      std::printf(
+          "olden-analyze: analysis schema v%d, diff schema v%d, binary "
+          "trace format v%d\n",
+          olden::analyze::kAnalysisSchemaVersion,
+          olden::analyze::kDiffSchemaVersion,
+          olden::trace::kBinaryTraceVersion);
       return 0;
     } else if (std::strcmp(a, "--help") == 0) {
       usage(stdout);
@@ -125,6 +297,32 @@ int main(int argc, char** argv) {
       usage(stderr);
       return 2;
     }
+  }
+  if (diff_mode) {
+    if (!trace_path.empty()) {
+      std::fprintf(stderr,
+                   "olden-analyze: --trace-bin and --diff are exclusive\n");
+      return 2;
+    }
+    if (run_a.empty() != run_b.empty()) {
+      std::fprintf(stderr,
+                   "olden-analyze: --run-a and --run-b must be given "
+                   "together\n");
+      return 2;
+    }
+    if (!run_label.empty() && !run_a.empty()) {
+      std::fprintf(stderr,
+                   "olden-analyze: --run and --run-a/--run-b are "
+                   "exclusive\n");
+      return 2;
+    }
+    return run_diff(diff_a, diff_b, run_label, run_a, run_b, stream, top_n,
+                    json_stdout, json_out);
+  }
+  if (!run_label.empty() || !run_a.empty() || !run_b.empty()) {
+    std::fprintf(stderr,
+                 "olden-analyze: --run/--run-a/--run-b require --diff\n");
+    return 2;
   }
   if (trace_path.empty()) {
     std::fprintf(stderr, "olden-analyze: --trace-bin is required\n");
