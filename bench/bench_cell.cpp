@@ -28,6 +28,7 @@
 
 #include "olden/bench/benchmark.hpp"
 #include "olden/bench/obs_cli.hpp"
+#include "olden/profile/feedback.hpp"
 
 namespace {
 
@@ -83,6 +84,9 @@ void usage(std::FILE* to) {
                "  --paper-size       original paper problem size\n"
                "  --jobs=N           run cells on N host threads (default 1;\n"
                "                     output identical to serial)\n"
+               "  --heuristic=SPEC   'static' (default) or 'profile:FILE' to\n"
+               "                     apply per-site feedback from olden-analyze\n"
+               "                     --feedback-out (see docs/PROFILING.md)\n"
                "  --list             print suite benchmark names and exit\n"
                "%s",
                ObsCli::usage());
@@ -146,7 +150,7 @@ int main(int argc, char** argv) {
   ObsCli obs;
   obs.parse(&argc, argv,
             {"--benchmark", "--schemes", "--nprocs", "--tiny", "--paper-size",
-             "--jobs", "--list"});
+             "--jobs", "--heuristic", "--list"});
 
   std::string bench_str;
   std::string schemes_str = "local,global,bilateral";
@@ -154,10 +158,18 @@ int main(int argc, char** argv) {
   unsigned long jobs = 1;
   bool tiny = false;
   bool paper_size = false;
+  profile::FeedbackTable feedback;
+  bool use_feedback = false;
   for (int i = 1; i < argc; ++i) {
     std::string v;
     if (flag_value(argv[i], "--benchmark", &v)) {
       bench_str = v;
+    } else if (flag_value(argv[i], "--heuristic", &v)) {
+      std::string err;
+      if (!profile::parse_heuristic_spec(v, &feedback, &use_feedback, &err)) {
+        std::fprintf(stderr, "bench_cell: --heuristic: %s\n", err.c_str());
+        return 2;
+      }
     } else if (flag_value(argv[i], "--schemes", &v)) {
       schemes_str = v;
     } else if (flag_value(argv[i], "--nprocs", &v)) {
@@ -217,6 +229,7 @@ int main(int argc, char** argv) {
   base.paper_size = paper_size;
   base.faults = obs.faults();
   base.fault_seed = obs.fault_seed();
+  if (use_feedback) base.feedback = &feedback;
 
   bool ok = true;
   if (jobs <= 1 || cells.size() <= 1) {
@@ -238,6 +251,9 @@ int main(int argc, char** argv) {
       for (CellOutcome& o : outs) {
         o.obs.set_trace_enabled(main_obs->trace_enabled());
         o.obs.set_event_limit(main_obs->event_limit());
+        if (main_obs->profile_enabled()) {
+          o.obs.enable_profile(main_obs->profile_interval());
+        }
       }
     }
     std::atomic<std::size_t> next{0};

@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
   }
   {
     Program p;
+    p.name = "Figure3";
     p.structs = {{"tree", {{"left", 0.90}, {"right", 0.70}}}};
     Procedure loop;
     loop.name = "main";
@@ -53,6 +54,7 @@ int main(int argc, char** argv) {
   }
   {
     Program p;
+    p.name = "TreeAdd";
     p.structs = {{"tree", {{"left", 0.90}, {"right", 0.70}}}};
     Procedure ta;
     ta.name = "TreeAdd";
@@ -77,6 +79,7 @@ int main(int argc, char** argv) {
     // still above the 90% threshold — tree traversals migrate by default
     // (the design point of §4.3).
     Program p;
+    p.name = "TreeAdd";
     p.structs = {{"tree", {{"left", std::nullopt}, {"right", std::nullopt}}}};
     Procedure ta;
     ta.name = "TreeAdd";

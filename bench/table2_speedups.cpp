@@ -14,6 +14,7 @@
 
 #include "olden/bench/benchmark.hpp"
 #include "olden/bench/obs_cli.hpp"
+#include "olden/profile/feedback.hpp"
 
 namespace {
 
@@ -48,13 +49,26 @@ double timed_seconds(const Benchmark& b, const BenchResult& r) {
 
 int main(int argc, char** argv) {
   ObsCli obs;
-  obs.parse(&argc, argv, {"--paper-size"});
+  obs.parse(&argc, argv, {"--paper-size", "--heuristic"});
   bool paper_size = false;
+  profile::FeedbackTable feedback;
+  bool use_feedback = false;
   for (int i = 1; i < argc; ++i) {
+    std::string v;
     if (std::strcmp(argv[i], "--paper-size") == 0) {
       paper_size = true;
+    } else if (std::strncmp(argv[i], "--heuristic=", 12) == 0) {
+      v = argv[i] + 12;
+      std::string err;
+      if (!profile::parse_heuristic_spec(v, &feedback, &use_feedback, &err)) {
+        std::fprintf(stderr, "table2_speedups: --heuristic: %s\n",
+                     err.c_str());
+        return 2;
+      }
     } else {
-      std::fprintf(stderr, "usage: table2_speedups [--paper-size]\n%s",
+      std::fprintf(stderr,
+                   "usage: table2_speedups [--paper-size] "
+                   "[--heuristic=static|profile:FILE]\n%s",
                    ObsCli::usage());
       return 2;
     }
@@ -90,6 +104,7 @@ int main(int argc, char** argv) {
       cfg.observer = obs.observer();
       cfg.faults = obs.faults();
       cfg.fault_seed = obs.fault_seed();
+      if (use_feedback) cfg.feedback = &feedback;
       obs.begin_run(b->name() + "/p=" + std::to_string(kProcs[i]),
                     {{"benchmark", b->name()}});
       const BenchResult r = b->run(cfg);

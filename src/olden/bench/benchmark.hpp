@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "olden/compiler/analysis.hpp"
+#include "olden/profile/feedback.hpp"
 #include "olden/runtime/machine.hpp"
 #include "olden/support/stats.hpp"
 #include "olden/support/types.hpp"
@@ -48,6 +49,10 @@ struct BenchConfig {
   /// the event stream byte-identical to a build without the fault plane.
   const fault::FaultSpec* faults = nullptr;
   std::uint64_t fault_seed = 1;
+  /// Optional profile-guided feedback (--heuristic=profile:FILE): per-site
+  /// mechanism overrides learned from an earlier profiled run, applied
+  /// between the static heuristic and the builder's site_overrides().
+  const profile::FeedbackTable* feedback = nullptr;
 };
 
 struct BenchResult {
@@ -112,9 +117,19 @@ class Benchmark {
     if (cfg.migrate_only) {
       return std::vector<Mechanism>(num_sites(), Mechanism::kMigrate);
     }
-    const ir::Selection sel = ir::analyze(ir_program(), num_sites());
+    ir::Program prog = ir_program();
+    if (prog.name.empty()) prog.name = name();  // stable site uids
+    const ir::Selection sel = ir::analyze(prog, num_sites());
     if (report != nullptr) *report = sel.report();
     std::vector<Mechanism> table = sel.site_table;
+    if (cfg.feedback != nullptr) {
+      for (std::size_t s = 0; s < table.size(); ++s) {
+        if (const auto m =
+                cfg.feedback->lookup(name(), static_cast<SiteId>(s))) {
+          table[s] = *m;
+        }
+      }
+    }
     for (const auto& [site, mech] : site_overrides()) {
       if (table.size() <= site) table.resize(site + 1, Mechanism::kCache);
       table[site] = mech;

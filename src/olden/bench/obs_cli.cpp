@@ -50,6 +50,7 @@ bool parse_u64_strict(const std::string& s, std::uint64_t* out) {
 void ObsCli::parse(int* argc, char** argv,
                    std::initializer_list<const char*> passthrough) {
   std::string limit_str;
+  std::string profile_interval_str;
   std::string faults_str;
   std::string fault_seed_str;
   bool breakdown_env =
@@ -72,6 +73,14 @@ void ObsCli::parse(int* argc, char** argv,
       trace_stream_path_ = v;
     } else if (flag_value(argv[i], "--stats-json", &v)) {
       stats_path_ = v;
+    } else if (flag_value(argv[i], "--profile", &v)) {
+      profile_path_ = v;
+    } else if (flag_value(argv[i], "--profile-interval", &v)) {
+      profile_interval_str = v;
+      if (profile_interval_str.empty()) {
+        flag_error(argv[0],
+                   "--profile-interval: empty value is not a positive integer");
+      }
     } else if (flag_value(argv[i], "--trace-limit", &v)) {
       limit_str = v;
       if (limit_str.empty()) {
@@ -90,9 +99,12 @@ void ObsCli::parse(int* argc, char** argv,
     } else if (std::strcmp(argv[i], "--breakdown") == 0) {
       breakdown_ = true;
     } else if (std::strcmp(argv[i], "--version") == 0) {
-      std::printf("%s: stats schema v%d, binary trace format v%d\n",
-                  argv[0] != nullptr ? argv[0] : "olden-bench",
-                  trace::kStatsSchemaVersion, trace::kBinaryTraceVersion);
+      std::printf(
+          "%s: stats schema v%d, binary trace format v%d, profile schema "
+          "v%d\n",
+          argv[0] != nullptr ? argv[0] : "olden-bench",
+          trace::kStatsSchemaVersion, trace::kBinaryTraceVersion,
+          profile::kProfileSchemaVersion);
       std::exit(0);
     } else if (std::strncmp(argv[i], "--", 2) == 0 &&
                !passes_through(argv[i])) {
@@ -113,6 +125,8 @@ void ObsCli::parse(int* argc, char** argv,
   env_default(&trace_bin_path_, "OLDEN_TRACE_BIN");
   env_default(&trace_stream_path_, "OLDEN_TRACE_STREAM");
   env_default(&stats_path_, "OLDEN_STATS_JSON");
+  env_default(&profile_path_, "OLDEN_PROFILE");
+  env_default(&profile_interval_str, "OLDEN_PROFILE_INTERVAL");
   env_default(&limit_str, "OLDEN_TRACE_LIMIT");
   env_default(&faults_str, "OLDEN_FAULTS");
   env_default(&fault_seed_str, "OLDEN_FAULT_SEED");
@@ -137,6 +151,17 @@ void ObsCli::parse(int* argc, char** argv,
       flag_error(argv[0], ("--faults: " + err).c_str());
     }
   }
+  if (!profile_interval_str.empty()) {
+    std::uint64_t interval = 0;
+    if (!parse_u64_strict(profile_interval_str, &interval) || interval == 0) {
+      flag_error(argv[0], ("--profile-interval: '" + profile_interval_str +
+                           "' is not a positive integer")
+                              .c_str());
+    }
+    if (!profile_path_.empty()) obs_.enable_profile(interval);
+  } else if (!profile_path_.empty()) {
+    obs_.enable_profile();
+  }
   breakdown_ = breakdown_ || breakdown_env;
   if (!trace_stream_path_.empty() &&
       (!trace_path_.empty() || !trace_bin_path_.empty())) {
@@ -148,7 +173,8 @@ void ObsCli::parse(int* argc, char** argv,
                "(streamed events are not retained in memory)");
   }
   active_ = breakdown_ || !trace_path_.empty() || !trace_bin_path_.empty() ||
-            !trace_stream_path_.empty() || !stats_path_.empty();
+            !trace_stream_path_.empty() || !stats_path_.empty() ||
+            !profile_path_.empty();
   obs_.set_trace_enabled(!trace_path_.empty() || !trace_bin_path_.empty() ||
                          !trace_stream_path_.empty());
   if (!trace_stream_path_.empty()) {
@@ -216,6 +242,15 @@ bool ObsCli::finish() {
       ok = false;
     }
   }
+  if (!profile_path_.empty()) {
+    if (profile::write_profile_json(obs_, profile_path_, &err)) {
+      std::printf("wrote profile: %s (%zu runs)\n", profile_path_.c_str(),
+                  obs_.runs().size());
+    } else {
+      std::fprintf(stderr, "profile export failed: %s\n", err.c_str());
+      ok = false;
+    }
+  }
   return ok;
 }
 
@@ -228,6 +263,11 @@ const char* ObsCli::usage() {
          "                     fire (bounded memory; excludes "
          "--trace/--trace-bin)\n"
          "  --stats-json=FILE  write the structured stats document\n"
+         "  --profile=FILE     write the interval-sampled profile JSON\n"
+         "                     (page/site heat; see docs/PROFILING.md)\n"
+         "  --profile-interval=N\n"
+         "                     profile sampling interval in virtual cycles\n"
+         "                     (default 65536; must be positive)\n"
          "  --trace-limit=N    cap retained trace events (default 1000000)\n"
          "  --breakdown        print per-processor cycle breakdowns\n"
          "  --faults=SPEC      inject wire faults, e.g. "
@@ -237,8 +277,9 @@ const char* ObsCli::usage() {
          "  --fault-seed=N     fault-plane RNG seed (default 1)\n"
          "  --version          print stats/trace schema versions and exit\n"
          "  (env: OLDEN_TRACE, OLDEN_TRACE_BIN, OLDEN_TRACE_STREAM, "
-         "OLDEN_STATS_JSON, OLDEN_TRACE_LIMIT, OLDEN_BREAKDOWN, "
-         "OLDEN_FAULTS, OLDEN_FAULT_SEED)\n";
+         "OLDEN_STATS_JSON, OLDEN_PROFILE, OLDEN_PROFILE_INTERVAL, "
+         "OLDEN_TRACE_LIMIT, OLDEN_BREAKDOWN, OLDEN_FAULTS, "
+         "OLDEN_FAULT_SEED)\n";
 }
 
 }  // namespace olden::bench

@@ -6,19 +6,23 @@
 //   --trace-stream=FILE  same binary log, streamed to disk as events fire
 //                        (paper-scale runs; excludes --trace/--trace-bin)
 //   --stats-json=FILE    structured stats document (schema_version'd)
+//   --profile=FILE       interval-sampled profile JSON (see docs/PROFILING.md)
+//   --profile-interval=N sampling interval in virtual cycles (default 65536)
 //   --trace-limit=N      cap on retained trace events (default 1000000)
 //   --breakdown          print per-processor cycle-breakdown tables
 //   --faults=SPEC        fault-injection plan (see fault_spec.hpp grammar)
 //   --fault-seed=N       RNG seed for the fault plane (default 1)
 //
 // Environment variables OLDEN_TRACE, OLDEN_TRACE_BIN, OLDEN_TRACE_STREAM,
-// OLDEN_STATS_JSON, OLDEN_TRACE_LIMIT, OLDEN_FAULTS and OLDEN_FAULT_SEED
-// supply defaults when the corresponding flag is absent, so wrappers can
-// enable collection without editing command lines.
+// OLDEN_STATS_JSON, OLDEN_PROFILE, OLDEN_PROFILE_INTERVAL,
+// OLDEN_TRACE_LIMIT, OLDEN_FAULTS and OLDEN_FAULT_SEED supply defaults when
+// the corresponding flag is absent, so wrappers can enable collection
+// without editing command lines.
 //
-// Malformed values (a non-numeric --trace-limit / --fault-seed, an
-// unparsable --faults spec) are rejected with a one-line message on stderr
-// and exit code 2 — never silently coerced.
+// Malformed values (a non-numeric --trace-limit / --fault-seed, a zero or
+// non-numeric --profile-interval, an unparsable --faults spec) are rejected
+// with a one-line message on stderr and exit code 2 — never silently
+// coerced.
 #pragma once
 
 #include <cstdint>
@@ -83,6 +87,7 @@ class ObsCli {
   std::string trace_bin_path_;
   std::string trace_stream_path_;
   std::string stats_path_;
+  std::string profile_path_;
   fault::FaultSpec fault_spec_;
   std::uint64_t fault_seed_ = 1;
 };

@@ -465,6 +465,7 @@ class Analyzer {
 
   Selection build_selection() {
     Selection sel;
+    sel.program_name = prog_.name;
     sel.loops = loops_;
     sel.site_table.assign(std::max(num_sites_, sites_.size()),
                           Mechanism::kCache);
@@ -538,7 +539,9 @@ std::string Selection::report() const {
   }
   os << "sites:";
   for (std::size_t i = 0; i < site_table.size(); ++i) {
-    os << " " << i << "=" << to_string(site_table[i]);
+    os << " ";
+    if (!program_name.empty()) os << program_name << "#";
+    os << i << "=" << to_string(site_table[i]);
   }
   os << "\n";
   return os.str();

@@ -81,6 +81,9 @@ struct LoopDecision {
 };
 
 struct Selection {
+  /// Program::name, carried through so report() and consumers can print
+  /// stable "<program>#<site>" uids.
+  std::string program_name;
   std::vector<LoopDecision> loops;
   /// Mechanism per dereference site, ready for
   /// Machine::set_site_mechanisms. Sites the program never mentions

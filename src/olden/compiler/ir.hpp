@@ -114,6 +114,11 @@ struct Procedure {
 };
 
 struct Program {
+  /// Stable program identifier ("TreeAdd", ...). Joined with a site index
+  /// it forms the site uid ("TreeAdd#0") that heuristic dumps, profile
+  /// rows and feedback files all share, so decisions can be correlated
+  /// across tools without guessing at numbering.
+  std::string name;
   std::vector<StructDecl> structs;
   std::vector<Procedure> procs;
   Affinity default_affinity = kDefaultAffinity;

@@ -1,0 +1,74 @@
+// Profile-guided feedback: per-site mechanism overrides learned from a
+// profiled run.
+//
+// `olden-analyze --profile P.json --feedback-out F.txt` emits a plain-text
+// table of recommended mechanisms; bench binaries accept it back through
+// `--heuristic=profile:F.txt`, overriding the static heuristic per
+// (benchmark, site) — the minimal offline feedback loop (so Table 2 can be
+// rerun with learned decisions against the paper's static ones).
+//
+// File format (docs/PROFILING.md):
+//
+//   # olden-profile-feedback v1
+//   # benchmark site mechanism
+//   TreeAdd 0 migrate
+//   Health 2 cache
+//
+// The first non-blank line must be the version header. Later '#' lines
+// are comments. Rows are whitespace-separated; a duplicate
+// (benchmark, site) row overrides the earlier one. Sites are joined by
+// the stable (benchmark, site-index) identifiers that heuristic dumps
+// and profile rows both carry (e.g. "TreeAdd#0").
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "olden/support/types.hpp"
+
+namespace olden::profile {
+
+/// Version expected in the feedback-file header line.
+inline constexpr int kFeedbackVersion = 1;
+
+class FeedbackTable {
+ public:
+  /// Parse a feedback document; on failure returns false and leaves the
+  /// table unchanged, describing the problem (with a line number) in *err.
+  bool parse(const std::string& text, std::string* err = nullptr);
+  /// parse() for the contents of `path`.
+  bool load(const std::string& path, std::string* err = nullptr);
+
+  void set(const std::string& benchmark, SiteId site, Mechanism m) {
+    rows_[{benchmark, site}] = m;
+  }
+
+  /// The override for (benchmark, site), if the table has one.
+  [[nodiscard]] std::optional<Mechanism> lookup(const std::string& benchmark,
+                                                SiteId site) const {
+    const auto it = rows_.find({benchmark, site});
+    if (it == rows_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  [[nodiscard]] std::size_t size() const { return rows_.size(); }
+  [[nodiscard]] bool empty() const { return rows_.empty(); }
+
+  [[nodiscard]] const std::map<std::pair<std::string, SiteId>, Mechanism>&
+  rows() const {
+    return rows_;
+  }
+
+ private:
+  std::map<std::pair<std::string, SiteId>, Mechanism> rows_;
+};
+
+/// Parse a `--heuristic=SPEC` value: "static" leaves *use_feedback false;
+/// "profile:FILE" loads FILE into *out and sets *use_feedback. Returns
+/// false (with *err set) on an unknown spec or an unreadable/invalid file.
+bool parse_heuristic_spec(const std::string& spec, FeedbackTable* out,
+                          bool* use_feedback, std::string* err = nullptr);
+
+}  // namespace olden::profile

@@ -35,7 +35,7 @@ struct ReadAwaiter {
   }
   void await_suspend(std::coroutine_handle<> h) {
     migrated = true;
-    Machine::current().migrate_to(addr.proc(), h);
+    Machine::current().migrate_to(addr.proc(), h, site);
   }
   T await_resume() {
     if (migrated) {
@@ -57,7 +57,7 @@ struct WriteAwaiter {
   }
   void await_suspend(std::coroutine_handle<> h) {
     migrated = true;
-    Machine::current().migrate_to(addr.proc(), h);
+    Machine::current().migrate_to(addr.proc(), h, site);
   }
   void await_resume() {
     if (migrated) {

@@ -164,6 +164,10 @@ void Machine::cached_access(ProcId p, GlobalAddr a, void* buf,
     charge_to(a.proc(), cfg_.costs.remote_handler, CycleBucket::kCacheStall);
     if (any_check) ++stats_.timestamp_stalls;
     track_write(a, size);
+    if (obs_ != nullptr) {
+      obs_->profile_access(procs_[p].clock, site, a.page_id(),
+                           profile::AccessClass::kWriteThrough);
+    }
   } else if (any_miss) {
     ++stats_.cache_misses;
     note_event(EventKind::kCacheMiss, p, cur_thread_, site, a.page_id(),
@@ -613,7 +617,7 @@ void Machine::run_ready(ProcId p) {
       if (it.time > pr.clock) {
         // The processor sat idle until the item's arrival time.
         if (obs_ != nullptr) {
-          obs_->account(p, it.time - pr.clock, CycleBucket::kIdle);
+          obs_->account(p, it.time - pr.clock, CycleBucket::kIdle, it.time);
         }
         pr.clock = it.time;
       }

@@ -177,6 +177,11 @@ class Machine {
         charge(cfg_.costs.local_access, trace::CycleBucket::kCompute);
         home_copy(a, buf, size, is_write);
         if (is_write) track_write(a, size);
+        if (obs_ != nullptr) {
+          obs_->profile_access(procs_[cur_proc()].clock, site, a.page_id(),
+                               is_write ? profile::AccessClass::kLocalWrite
+                                        : profile::AccessClass::kLocalRead);
+        }
         return true;
       }
       if (is_write) {
@@ -200,6 +205,11 @@ class Machine {
       charge(cfg_.costs.local_access, trace::CycleBucket::kCompute);
       home_copy(a, buf, size, is_write);
       if (is_write) track_write(a, size);
+      if (obs_ != nullptr) {
+        obs_->profile_access(procs_[cur_proc()].clock, site, a.page_id(),
+                             is_write ? profile::AccessClass::kLocalWrite
+                                      : profile::AccessClass::kLocalRead);
+      }
       return true;
     }
     return false;  // the awaiter suspends and calls migrate_to()
@@ -372,7 +382,7 @@ class Machine {
   /// exhaustive by construction.
   void charge_to(ProcId p, Cycles c, trace::CycleBucket b) {
     procs_[p].clock += c;
-    if (obs_ != nullptr) obs_->account(p, c, b);
+    if (obs_ != nullptr) obs_->account(p, c, b, procs_[p].clock);
   }
   void charge(Cycles c, trace::CycleBucket b) { charge_to(cur_proc(), c, b); }
 
@@ -511,6 +521,10 @@ class Machine {
       charge_to(a.proc(), cfg_.costs.remote_handler,
                 trace::CycleBucket::kCacheStall);
       track_write(a, size);
+      if (obs_ != nullptr) {
+        obs_->profile_access(procs_[p].clock, site, page_id,
+                             profile::AccessClass::kWriteThrough);
+      }
     } else {
       ++stats_.cache_hits;
       note_event(trace::EventKind::kCacheHit, p, cur_thread_, site, page_id);

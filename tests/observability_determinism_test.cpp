@@ -49,6 +49,24 @@ TEST_P(ObservabilityAB, TracingDoesNotPerturbTheRun) {
     events += r.events.size() + r.events_dropped;
   }
   EXPECT_GT(events, 0u);
+
+  // Third arm: tracing plus the profiling plane. Profiling hooks charge
+  // zero virtual cycles, so the run and even the trace byte stream must
+  // match the profile-off traced run exactly.
+  trace::Observer obs_prof;
+  obs_prof.set_trace_enabled(true);
+  obs_prof.set_event_limit(1000);
+  obs_prof.enable_profile(4096);  // small interval: many boundary slices
+  obs_prof.begin_run(std::string(name) + "/ab");
+  cfg.observer = &obs_prof;
+  const BenchResult prof = b->run(cfg);
+
+  EXPECT_EQ(prof.checksum, off.checksum);
+  EXPECT_EQ(prof.total_cycles, off.total_cycles);
+  EXPECT_EQ(prof.kernel_cycles, off.kernel_cycles);
+  EXPECT_EQ(trace::binary_trace_bytes(obs_prof), trace::binary_trace_bytes(obs));
+  ASSERT_GE(obs_prof.runs().size(), 1u);
+  EXPECT_GT(obs_prof.runs().back().profile.total_accesses(), 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(
