@@ -131,6 +131,9 @@ DiffProfile diff_profile(const TraceRun& run) {
 
   std::unordered_set<std::uint64_t> seen_chains;
   for (const TraceEvent& e : run.events) {
+    if (e.kind == EventKind::kRetransmit) {
+      ++p.retries_by_class[retransmit_class_index(e.arg0)];
+    }
     if (e.chain == trace::kNoChain) continue;
     if (seen_chains.insert(e.chain).second) {
       ++p.chains;
@@ -176,6 +179,13 @@ bool diff_runs(const DiffProfile& a, const DiffProfile& b, std::size_t top_n,
 
   out->chains_a = a.chains;
   out->chains_b = b.chains;
+  for (std::size_t i = 0; i < out->retries_by_class.size(); ++i) {
+    DiffRow& row = out->retries_by_class[i];
+    row.a = a.retries_by_class[i];
+    row.b = b.retries_by_class[i];
+    row.delta =
+        static_cast<std::int64_t>(row.b) - static_cast<std::int64_t>(row.a);
+  }
   for (const auto& [sig, ca] : a.chain_counts) {
     const auto it = b.chain_counts.find(sig);
     if (it != b.chain_counts.end()) {
@@ -310,6 +320,23 @@ std::string human_diff(const DiffReport& rep) {
     out += buf;
   }
 
+  bool any_retries = false;
+  for (const DiffRow& row : rep.retries_by_class) {
+    any_retries = any_retries || row.a + row.b > 0;
+  }
+  if (any_retries) {
+    out += "  retransmits by message class:\n";
+    for (std::size_t i = 0; i < rep.retries_by_class.size(); ++i) {
+      const DiffRow& row = rep.retries_by_class[i];
+      if (row.a + row.b == 0) continue;
+      std::snprintf(buf, sizeof buf,
+                    "    %-14s %12" PRIu64 " -> %12" PRIu64 "  %+12" PRId64
+                    "\n",
+                    FaultSummary::class_label(i), row.a, row.b, row.delta);
+      out += buf;
+    }
+  }
+
   std::snprintf(buf, sizeof buf,
                 "  chains: %" PRIu64 " in A, %" PRIu64 " in B, %" PRIu64
                 " aligned by spawn signature\n",
@@ -419,6 +446,16 @@ std::string json_diff(const std::vector<DiffReport>& reps) {
     }
     out += "],\"other\":{";
     append_row(out, rep.edges_other, /*comma=*/false);
+    out += "},";
+
+    out += "\"retries_by_class\":{";
+    for (std::size_t i = 0; i < rep.retries_by_class.size(); ++i) {
+      out += "\"";
+      out += FaultSummary::class_label(i);
+      out += "\":{";
+      append_row(out, rep.retries_by_class[i],
+                 /*comma=*/i + 1 < rep.retries_by_class.size());
+    }
     out += "},";
 
     out += "\"chains\":{";

@@ -43,6 +43,7 @@
 
 #include "olden/analyze/critical_path.hpp"
 #include "olden/analyze/trace_reader.hpp"
+#include "olden/support/stats.hpp"
 
 namespace olden::analyze {
 
@@ -95,6 +96,11 @@ struct DiffProfile {
   std::map<EdgeKey, std::uint64_t> edge_cycles;      ///< aligned edges
   std::map<ChainSig, std::uint64_t> chain_counts;    ///< chains per signature
   std::uint64_t chains = 0;                          ///< distinct chains
+  /// Retransmit event counts split by the message class encoded in
+  /// retransmit arg0 (index kNumMsgClasses = unknown / pre-encoding
+  /// traces). Counts, not cycles — informational, outside the exactness
+  /// invariant.
+  std::array<std::uint64_t, kNumMsgClasses + 1> retries_by_class{};
 };
 
 /// Build the diff profile of one in-memory run (extracts its critical
@@ -166,6 +172,9 @@ struct DiffReport {
   /// Chains matched across runs by spawn signature: sum of
   /// min(count_a, count_b) over signatures.
   std::uint64_t chains_aligned = 0;
+
+  /// Per-message-class retransmit counts, a vs b (last row = unknown).
+  std::array<DiffRow, kNumMsgClasses + 1> retries_by_class{};
 };
 
 /// Compare two profiles. Returns false (setting *err) only when the

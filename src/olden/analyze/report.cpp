@@ -141,7 +141,7 @@ RunReport analyze_run(const TraceRun& run, std::size_t top_n) {
         ++rep.faults.duplicates;
         break;
       case EventKind::kRetransmit:
-        ++rep.faults.retransmits;
+        rep.faults.count_retransmit(e.arg0);
         break;
       case EventKind::kDupSuppressed:
         ++rep.faults.dup_suppressed;
@@ -278,6 +278,20 @@ std::string human_report(const TraceRun& run, const RunReport& rep) {
                   rep.path.attribution[static_cast<std::size_t>(
                       CycleBucket::kRetry)]);
     out += buf;
+    if (rep.faults.retransmits > 0) {
+      out += "  retransmits by class:";
+      bool first = true;
+      for (std::size_t i = 0; i < rep.faults.retransmits_by_class.size();
+           ++i) {
+        const std::uint64_t n = rep.faults.retransmits_by_class[i];
+        if (n == 0) continue;
+        std::snprintf(buf, sizeof buf, "%s %s %" PRIu64, first ? "" : ",",
+                      FaultSummary::class_label(i), n);
+        first = false;
+        out += buf;
+      }
+      out += "\n";
+    }
   }
   return out;
 }
@@ -330,9 +344,14 @@ std::string json_report(const TraceFile& file,
     append_kv(out, "retransmits", rep.faults.retransmits);
     append_kv(out, "dup_suppressed", rep.faults.dup_suppressed);
     append_kv(out, "hiccups", rep.faults.hiccups);
-    append_kv(out, "hiccup_cycles", rep.faults.hiccup_cycles,
-              /*comma=*/false);
-    out += "},\"pages\":{";
+    append_kv(out, "hiccup_cycles", rep.faults.hiccup_cycles);
+    out += "\"retransmits_by_class\":{";
+    for (std::size_t i = 0; i < rep.faults.retransmits_by_class.size(); ++i) {
+      append_kv(out, FaultSummary::class_label(i),
+                rep.faults.retransmits_by_class[i],
+                i + 1 < rep.faults.retransmits_by_class.size());
+    }
+    out += "}},\"pages\":{";
     append_kv(out, "tracked", rep.pages_tracked);
     append_kv(out, "ping_pong_total", rep.ping_pong_total);
     out += "\"top\":[";

@@ -11,11 +11,13 @@
 //   * the critical path (see critical_path.hpp).
 #pragma once
 
+#include <array>
 #include <string>
 #include <vector>
 
 #include "olden/analyze/critical_path.hpp"
 #include "olden/analyze/trace_reader.hpp"
+#include "olden/support/stats.hpp"
 
 namespace olden::analyze {
 
@@ -52,6 +54,17 @@ struct PageStats {
   bool false_sharing_suspect = false;
 };
 
+/// Index into a per-class retransmit array for a retransmit event's arg0:
+/// the message class is encoded in the upper 32 bits as class + 1 (see
+/// fault_plane.cpp); kNumMsgClasses means "unknown" (pre-encoding traces).
+/// Shared by the in-memory and streaming analyzers and the diff profiler
+/// so every consumer decodes identically.
+[[nodiscard]] inline std::size_t retransmit_class_index(std::uint64_t arg0) {
+  const std::uint64_t cls = arg0 >> 32;
+  return cls >= 1 && cls <= kNumMsgClasses ? static_cast<std::size_t>(cls - 1)
+                                           : kNumMsgClasses;
+}
+
 /// Fault-plane activity recovered from the trace (src/olden/fault/).
 /// All zero for a fault-free run.
 struct FaultSummary {
@@ -62,6 +75,22 @@ struct FaultSummary {
   std::uint64_t dup_suppressed = 0;  ///< dup_suppressed events
   std::uint64_t hiccups = 0;         ///< hiccup events
   std::uint64_t hiccup_cycles = 0;   ///< summed injected stall cycles
+  /// Retransmits split by the message class encoded in arg0's upper bits
+  /// (see fault_plane.cpp). Index kNumMsgClasses counts events from
+  /// traces predating the encoding ("unknown").
+  std::array<std::uint64_t, kNumMsgClasses + 1> retransmits_by_class{};
+
+  /// Count one retransmit event, attributing its encoded class.
+  void count_retransmit(std::uint64_t arg0) {
+    ++retransmits;
+    ++retransmits_by_class[retransmit_class_index(arg0)];
+  }
+
+  /// Class label for an index into retransmits_by_class.
+  [[nodiscard]] static const char* class_label(std::size_t i) {
+    return i < kNumMsgClasses ? to_string(static_cast<MsgClass>(i))
+                              : "unknown";
+  }
 
   [[nodiscard]] bool any() const {
     return drops + delays + duplicates + retransmits + dup_suppressed +

@@ -146,7 +146,7 @@ bool StreamingRunAnalyzer::add(const TraceEvent& e) {
       ++faults_.duplicates;
       break;
     case EventKind::kRetransmit:
-      ++faults_.retransmits;
+      faults_.count_retransmit(e.arg0);
       break;
     case EventKind::kDupSuppressed:
       ++faults_.dup_suppressed;
@@ -365,6 +365,7 @@ bool StreamingRunAnalyzer::finish_diff(RunReport* out, DiffProfile* profile,
   profile->buckets = out->path.attribution;
   profile->chain_counts = chain_counts_;
   profile->chains = chains_;
+  profile->retries_by_class = faults_.retransmits_by_class;
   return true;
 }
 

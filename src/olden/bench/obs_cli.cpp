@@ -148,6 +148,9 @@ void ObsCli::parse(int* argc, char** argv,
   if (!faults_str.empty()) {
     std::string err;
     if (!fault::parse_fault_spec(faults_str, &fault_spec_, &err)) {
+      // The parser's messages already carry a "faults: " prefix; strip it
+      // so the flag name is not stuttered ("--faults: faults: ...").
+      if (err.rfind("faults: ", 0) == 0) err = err.substr(8);
       flag_error(argv[0], ("--faults: " + err).c_str());
     }
   }
@@ -272,8 +275,11 @@ const char* ObsCli::usage() {
          "  --breakdown        print per-processor cycle breakdowns\n"
          "  --faults=SPEC      inject wire faults, e.g. "
          "drop=0.05,dup=0.02,delay=0.1:800\n"
-         "                     ('none' disables; see "
-         "src/olden/fault/fault_spec.hpp)\n"
+         "                     classes=fill:invalidate:ts_check restricts "
+         "the injector\n"
+         "                     to those message classes ('none' disables; "
+         "see\n"
+         "                     src/olden/fault/fault_spec.hpp)\n"
          "  --fault-seed=N     fault-plane RNG seed (default 1)\n"
          "  --version          print stats/trace schema versions and exit\n"
          "  (env: OLDEN_TRACE, OLDEN_TRACE_BIN, OLDEN_TRACE_STREAM, "

@@ -84,6 +84,19 @@ struct HomePageInfo {
   std::uint32_t last_released = 0;
 };
 
+/// The bilateral scheme's revalidation rule, shared by the synchronous
+/// timestamp check and the fault plane's asynchronous ts-check reply:
+/// which of a sharer's `valid` lines must be dropped given that its copy
+/// was validated at `cached_version`. Exactly one version behind drops
+/// only the lines that release published; further behind drops everything.
+[[nodiscard]] inline std::uint32_t stale_line_mask(
+    const HomePageInfo& info, std::uint64_t cached_version,
+    std::uint32_t valid) {
+  if (cached_version == info.version) return 0;
+  if (cached_version + 1 == info.version) return valid & info.last_released;
+  return valid;
+}
+
 /// Directory spanning the machine, indexed by global page id. Each entry
 /// conceptually lives on the page's home processor; the runtime charges the
 /// home's clock whenever it consults or updates one. Storage is a flat

@@ -32,6 +32,7 @@
 #include <set>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "olden/fault/fault_spec.hpp"
 #include "olden/runtime/machine.hpp"
@@ -50,8 +51,20 @@ struct WatchdogDiagnostic {
   ProcId dst = 0;                ///< its destination
   std::uint64_t chan_seq = 0;    ///< its per-channel sequence number
   std::uint32_t retries = 0;     ///< retransmissions already attempted
-  const char* payload = "";      ///< "migration" | "return_stub" | "future_resolve"
+  /// Payload kind name, e.g. "migration" or "fill_request".
+  const char* payload = "";
+  /// Message class of the stuck payload: "migration" | "return_stub" |
+  /// "future_resolve" | "fill" | "invalidate" | "ts_check".
+  const char* msg_class = "";
   std::size_t pending_messages = 0;  ///< unacked messages machine-wide
+  /// Per-(src,dst) unacknowledged message counts at detection time, in
+  /// deterministic (src,dst) order — which channels the storm saturates.
+  struct ChannelLoad {
+    ProcId src = 0;
+    ProcId dst = 0;
+    std::uint64_t unacked = 0;
+  };
+  std::vector<ChannelLoad> channels;
 };
 
 /// Thrown (never OLDEN_REQUIRE-aborted) so harnesses and tests can catch
@@ -77,6 +90,24 @@ class FaultPlane {
   /// attempt on the wire.
   void send(Machine& m, ProcId src, Cycles wire, const Machine::Event& payload);
 
+  /// Coherence request (kFillRequest / kTsCheckRequest): like send(), but
+  /// ack-free — the reply is the implicit acknowledgement. The request
+  /// retransmits on timeout until consume_reply() tombstones it.
+  void send_request(Machine& m, ProcId src, Cycles wire,
+                    const Machine::Event& payload);
+
+  /// Coherence reply (kFillReply / kTsCheckReply): fire-and-forget on the
+  /// lossy wire — no retry timer; a lost reply is regenerated when the
+  /// requester's retransmitted request gets re-serviced.
+  void send_reply(Machine& m, ProcId src, Cycles wire,
+                  const Machine::Event& payload);
+
+  /// Requester side, called by the reply appliers BEFORE touching the
+  /// op pointer: retire request `request_id`. Returns false if it was
+  /// already retired — the reply is surplus and must be discarded (its op
+  /// pointer may reference a recycled CoherenceOp).
+  bool consume_reply(std::uint64_t request_id);
+
   // Event-queue handlers, dispatched from Machine::apply().
   void on_wire_deliver(Machine& m, const Machine::Event& e);
   void on_ack_deliver(Machine& m, const Machine::Event& e);
@@ -87,7 +118,9 @@ class FaultPlane {
   /// budget.
   void check_progress(const Machine& m, std::uint64_t applied) const;
 
-  [[nodiscard]] std::size_t pending_messages() const { return pending_.size(); }
+  [[nodiscard]] std::size_t pending_messages() const {
+    return pending_.size() + rr_pending_.size() + reply_pending_.size();
+  }
   [[nodiscard]] const FaultSpec& spec() const { return spec_; }
 
   /// Events drain() may apply without any thread progressing before the
@@ -104,6 +137,10 @@ class FaultPlane {
     std::uint64_t chan_seq = 0;
     std::uint32_t retries = 0;     ///< timeout-driven retransmissions so far
     Cycles backoff = 0;            ///< next timeout interval
+    /// Replies only: wire copies still scheduled for delivery; the entry
+    /// is erased when the count hits zero (so a fully-dropped reply does
+    /// not leak into the diagnostics forever).
+    std::uint32_t copies_in_flight = 0;
     // Causal attribution for trace events about this message.
     ThreadId thread_id = trace::kNoThread;
     std::uint64_t chain = trace::kNoChain;
@@ -123,30 +160,53 @@ class FaultPlane {
     return (static_cast<std::uint64_t>(src) << 32) | dst;
   }
   static const char* payload_name(Machine::MsgKind k);
+  /// Message class of a payload kind (wrapper kinds never reach this).
+  static MsgClass class_of(Machine::MsgKind k);
+  /// Fault trace events encode the message class in arg0's upper bits —
+  /// `(class + 1) << 32 | low` — so analyzers can split retry storms by
+  /// class; 0 up top means "unknown" (traces from before the encoding).
+  static std::uint64_t class_arg(MsgClass cls, std::uint64_t low) {
+    return ((static_cast<std::uint64_t>(cls) + 1) << 32) |
+           (low & 0xffffffffu);
+  }
 
   /// Current drop probability: base rate times the burst multiplier when
   /// `now` falls inside a burst window (pure function of virtual time).
   [[nodiscard]] double drop_probability(Cycles now) const;
 
   /// One transmission attempt for `p` at virtual time `now`: draw drop /
-  /// delay / duplicate fates and schedule the surviving copies.
-  void transmit(Machine& m, std::uint64_t id, Pending& p, Cycles now);
+  /// delay / duplicate fates and schedule the surviving copies. Returns
+  /// how many copies went on the wire (0 when everything dropped).
+  /// Messages of a class outside spec_.class_mask skip every draw (and
+  /// consume no randomness): a perfect wire for excluded classes.
+  int transmit(Machine& m, std::uint64_t id, Pending& p, Cycles now);
   /// Draw the optional injected delay for one wire copy.
   Cycles draw_delay(Machine& m, const Pending& p, Cycles now);
-  void send_ack(Machine& m, ProcId data_src, ProcId data_dst,
+  void send_ack(Machine& m, MsgClass cls, ProcId data_src, ProcId data_dst,
                 std::uint64_t msg_id, std::uint64_t chan_seq, Cycles now);
   void note(Machine& m, trace::EventKind k, Cycles time, ProcId proc,
             const Pending* p, std::uint64_t a0, std::uint64_t a1);
+  /// In-flight record for `id` in any of the three tables (attribution).
+  [[nodiscard]] const Pending* find_in_flight(std::uint64_t id) const;
+  /// One reply copy left the wire (delivered or suppressed); erase the
+  /// record once none remain.
+  void dec_reply_copies(std::uint64_t id);
   [[noreturn]] void throw_watchdog(std::string reason, Cycles now,
                                    std::uint64_t id, const Pending& p) const;
+  /// Current per-channel unacked counts across all in-flight tables.
+  [[nodiscard]] std::vector<WatchdogDiagnostic::ChannelLoad> channel_loads()
+      const;
 
   FaultSpec spec_;
   Rng rng_;
   std::uint64_t next_msg_id_ = 0;
-  /// Sender-side sequence counters and in-flight table. std::map keeps
-  /// iteration (used by watchdog diagnostics) deterministic.
+  /// Sender-side sequence counters and in-flight tables. std::map keeps
+  /// iteration (used by watchdog diagnostics) deterministic. Message ids
+  /// are unique across all three tables (one shared counter).
   std::map<std::uint64_t, std::uint64_t> chan_next_seq_;
-  std::map<std::uint64_t, Pending> pending_;
+  std::map<std::uint64_t, Pending> pending_;      ///< ack/retransmit protocol
+  std::map<std::uint64_t, Pending> rr_pending_;   ///< coherence requests
+  std::map<std::uint64_t, Pending> reply_pending_;  ///< coherence replies
   /// Receiver-side dedup windows, also keyed by (src,dst).
   std::map<std::uint64_t, DedupWindow> dedup_;
 };

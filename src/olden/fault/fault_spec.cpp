@@ -1,6 +1,7 @@
 #include "olden/fault/fault_spec.hpp"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <vector>
 
@@ -73,6 +74,7 @@ bool parse_fault_spec(std::string_view text, FaultSpec* out,
     return true;
   }
   spec.enabled = true;
+  std::vector<std::string> seen_keys;
   for (std::string_view item : split(text, ',')) {
     const std::size_t eq = item.find('=');
     if (eq == std::string_view::npos || eq == 0) {
@@ -80,6 +82,14 @@ bool parse_fault_spec(std::string_view text, FaultSpec* out,
     }
     const std::string_view key = item.substr(0, eq);
     const std::string_view val = item.substr(eq + 1);
+    // Each key may appear once: silently letting the last occurrence win
+    // hides typos in long specs.
+    for (const std::string& prev : seen_keys) {
+      if (prev == key) {
+        return fail(err, "faults: duplicate key '" + std::string(key) + "'");
+      }
+    }
+    seen_keys.emplace_back(key);
     const std::vector<std::string_view> parts = split(val, ':');
     if (key == "drop") {
       if (parts.size() != 1) return fail(err, "faults: drop takes one field (drop=P)");
@@ -110,8 +120,9 @@ bool parse_fault_spec(std::string_view text, FaultSpec* out,
       errno = 0;
       char* end = nullptr;
       const double f = std::strtod(fbuf.c_str(), &end);
-      if (errno != 0 || end != fbuf.c_str() + fbuf.size() || f < 0.0) {
-        return fail(err, "faults: burst factor must be a number >= 0, got '" + fbuf + "'");
+      if (errno != 0 || end != fbuf.c_str() + fbuf.size() || f < 0.0 ||
+          !std::isfinite(f)) {
+        return fail(err, "faults: burst factor must be a finite number >= 0, got '" + fbuf + "'");
       }
       spec.burst_factor = f;
       if (spec.burst_period == 0 || spec.burst_len == 0 ||
@@ -150,9 +161,38 @@ bool parse_fault_spec(std::string_view text, FaultSpec* out,
         return fail(err, "faults: retries must be in [1, 1000]");
       }
       spec.max_retries = static_cast<std::uint32_t>(n);
+    } else if (key == "classes") {
+      std::uint32_t mask = 0;
+      for (std::string_view name : parts) {
+        bool known = false;
+        for (std::size_t c = 0; c < kNumMsgClasses; ++c) {
+          if (name == to_string(static_cast<MsgClass>(c))) {
+            const std::uint32_t bit = 1u << c;
+            if ((mask & bit) != 0) {
+              return fail(err, "faults: duplicate class '" + std::string(name) +
+                                   "'");
+            }
+            mask |= bit;
+            known = true;
+            break;
+          }
+        }
+        if (!known) {
+          return fail(err,
+                      "faults: unknown class '" + std::string(name) +
+                          "' (known: migration return_stub future_resolve "
+                          "fill invalidate ts_check)");
+        }
+      }
+      if (mask == 0) {
+        return fail(err, "faults: classes needs at least one class name");
+      }
+      spec.class_mask = mask;
     } else {
-      return fail(err, "faults: unknown key '" + std::string(key) +
-                           "' (known: drop dup delay burst hiccup timeout retries)");
+      return fail(err,
+                  "faults: unknown key '" + std::string(key) +
+                      "' (known: drop dup delay burst hiccup timeout retries "
+                      "classes)");
     }
   }
   *out = spec;
@@ -180,6 +220,15 @@ std::string to_string(const FaultSpec& spec) {
   if (spec.hiccup > 0.0) {
     add("hiccup=" + std::to_string(spec.hiccup) + ":" +
         std::to_string(spec.hiccup_cycles));
+  }
+  if (spec.class_mask != FaultSpec::kAllClasses) {
+    std::string classes;
+    for (std::size_t c = 0; c < kNumMsgClasses; ++c) {
+      if (((spec.class_mask >> c) & 1u) == 0) continue;
+      if (!classes.empty()) classes += ':';
+      classes += to_string(static_cast<MsgClass>(c));
+    }
+    add("classes=" + classes);
   }
   add("timeout=" + std::to_string(spec.ack_timeout));
   add("retries=" + std::to_string(spec.max_retries));

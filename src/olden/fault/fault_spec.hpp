@@ -18,14 +18,19 @@
 //                     processor for CYCLES extra cycles
 //   timeout=CYCLES    ack timeout before the first retransmit
 //   retries=N         retransmit cap; exceeding it trips the watchdog
+//   classes=A:B:...   restrict injection to the named message classes
+//                     (migration, return_stub, future_resolve, fill,
+//                     invalidate, ts_check); default is every class
 //
 // e.g. --faults=drop=0.1,dup=0.05,delay=0.2:300,burst=20000:2000:4
+//      --faults=drop=0.2,classes=fill:invalidate:ts_check
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <string_view>
 
+#include "olden/support/stats.hpp"
 #include "olden/support/types.hpp"
 
 namespace olden::fault {
@@ -59,6 +64,18 @@ struct FaultSpec {
   /// Retransmit attempts per message before the watchdog declares the
   /// machine stuck.
   std::uint32_t max_retries = 24;
+
+  // --- class selection -----------------------------------------------------
+  /// Bitmask over MsgClass: the injector only draws faults for messages
+  /// whose class bit is set (excluded classes still ride the wire, they
+  /// just never lose). Default: every class. Purely a function of the
+  /// spec, so determinism per (spec, seed) is unaffected.
+  static constexpr std::uint32_t kAllClasses = (1u << kNumMsgClasses) - 1;
+  std::uint32_t class_mask = kAllClasses;
+
+  [[nodiscard]] bool class_enabled(MsgClass c) const {
+    return ((class_mask >> static_cast<unsigned>(c)) & 1u) != 0;
+  }
 };
 
 /// Parse the `--faults=` grammar above into `out`. Returns true on

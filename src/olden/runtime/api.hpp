@@ -34,8 +34,16 @@ struct ReadAwaiter {
     return Machine::current().access(addr, &value, sizeof(T), false, site);
   }
   void await_suspend(std::coroutine_handle<> h) {
+    Machine& m = Machine::current();
+    if (m.take_coherent_suspend()) {
+      // Fault plane: the access rides the coherence request/reply wire;
+      // `value` is filled by the op before `h` resumes, so await_resume
+      // has nothing left to do (migrated stays false).
+      m.begin_coherent_access(addr, &value, sizeof(T), false, site, h);
+      return;
+    }
     migrated = true;
-    Machine::current().migrate_to(addr.proc(), h, site);
+    m.migrate_to(addr.proc(), h, site);
   }
   T await_resume() {
     if (migrated) {
@@ -56,8 +64,13 @@ struct WriteAwaiter {
     return Machine::current().access(addr, &value, sizeof(T), true, site);
   }
   void await_suspend(std::coroutine_handle<> h) {
+    Machine& m = Machine::current();
+    if (m.take_coherent_suspend()) {
+      m.begin_coherent_access(addr, &value, sizeof(T), true, site, h);
+      return;
+    }
     migrated = true;
-    Machine::current().migrate_to(addr.proc(), h, site);
+    m.migrate_to(addr.proc(), h, site);
   }
   void await_resume() {
     if (migrated) {

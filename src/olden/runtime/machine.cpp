@@ -15,6 +15,15 @@ using trace::EventKind;
 // still supports nested Machines within one thread.
 thread_local Machine* Machine::current_ = nullptr;
 
+#if !OLDEN_SYMMETRIC_TRANSFER
+// See the header comment on current(): noinline keeps the TLS address
+// computation out of coroutine frames in sanitized builds.
+[[gnu::noinline]] Machine& Machine::current_outofline() {
+  OLDEN_REQUIRE(current_ != nullptr, "no Machine is live");
+  return *current_;
+}
+#endif
+
 RunConfig Machine::validated(RunConfig cfg) {
   if (cfg.nprocs < 1 || cfg.nprocs > kMaxProcs) {
     throw ConfigError("nprocs must be in [1, " + std::to_string(kMaxProcs) +
@@ -134,13 +143,26 @@ void Machine::cached_access(ProcId p, GlobalAddr a, void* buf,
       const GlobalAddr line_base((cur.raw() / kLineBytes) * kLineBytes);
       std::memcpy(pr.cache.ensure_frame(*e) + line * kLineBytes,
                   heap_.line_home(line_base), kLineBytes);
-      e->valid |= bit;
       note_event(EventKind::kCacheLineFill, p, cur_thread_, site, page_id,
                  line);
       HomePageInfo& info = directory_.page(page_id);
       info.sharers.add(p);
       info.shared = true;
-      if (cfg_.scheme == Coherence::kBilateral) e->version = info.version;
+      if (cfg_.scheme == Coherence::kBilateral &&
+          e->version != info.version) {
+        // The fill reply carries the home's current timestamp. Before
+        // adopting it, drop the lines the version advance invalidated —
+        // stamping alone would hide genuinely stale lines from the next
+        // suspect check (the page's version is page-grain, its lines are
+        // not).
+        const std::uint32_t stale =
+            stale_line_mask(info, e->version, e->valid);
+        e->valid &= ~stale;
+        stats_.lines_invalidated +=
+            static_cast<std::uint64_t>(std::popcount(stale));
+        e->version = info.version;
+      }
+      e->valid |= bit;
     }
 
     if (is_write) {
@@ -189,23 +211,356 @@ bool Machine::revalidate_suspect_page(ProcId p,
             CycleBucket::kCoherence);
   ++stats_.timestamp_checks;
   const HomePageInfo& info = directory_.page(entry.page_id);
-  std::uint64_t dropped = 0;
-  if (entry.version == info.version) {
-    // Nothing released since we validated: every line stays valid.
-  } else if (entry.version + 1 == info.version) {
-    dropped = static_cast<std::uint64_t>(
-        std::popcount(entry.valid & info.last_released));
-    entry.valid &= ~info.last_released;
-  } else {
-    dropped = static_cast<std::uint64_t>(std::popcount(entry.valid));
-    entry.valid = 0;
-  }
+  const std::uint32_t stale = stale_line_mask(info, entry.version, entry.valid);
+  const std::uint64_t dropped =
+      static_cast<std::uint64_t>(std::popcount(stale));
+  entry.valid &= ~stale;
   stats_.lines_invalidated += dropped;
   entry.version = info.version;
   entry.suspect = false;
   note_event(EventKind::kTimestampCheck, p, cur_thread_, trace::kNoSite,
              entry.page_id, dropped);
   return true;
+}
+
+// ---------------------------------------------------------------------------
+// Coherence request/reply protocol (fault plane only)
+//
+// A cached access that needs a wire round trip suspends its thread and
+// becomes a CoherenceOp: a resumable copy of cached_access's chunk loop.
+// Requests (kFillRequest, kTsCheckRequest) ride the lossy wire with
+// retransmit timers; the reply is the implicit acknowledgement. Homes
+// service requests statelessly — all cache and directory mutation happens
+// requester-side when the reply lands, host-atomic with the data copy, so
+// a duplicated request (re-serviced) or a surplus reply (tombstoned in
+// the fault plane's request table) can never corrupt cache or directory
+// state.
+// ---------------------------------------------------------------------------
+
+Machine::CoherenceOp* Machine::alloc_coherence_op() {
+  if (!coherence_op_free_.empty()) {
+    CoherenceOp* op = coherence_op_free_.back();
+    coherence_op_free_.pop_back();
+    *op = CoherenceOp{};
+    return op;
+  }
+  coherence_ops_.emplace_back();
+  return &coherence_ops_.back();
+}
+
+void Machine::free_coherence_op(CoherenceOp* op) {
+  coherence_op_free_.push_back(op);
+}
+
+void Machine::begin_coherent_access(GlobalAddr a, void* buf,
+                                    std::uint32_t size, bool is_write,
+                                    SiteId site, std::coroutine_handle<> h) {
+  OLDEN_REQUIRE(fault_ != nullptr, "coherent suspend without a fault plane");
+  CoherenceOp* op = alloc_coherence_op();
+  op->h = h;
+  op->thread = cur_thread_;
+  op->addr = a;
+  op->buf = buf;
+  op->size = size;
+  op->is_write = is_write;
+  op->site = site;
+  // The probe (coherence_needs_wire) guaranteed at least one round trip,
+  // so this always parks on a request before reaching the epilogue.
+  advance_coherence_op(op, procs_[cur_proc()].clock);
+}
+
+void Machine::advance_coherence_op(CoherenceOp* op, Cycles now) {
+  const ProcId p = op->thread->proc;
+  Proc& pr = procs_[p];
+  auto* user = static_cast<std::byte*>(op->buf);
+  while (op->done < op->size) {
+    const GlobalAddr cur = op->addr.plus(op->done);
+    const std::uint32_t line_off = cur.raw() % kLineBytes;
+    const std::uint32_t chunk =
+        std::min(op->size - op->done, kLineBytes - line_off);
+    const std::uint32_t page_id = cur.page_id();
+    const std::uint32_t line = cur.line_in_page();
+    const std::uint32_t bit = 1u << line;
+
+    if (!op->chunk_charged) {
+      // Translation-table lookup, charged once per chunk exactly as the
+      // synchronous path does (a chunk resumed after a reply re-enters
+      // the loop without paying again).
+      auto lr = pr.cache.lookup(page_id);
+      charge_to(p, cfg_.costs.cache_lookup, CycleBucket::kCacheStall);
+      if (lr.chain_steps > 1) {
+        charge_to(p, (lr.chain_steps - 1) * cfg_.costs.cache_chain_step,
+                  CycleBucket::kCacheStall);
+      }
+      op->entry = lr.entry;
+      if (op->entry == nullptr) {
+        op->entry = &pr.cache.create_page(page_id);
+        charge_to(p, cfg_.costs.page_alloc, CycleBucket::kCacheStall);
+        ++stats_.pages_cached;
+      }
+      op->chunk_charged = true;
+    }
+    SoftwareCache::PageEntry* e = op->entry;
+
+    if (e->suspect) {
+      if (cfg_.scheme == Coherence::kBilateral) {
+        ++stats_.timestamp_checks;
+        op->any_check = true;
+        op->wait_started = pr.clock;
+        issue_ts_check_request(op, page_id);
+        return;  // parked until the kTsCheckReply applies
+      }
+      e->suspect = false;
+    }
+
+    if (!op->is_write && (e->valid & bit) == 0) {
+      op->any_miss = true;
+      ++op->lines_fetched;
+      op->wait_started = pr.clock;
+      issue_fill_request(op, page_id, line);
+      return;  // parked until the kFillReply applies
+    }
+
+    if (op->is_write) {
+      // Write-through, no-allocate, host-synchronous: the home always
+      // gets the bytes immediately (never rides the lossy wire), so
+      // program data is identical to the fault-free run.
+      std::memcpy(heap_.home_ptr(cur, chunk), user + op->done, chunk);
+      if ((e->valid & bit) != 0) {  // valid line => frame present
+        std::memcpy(e->frame + line * kLineBytes + line_off, user + op->done,
+                    chunk);
+      }
+    } else {
+      std::memcpy(user + op->done, e->frame + line * kLineBytes + line_off,
+                  chunk);
+    }
+    op->done += chunk;
+    op->chunk_charged = false;
+    op->entry = nullptr;
+  }
+  finish_coherence_op(op, now);
+}
+
+void Machine::finish_coherence_op(CoherenceOp* op, Cycles now) {
+  const ProcId p = op->thread->proc;
+  const GlobalAddr a = op->addr;
+  if (obs_ != nullptr) obs_->touch_page(p, a.page_id());
+  if (op->is_write) {
+    charge_to(p, cfg_.costs.remote_write, CycleBucket::kCacheStall);
+    charge_to(a.proc(), cfg_.costs.remote_handler, CycleBucket::kCacheStall);
+    if (op->any_check) ++stats_.timestamp_stalls;
+    track_write_for(*op->thread, a, op->size);
+    if (obs_ != nullptr) {
+      obs_->profile_access(procs_[p].clock, op->site, a.page_id(),
+                           profile::AccessClass::kWriteThrough);
+    }
+  } else if (op->any_miss) {
+    ++stats_.cache_misses;
+    note_event(EventKind::kCacheMiss, p, op->thread, op->site, a.page_id(),
+               op->lines_fetched);
+    if (obs_ != nullptr) {
+      obs_->record(trace::Hist::kMissFillCycles, op->stall_cycles);
+    }
+  } else {
+    ++stats_.cache_hits;
+    if (op->any_check) ++stats_.timestamp_stalls;
+    note_event(EventKind::kCacheHit, p, op->thread, op->site, a.page_id());
+  }
+  // Resume the thread; run_ready accounts any clock < now gap as idle,
+  // exactly like a migration arrival.
+  push_ready(p, ReadyItem{op->h, op->thread, now});
+  free_coherence_op(op);
+}
+
+void Machine::issue_fill_request(CoherenceOp* op, std::uint32_t page_id,
+                                 std::uint32_t line) {
+  const ProcId p = op->thread->proc;
+  const ProcId home = page_home(page_id);
+  const std::uint64_t ev = note_event(EventKind::kFillRequest, p, op->thread,
+                                      op->site, page_id, line);
+  fault_->send_request(*this, p, cfg_.costs.coherence_wire,
+                       Event{.time = procs_[p].clock +
+                                     cfg_.costs.coherence_wire,
+                             .seq = next_seq_++,
+                             .kind = MsgKind::kFillRequest,
+                             .target = home,
+                             .thread = op->thread,
+                             .src = p,
+                             .op = op,
+                             .parg0 = page_id,
+                             .parg1 = line,
+                             .obs_parent = ev});
+}
+
+void Machine::issue_ts_check_request(CoherenceOp* op, std::uint32_t page_id) {
+  const ProcId p = op->thread->proc;
+  const ProcId home = page_home(page_id);
+  const std::uint64_t ev = note_event(EventKind::kTsCheckRequest, p,
+                                      op->thread, op->site, page_id, home);
+  fault_->send_request(*this, p, cfg_.costs.coherence_wire,
+                       Event{.time = procs_[p].clock +
+                                     cfg_.costs.coherence_wire,
+                             .seq = next_seq_++,
+                             .kind = MsgKind::kTsCheckRequest,
+                             .target = home,
+                             .thread = op->thread,
+                             .src = p,
+                             .op = op,
+                             .parg0 = page_id,
+                             .obs_parent = ev});
+}
+
+void Machine::apply_fill_request(const Event& e) {
+  // Home-side service: charge the handler, emit the reply event, send the
+  // reply. Stateless, so re-servicing a retransmitted request is harmless.
+  // The reply departs at the request's ARRIVAL time, not the home's clock
+  // — the handler is an active message that steals cycles, exactly like
+  // the synchronous fill and the one-way protocol's acks. Anchoring it to
+  // the home's clock instead couples reply latency to how far ahead the
+  // home's own computation runs, and under a busy home every requester
+  // times out, every retransmit is re-serviced (pushing the home's clock
+  // further), and the protocol collapses into a retry storm.
+  advance_clock_to(e.target, e.time);
+  charge_to(e.target, cfg_.costs.remote_handler, CycleBucket::kCacheStall);
+  std::uint64_t ev = trace::kNoEvent;
+  if (obs_ != nullptr) {
+    ev = obs_->event(EventKind::kFillReply, e.time, e.target,
+                     e.thread != nullptr ? e.thread->id : trace::kNoThread,
+                     trace::kNoSite, e.parg0, e.parg1,
+                     e.thread != nullptr ? e.thread->obs_chain
+                                         : trace::kNoChain,
+                     e.obs_parent);
+  }
+  fault_->send_reply(*this, e.target, cfg_.costs.coherence_wire,
+                     Event{.time = e.time + cfg_.costs.coherence_wire,
+                           .seq = next_seq_++,
+                           .kind = MsgKind::kFillReply,
+                           .target = e.src,
+                           .thread = e.thread,
+                           .src = e.target,
+                           .op = e.op,
+                           .parg0 = e.parg0,
+                           .parg1 = e.parg1,
+                           .obs_parent = ev,
+                           .answer_to = e.msg_id});
+}
+
+void Machine::apply_fill_reply(const Event& e) {
+  advance_clock_to(e.target, e.time);
+  charge_to(e.target, cfg_.costs.ack_recv, CycleBucket::kRetry);
+  if (!fault_->consume_reply(e.answer_to)) {
+    // The request this answers was already satisfied (a retransmitted
+    // request got re-serviced after the first reply landed). The op
+    // pointer may point at a recycled op — the tombstone check above is
+    // what makes discarding safe.
+    ++stats_.replies_ignored;
+    return;
+  }
+  CoherenceOp* op = e.op;
+  const ProcId p = op->thread->proc;
+  Proc& pr = procs_[p];
+  SoftwareCache::PageEntry* entry = op->entry;
+  const GlobalAddr cur = op->addr.plus(op->done);
+  const std::uint32_t line = cur.line_in_page();
+  const GlobalAddr line_base(
+      (cur.raw() / kLineBytes) * static_cast<std::uint32_t>(kLineBytes));
+  // Requester-side apply: copy the line and register with the directory
+  // in one host-atomic step, mirroring the synchronous fill.
+  std::memcpy(pr.cache.ensure_frame(*entry) + line * kLineBytes,
+              heap_.line_home(line_base), kLineBytes);
+  HomePageInfo& info = directory_.page(cur.page_id());
+  info.sharers.add(p);
+  info.shared = true;
+  if (cfg_.scheme == Coherence::kBilateral &&
+      entry->version != info.version) {
+    // As in the synchronous fill: the reply carries the home's current
+    // timestamp, so the version advance's stale lines drop before the
+    // stamp — critical here, where migrations can mark the page suspect
+    // while this fill was in flight.
+    const std::uint32_t stale =
+        stale_line_mask(info, entry->version, entry->valid);
+    entry->valid &= ~stale;
+    stats_.lines_invalidated +=
+        static_cast<std::uint64_t>(std::popcount(stale));
+    entry->version = info.version;
+  }
+  entry->valid |= 1u << line;
+  if (e.time > op->wait_started) op->stall_cycles += e.time - op->wait_started;
+  op->thread->obs_next_parent = e.obs_parent;
+  note_event(EventKind::kCacheLineFill, p, op->thread, op->site,
+             cur.page_id(), line);
+  advance_coherence_op(op, e.time);
+}
+
+void Machine::apply_ts_check_request(const Event& e) {
+  // Arrival-anchored like apply_fill_request: the timestamp read is an
+  // active-message handler, so the reply never waits on the home's clock.
+  advance_clock_to(e.target, e.time);
+  charge_to(e.target, cfg_.costs.remote_handler, CycleBucket::kCoherence);
+  const std::uint32_t page_id = static_cast<std::uint32_t>(e.parg0);
+  std::uint64_t ev = trace::kNoEvent;
+  if (obs_ != nullptr) {
+    ev = obs_->event(EventKind::kTsCheckReply, e.time, e.target,
+                     e.thread != nullptr ? e.thread->id : trace::kNoThread,
+                     trace::kNoSite, e.parg0,
+                     directory_.page(page_id).version,
+                     e.thread != nullptr ? e.thread->obs_chain
+                                         : trace::kNoChain,
+                     e.obs_parent);
+  }
+  fault_->send_reply(*this, e.target, cfg_.costs.coherence_wire,
+                     Event{.time = e.time + cfg_.costs.coherence_wire,
+                           .seq = next_seq_++,
+                           .kind = MsgKind::kTsCheckReply,
+                           .target = e.src,
+                           .thread = e.thread,
+                           .src = e.target,
+                           .op = e.op,
+                           .parg0 = e.parg0,
+                           .obs_parent = ev,
+                           .answer_to = e.msg_id});
+}
+
+void Machine::apply_ts_check_reply(const Event& e) {
+  advance_clock_to(e.target, e.time);
+  charge_to(e.target, cfg_.costs.ack_recv, CycleBucket::kRetry);
+  if (!fault_->consume_reply(e.answer_to)) {
+    ++stats_.replies_ignored;
+    return;
+  }
+  CoherenceOp* op = e.op;
+  const ProcId p = op->thread->proc;
+  SoftwareCache::PageEntry& entry = *op->entry;
+  // Validate against the directory as it stands when the reply lands —
+  // the idempotent-apply twin of revalidate_suspect_page.
+  const HomePageInfo& info = directory_.page(entry.page_id);
+  const std::uint32_t stale = stale_line_mask(info, entry.version, entry.valid);
+  const std::uint64_t dropped =
+      static_cast<std::uint64_t>(std::popcount(stale));
+  entry.valid &= ~stale;
+  stats_.lines_invalidated += dropped;
+  entry.version = info.version;
+  entry.suspect = false;
+  if (e.time > op->wait_started) op->stall_cycles += e.time - op->wait_started;
+  op->thread->obs_next_parent = e.obs_parent;
+  note_event(EventKind::kTimestampCheck, p, op->thread, trace::kNoSite,
+             entry.page_id, dropped);
+  advance_coherence_op(op, e.time);
+}
+
+void Machine::apply_invalidate_push(const Event& e) {
+  // The sharer's cache and the directory were updated synchronously at
+  // the release; this arrival carries the receive-side timing and the
+  // trace event (parented to the kInvalidatePush emitted at the sender).
+  advance_clock_to(e.target, e.time);
+  charge_to(e.target, cfg_.costs.invalidate_recv, CycleBucket::kCoherence);
+  if (obs_ != nullptr) {
+    obs_->event(EventKind::kLineInvalidate, e.time, e.target,
+                e.thread != nullptr ? e.thread->id : trace::kNoThread,
+                trace::kNoSite, e.parg0, e.parg1,
+                e.thread != nullptr ? e.thread->obs_chain : trace::kNoChain,
+                e.obs_parent);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -234,7 +589,6 @@ void Machine::on_release(ThreadState& t) {
         if (s == src) return;  // the writer's own copy was updated in place
         ++stats_.invalidation_messages;
         charge_to(src, cfg_.costs.invalidate_send, CycleBucket::kCoherence);
-        charge_to(s, cfg_.costs.invalidate_recv, CycleBucket::kCoherence);
         const SoftwareCache::InvalidateResult inv =
             procs_[s].cache.invalidate_lines(page, mask);
         stats_.lines_invalidated += inv.dropped;
@@ -245,8 +599,31 @@ void Machine::on_release(ThreadState& t) {
           // only grow and long runs invalidate fully-stale copies forever.
           info.sharers.remove(s);
         }
-        note_side_event(EventKind::kLineInvalidate, s, &t, trace::kNoSite,
-                        page, inv.dropped);
+        if (fault_ == nullptr) {
+          charge_to(s, cfg_.costs.invalidate_recv, CycleBucket::kCoherence);
+          note_side_event(EventKind::kLineInvalidate, s, &t, trace::kNoSite,
+                          page, inv.dropped);
+        } else {
+          // Under a fault plane the push becomes an explicit acked wire
+          // message. The cache/directory mutation above stays synchronous
+          // (host state identical to the fault-free path — checksums
+          // cannot move); only timing, costs and trace events ride the
+          // lossy wire, and the receive side lands at kInvalidatePush
+          // delivery.
+          const std::uint64_t push_ev = note_side_event(
+              EventKind::kInvalidatePush, src, &t, trace::kNoSite, page, s);
+          send_message(src, cfg_.costs.coherence_wire,
+                       Event{.time = procs_[src].clock +
+                                     cfg_.costs.coherence_wire,
+                             .seq = next_seq_++,
+                             .kind = MsgKind::kInvalidatePush,
+                             .target = s,
+                             .thread = &t,
+                             .src = src,
+                             .parg0 = page,
+                             .parg1 = inv.dropped,
+                             .obs_parent = push_ev});
+        }
       });
       info.dirty_since_bump = 0;
     });
@@ -326,18 +703,32 @@ std::coroutine_handle<> Machine::on_task_final(std::coroutine_handle<> cont,
   if (cell != nullptr) {
     // A future body finished.
     if (t->proc == cell->home) {
-      cell->resolved = true;
-      cell->writer_written = t->written;
-      cell->obs_resolve_event = note_event(EventKind::kFutureResolve, t->proc,
-                                           t, trace::kNoSite, cell->serial, 0);
       if (!cell->item.taken) {
         // Lazy task creation pay-off: nothing migrated the body away from
         // this processor for long enough for the continuation to be
-        // stolen — pop it and continue as the same thread, directly.
+        // stolen — pop it and continue as the same thread, directly. The
+        // write log stays with the thread: the continuation inherits it
+        // and releases the merged log at its own next release point.
+        cell->resolved = true;
+        cell->writer_written = t->written;
+        cell->obs_resolve_event = note_event(
+            EventKind::kFutureResolve, t->proc, t, trace::kNoSite,
+            cell->serial, 0);
         cell->item.taken = true;
         ++stats_.futures_inlined;
         return transfer_to(cell->item.cont);
       }
+      // The body ran as its own thread (the continuation was stolen) and
+      // retires here. Resolution is a release point: the waiter may be on
+      // another processor, so the write log must be drained — eager pushes
+      // / bilateral version bumps — before the resolve becomes visible.
+      // Without this the log dies with the thread and remote caches keep
+      // stale lines forever.
+      on_release(*t);
+      cell->resolved = true;
+      cell->writer_written = t->written;
+      cell->obs_resolve_event = note_event(EventKind::kFutureResolve, t->proc,
+                                           t, trace::kNoSite, cell->serial, 0);
       if (cell->waiter) {
         const auto waiter = cell->waiter;
         cell->waiter = nullptr;
@@ -595,6 +986,26 @@ void Machine::apply(const Event& e) {
     }
     case MsgKind::kRetryTimer: {
       fault_->on_retry_timer(*this, e);
+      break;
+    }
+    case MsgKind::kFillRequest: {
+      apply_fill_request(e);
+      break;
+    }
+    case MsgKind::kFillReply: {
+      apply_fill_reply(e);
+      break;
+    }
+    case MsgKind::kInvalidatePush: {
+      apply_invalidate_push(e);
+      break;
+    }
+    case MsgKind::kTsCheckRequest: {
+      apply_ts_check_request(e);
+      break;
+    }
+    case MsgKind::kTsCheckReply: {
+      apply_ts_check_reply(e);
       break;
     }
   }

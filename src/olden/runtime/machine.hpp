@@ -97,10 +97,26 @@ class Machine {
   /// The machine the currently-running coroutine belongs to. Coroutine
   /// promises and awaiters reach the runtime through this, the same way an
   /// executor is ambient in most coroutine runtimes.
+  ///
+  /// Sanitized builds route the thread_local read through a noinline
+  /// out-of-line accessor: when the inline TLS load lands inside an
+  /// optimized coroutine body, GCC's ASan instrumentation can cache the
+  /// address computation across suspension points in the coroutine frame,
+  /// and the resumed frame then loads through a junk address (observed as
+  /// a UBSan null-load in any -O2 sanitized build). A regular function
+  /// re-derives the TLS address on every call, which sidesteps the hazard;
+  /// unsanitized builds keep the zero-cost inline read.
   static Machine& current() {
+#if OLDEN_SYMMETRIC_TRANSFER
     OLDEN_REQUIRE(current_ != nullptr, "no Machine is live");
     return *current_;
+#else
+    return current_outofline();
+#endif
   }
+#if !OLDEN_SYMMETRIC_TRANSFER
+  static Machine& current_outofline();
+#endif
 
   // --- program construction --------------------------------------------
 
@@ -190,6 +206,17 @@ class Machine {
         ++stats_.cacheable_reads_remote;
       }
       if (!cached_access_fast(cur_proc(), a, buf, size, is_write, site)) {
+        if (fault_ != nullptr &&
+            coherence_needs_wire(cur_proc(), a, size, is_write)) {
+          // Under a fault plane, coherence round trips (line fills,
+          // bilateral timestamp checks) become explicit request/reply
+          // messages on the lossy wire: the thread suspends and a
+          // CoherenceOp drives the access from the event queue. The
+          // awaiter sees false, asks take_coherent_suspend(), and calls
+          // begin_coherent_access instead of migrate_to.
+          coherent_suspend_ = true;
+          return false;
+        }
         cached_access(cur_proc(), a, buf, size, is_write, site);
       }
       return true;
@@ -224,6 +251,23 @@ class Machine {
   /// Complete the access that triggered a migration (now local).
   void finish_access_local(GlobalAddr a, void* buf, std::uint32_t size,
                            bool is_write);
+
+  /// True exactly once after access() returned false because the access
+  /// must ride the coherence request/reply protocol rather than migrate.
+  /// The awaiter consumes the flag to pick begin_coherent_access over
+  /// migrate_to.
+  [[nodiscard]] bool take_coherent_suspend() {
+    const bool s = coherent_suspend_;
+    coherent_suspend_ = false;
+    return s;
+  }
+
+  /// Start a suspended cached access (fault plane only): allocates a
+  /// CoherenceOp for the current thread and advances it until it parks on
+  /// its first wire round trip. `h` resumes when the whole access is done.
+  void begin_coherent_access(GlobalAddr a, void* buf, std::uint32_t size,
+                             bool is_write, SiteId site,
+                             std::coroutine_handle<> h);
 
   // --- hooks used by Task / future awaiters ------------------------------
 
@@ -326,14 +370,48 @@ class Machine {
   /// Inter-processor message kinds on the discrete-event wire (distinct
   /// from trace::EventKind, the observability vocabulary). The first
   /// three are payload messages; the rest exist only when a fault plane
-  /// is installed (reliable-delivery machinery).
+  /// is installed: the reliable-delivery machinery plus the coherence
+  /// request/reply messages that then ride it (a fault-free machine
+  /// services fills, push invalidations and timestamp checks
+  /// synchronously and never creates these events).
   enum class MsgKind : std::uint8_t {
     kMigrationArrive,
     kReturnArrive,
     kResolveFuture,
-    kWireDeliver,  ///< a (possibly faulty) transmission attempt arriving
-    kAckDeliver,   ///< an acknowledgement arriving back at the sender
-    kRetryTimer,   ///< sender-side ack timeout check (no-op once acked)
+    kWireDeliver,      ///< a (possibly faulty) transmission attempt arriving
+    kAckDeliver,       ///< an acknowledgement arriving back at the sender
+    kRetryTimer,       ///< sender-side ack timeout check (no-op once acked)
+    kFillRequest,      ///< cache-miss line fetch request, requester -> home
+    kFillReply,        ///< line-fetch reply (doubles as the request's ack)
+    kInvalidatePush,   ///< eager-release line invalidation, writer -> sharer
+    kTsCheckRequest,   ///< bilateral timestamp check, requester -> home
+    kTsCheckReply,     ///< timestamp reply (doubles as the request's ack)
+  };
+
+  /// One suspended cached access riding the coherence request/reply
+  /// protocol (fault plane only). Mirrors `cached_access`'s chunk loop as
+  /// a resumable state machine: each wire round trip (line fill,
+  /// timestamp check) parks the op here, the reply's requester-side apply
+  /// mutates cache/directory state and re-advances the loop. Ops pool in
+  /// a deque for stable addresses; a freed op is only ever reached again
+  /// through the fault plane's request table, whose tombstones keep stale
+  /// replies from touching a recycled op.
+  struct CoherenceOp {
+    std::coroutine_handle<> h;       ///< resumes when the access completes
+    ThreadState* thread = nullptr;
+    GlobalAddr addr{};
+    void* buf = nullptr;             ///< awaiter-owned; stable while suspended
+    std::uint32_t size = 0;
+    bool is_write = false;
+    SiteId site = trace::kNoSite;
+    std::uint32_t done = 0;          ///< bytes completed
+    bool chunk_charged = false;      ///< current chunk's lookup already charged
+    SoftwareCache::PageEntry* entry = nullptr;  ///< current chunk's page
+    bool any_miss = false;
+    bool any_check = false;
+    std::uint64_t lines_fetched = 0;
+    Cycles stall_cycles = 0;         ///< actual wire-wait cycles (histogram)
+    Cycles wait_started = 0;         ///< clock when the pending wait began
   };
 
   struct Event {
@@ -348,6 +426,16 @@ class Machine {
     ProcId src = 0;               ///< sending processor
     std::uint64_t msg_id = 0;     ///< fault-plane message id
     std::uint64_t chan_seq = 0;   ///< per-(src,dst) sequence number
+    /// Wrapper events (kWireDeliver) carry the wrapped payload's kind so
+    /// the fault plane can classify without a table lookup.
+    MsgKind payload_kind = MsgKind::kMigrationArrive;
+    // Coherence request/reply payloads (fault plane only).
+    CoherenceOp* op = nullptr;      ///< requesting access, dereferenced only
+                                    ///< after the reply-table tombstone check
+    std::uint64_t parg0 = 0;        ///< page id
+    std::uint64_t parg1 = 0;        ///< line index / dropped-line count
+    std::uint64_t obs_parent = trace::kNoEvent;  ///< causal parent event id
+    std::uint64_t answer_to = 0;    ///< replies: msg id of the request served
 
     friend bool operator>(const Event& a, const Event& b) {
       if (a.time != b.time) return a.time > b.time;
@@ -386,6 +474,20 @@ class Machine {
   }
   void charge(Cycles c, trace::CycleBucket b) { charge_to(cur_proc(), c, b); }
 
+  /// Bring processor `p`'s clock up to an arrival time `t`, accounting
+  /// the wait as idle (the event-context twin of run_ready's gap
+  /// accounting). Used by coherence message appliers so the events and
+  /// charges they produce are stamped at or after the arrival — keeping
+  /// per-processor trace times causally monotonic across the wire.
+  void advance_clock_to(ProcId p, Cycles t) {
+    Proc& pr = procs_[p];
+    if (pr.clock >= t) return;
+    if (obs_ != nullptr) {
+      obs_->account(p, t - pr.clock, trace::CycleBucket::kIdle, t);
+    }
+    pr.clock = t;
+  }
+
   /// Emit a trace event stamped with processor `p`'s current clock,
   /// threaded into thread `t`'s causal chain: the event's parent is the
   /// thread's previous event (or a one-shot override installed by whatever
@@ -419,14 +521,15 @@ class Machine {
   /// thread causes on other processors (invalidations pushed at a
   /// release), which hang off the thread's current event as siblings
   /// rather than extending its chain.
-  void note_side_event(trace::EventKind k, ProcId p, const ThreadState* t,
-                       SiteId site = trace::kNoSite, std::uint64_t a0 = 0,
-                       std::uint64_t a1 = 0) {
-    if (obs_ == nullptr) return;
-    obs_->event(k, procs_[p].clock, p,
-                t != nullptr ? t->id : trace::kNoThread, site, a0, a1,
-                t != nullptr ? t->obs_chain : trace::kNoChain,
-                t != nullptr ? t->obs_last_event : trace::kNoEvent);
+  std::uint64_t note_side_event(trace::EventKind k, ProcId p,
+                                const ThreadState* t,
+                                SiteId site = trace::kNoSite,
+                                std::uint64_t a0 = 0, std::uint64_t a1 = 0) {
+    if (obs_ == nullptr) return trace::kNoEvent;
+    return obs_->event(k, procs_[p].clock, p,
+                       t != nullptr ? t->id : trace::kNoThread, site, a0, a1,
+                       t != nullptr ? t->obs_chain : trace::kNoChain,
+                       t != nullptr ? t->obs_last_event : trace::kNoEvent);
   }
 
   void unlink_item(WorkItem* w);
@@ -455,7 +558,11 @@ class Machine {
   /// write-through message carries them). Inline: runs on every tracked
   /// write, and the common case is a single line.
   void track_write(GlobalAddr a, std::uint32_t size) {
-    ThreadState& t = *cur_thread_;
+    track_write_for(*cur_thread_, a, size);
+  }
+  /// The same, for an explicit thread: coherence-op completions run in
+  /// event context where no thread is "current".
+  void track_write_for(ThreadState& t, GlobalAddr a, std::uint32_t size) {
     t.written.add(a.proc());
     if (!tracks_writes(cfg_.scheme)) return;
     std::uint32_t done = 0;
@@ -464,9 +571,10 @@ class Machine {
       const std::uint32_t line_off = cur.raw() % kLineBytes;
       const std::uint32_t chunk = std::min(size - done, kLineBytes - line_off);
       HomePageInfo& info = directory_.page(cur.page_id());
-      charge(info.shared ? cfg_.costs.write_track_shared
-                         : cfg_.costs.write_track_unshared,
-             trace::CycleBucket::kCoherence);
+      charge_to(t.proc,
+                info.shared ? cfg_.costs.write_track_shared
+                            : cfg_.costs.write_track_unshared,
+                trace::CycleBucket::kCoherence);
       ++stats_.tracked_writes;
       const std::uint32_t mask = 1u << cur.line_in_page();
       t.write_log.record(cur.page_id(), mask);
@@ -533,6 +641,51 @@ class Machine {
   }
   /// Returns true if the page needed a timestamp round trip.
   bool revalidate_suspect_page(ProcId p, SoftwareCache::PageEntry& entry);
+
+  /// Would this cached access need at least one wire round trip (a line
+  /// fill or a bilateral timestamp check)? Pure probe: no charges, no MRU
+  /// or chain perturbation — decides whether the access suspends onto the
+  /// coherence request/reply protocol. Fault plane only.
+  [[nodiscard]] bool coherence_needs_wire(ProcId p, GlobalAddr a,
+                                          std::uint32_t size,
+                                          bool is_write) const {
+    const SoftwareCache& c = procs_[p].cache;
+    std::uint32_t done = 0;
+    while (done < size) {
+      const GlobalAddr cur = a.plus(done);
+      const std::uint32_t line_off = cur.raw() % kLineBytes;
+      const std::uint32_t chunk = std::min(size - done, kLineBytes - line_off);
+      const SoftwareCache::PageEntry* e = c.peek(cur.page_id());
+      if (e == nullptr) {
+        if (!is_write) return true;  // first touch: the read must fill
+      } else {
+        if (e->suspect && cfg_.scheme == Coherence::kBilateral) return true;
+        if (!is_write && (e->valid & (1u << cur.line_in_page())) == 0) {
+          return true;  // read miss
+        }
+      }
+      done += chunk;
+    }
+    return false;
+  }
+
+  // Coherence request/reply protocol (fault plane only). Issue paths run
+  // requester-side; apply paths run from the event queue. All cache and
+  // directory mutation for fills and timestamp checks happens at
+  // reply-apply time, host-atomic with the data copy, so duplicated
+  // requests and replies are idempotent by construction.
+  void advance_coherence_op(CoherenceOp* op, Cycles now);
+  void finish_coherence_op(CoherenceOp* op, Cycles now);
+  void issue_fill_request(CoherenceOp* op, std::uint32_t page_id,
+                          std::uint32_t line);
+  void issue_ts_check_request(CoherenceOp* op, std::uint32_t page_id);
+  void apply_fill_request(const Event& e);     ///< home side (stateless)
+  void apply_fill_reply(const Event& e);       ///< requester side
+  void apply_ts_check_request(const Event& e); ///< home side (stateless)
+  void apply_ts_check_reply(const Event& e);   ///< requester side
+  void apply_invalidate_push(const Event& e);  ///< sharer side (timing only)
+  CoherenceOp* alloc_coherence_op();
+  void free_coherence_op(CoherenceOp* op);
   void home_copy(GlobalAddr a, void* buf, std::uint32_t size, bool is_write) {
     std::byte* home = heap_.home_ptr(a, size);
     if (is_write) {
@@ -571,6 +724,13 @@ class Machine {
   trace::Observer* obs_ = nullptr;
   /// Present only when RunConfig carried an enabled fault spec.
   std::unique_ptr<fault::FaultPlane> fault_;
+  /// Coherence-op pool (stable addresses; in-flight replies hold raw
+  /// pointers guarded by the fault plane's request-table tombstones).
+  std::deque<CoherenceOp> coherence_ops_;
+  std::vector<CoherenceOp*> coherence_op_free_;
+  /// One-shot flag set by access() when the failed access should suspend
+  /// onto the coherence protocol rather than migrate.
+  bool coherent_suspend_ = false;
 
   Machine* prev_machine_ = nullptr;
   static thread_local Machine* current_;

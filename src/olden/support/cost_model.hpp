@@ -99,6 +99,11 @@ struct CostModel {
   Cycles ack_recv = 20;
   /// Sender-side cost of re-marshalling + re-injecting a timed-out message.
   Cycles retransmit_send = 300;
+  /// One-way wire transit for a coherence message (fill request/reply,
+  /// push invalidation, timestamp check) once it rides the lossy wire.
+  /// Half of `cache_miss` minus the handler occupancies, so a fault-free
+  /// round trip stays in the neighborhood of the synchronous charge.
+  Cycles coherence_wire = 140;
 
   // --- allocation -------------------------------------------------------------
   /// ALLOC library call (local bump allocation).

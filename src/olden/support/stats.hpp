@@ -6,12 +6,40 @@
 // and the number of pages ever cached.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "olden/support/require.hpp"
 #include "olden/support/types.hpp"
 
 namespace olden {
+
+/// Classes of logical messages the reliable-delivery layer carries. The
+/// first three ride PR 3's ack/retransmit protocol; the last three are the
+/// coherence request/reply messages (fills, push invalidations, bilateral
+/// timestamp checks). Per-class fault statistics are indexed by this enum.
+enum class MsgClass : std::uint8_t {
+  kMigration,
+  kReturnStub,
+  kFutureResolve,
+  kFill,
+  kInvalidate,
+  kTsCheck,
+};
+
+inline constexpr std::size_t kNumMsgClasses = 6;
+
+[[nodiscard]] constexpr const char* to_string(MsgClass c) {
+  switch (c) {
+    case MsgClass::kMigration: return "migration";
+    case MsgClass::kReturnStub: return "return_stub";
+    case MsgClass::kFutureResolve: return "future_resolve";
+    case MsgClass::kFill: return "fill";
+    case MsgClass::kInvalidate: return "invalidate";
+    case MsgClass::kTsCheck: return "ts_check";
+  }
+  return "?";
+}
 
 struct MachineStats {
   // --- heap references, by outcome --------------------------------------
@@ -75,6 +103,24 @@ struct MachineStats {
   std::uint64_t hiccups_injected = 0;
   /// Total stall cycles those hiccups added (accounted under `idle`).
   std::uint64_t hiccup_cycles = 0;
+  /// Coherence request/reply layer: requests issued (fills + timestamp
+  /// checks; each is answered by an idempotent reply that doubles as the
+  /// acknowledgement).
+  std::uint64_t coherence_requests = 0;
+  /// Surplus replies discarded because the request they answered had
+  /// already been satisfied (a retransmitted request re-serviced after the
+  /// original reply got through). Kept separate from
+  /// `duplicates_suppressed`, which counts wire-level duplicate arrivals.
+  std::uint64_t replies_ignored = 0;
+  /// Per-message-class decomposition of the aggregate fault counters
+  /// above, indexed by MsgClass. Ack/reply trouble is attributed to the
+  /// class of the data message it serves, so each array sums exactly to
+  /// its aggregate (enforced by check_invariants).
+  std::uint64_t class_sent[kNumMsgClasses] = {};
+  std::uint64_t class_drops[kNumMsgClasses] = {};
+  std::uint64_t class_dups[kNumMsgClasses] = {};
+  std::uint64_t class_delays[kNumMsgClasses] = {};
+  std::uint64_t class_retries[kNumMsgClasses] = {};
 
   // --- allocation ---------------------------------------------------------
   std::uint64_t allocations = 0;
@@ -133,6 +179,27 @@ struct MachineStats {
                   "more duplicates suppressed than were ever created");
     OLDEN_REQUIRE(hiccups_injected == 0 || hiccup_cycles >= hiccups_injected,
                   "hiccups injected without stall cycles");
+    // Per-class fault decomposition: every aggregate fault counter must be
+    // exactly the sum of its per-class parts — a message the injector
+    // touched always belongs to exactly one class.
+    std::uint64_t sent = 0, drops = 0, dups = 0, delays = 0, retries = 0;
+    for (std::size_t c = 0; c < kNumMsgClasses; ++c) {
+      sent += class_sent[c];
+      drops += class_drops[c];
+      dups += class_dups[c];
+      delays += class_delays[c];
+      retries += class_retries[c];
+    }
+    OLDEN_REQUIRE(sent == fault_messages,
+                  "per-class sends do not sum to fault_messages");
+    OLDEN_REQUIRE(drops == fault_drops,
+                  "per-class drops do not sum to fault_drops");
+    OLDEN_REQUIRE(dups == fault_duplicates,
+                  "per-class duplicates do not sum to fault_duplicates");
+    OLDEN_REQUIRE(delays == fault_delays,
+                  "per-class delays do not sum to fault_delays");
+    OLDEN_REQUIRE(retries == retransmissions,
+                  "per-class retries do not sum to retransmissions");
   }
 };
 

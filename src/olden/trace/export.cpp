@@ -298,6 +298,21 @@ std::string stats_json(const Observer& obs) {
       first = false;
       append_kv(out, k.c_str(), v, /*comma=*/false);
     }
+    out += "},\"fault_classes\":{";
+    first = true;
+    for (std::size_t i = 0; i < kNumMsgClasses; ++i) {
+      if (!first) out += ",";
+      first = false;
+      out += "\"";
+      out += to_string(static_cast<MsgClass>(i));
+      out += "\":{";
+      append_kv(out, "sent", run.class_sent[i]);
+      append_kv(out, "drops", run.class_drops[i]);
+      append_kv(out, "dups", run.class_dups[i]);
+      append_kv(out, "delays", run.class_delays[i]);
+      append_kv(out, "retries", run.class_retries[i], /*comma=*/false);
+      out += "}";
+    }
     out += "},\"histograms\":{";
     first = true;
     for (std::size_t h = 0; h < kNumHists; ++h) {

@@ -104,8 +104,25 @@ void Observer::finish(const Machine& m) {
   c["acks_sent"] = s.acks_sent;
   c["hiccups_injected"] = s.hiccups_injected;
   c["hiccup_cycles"] = s.hiccup_cycles;
+  c["coherence_requests"] = s.coherence_requests;
+  c["replies_ignored"] = s.replies_ignored;
+  // Retry decomposition for the three coherence classes, by name — the
+  // full per-class matrix lives in the `fault_classes` export object.
+  c["fills_retried"] =
+      s.class_retries[static_cast<std::size_t>(MsgClass::kFill)];
+  c["invalidations_retried"] =
+      s.class_retries[static_cast<std::size_t>(MsgClass::kInvalidate)];
+  c["ts_checks_retried"] =
+      s.class_retries[static_cast<std::size_t>(MsgClass::kTsCheck)];
   c["threads_created"] = m.threads_created();
   c["makespan_cycles"] = cur_.makespan;
+  for (std::size_t i = 0; i < kNumMsgClasses; ++i) {
+    cur_.class_sent[i] = s.class_sent[i];
+    cur_.class_drops[i] = s.class_drops[i];
+    cur_.class_dups[i] = s.class_dups[i];
+    cur_.class_delays[i] = s.class_delays[i];
+    cur_.class_retries[i] = s.class_retries[i];
+  }
 
   if (sink_ != nullptr) sink_->end_run(cur_.makespan, cur_.events_dropped);
   runs_.push_back(std::move(cur_));

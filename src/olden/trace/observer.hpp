@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "olden/profile/profile.hpp"
+#include "olden/support/stats.hpp"
 #include "olden/support/types.hpp"
 #include "olden/trace/streaming_sink.hpp"
 #include "olden/trace/trace.hpp"
@@ -56,6 +57,13 @@ struct RunRecord {
   std::map<std::string, std::uint64_t> counters;
   std::array<Histogram, kNumHists> hists{};
   std::array<std::uint64_t, kNumEventKinds> event_counts{};
+  /// Per-message-class fault decomposition (mirrors MachineStats; exported
+  /// as the stats JSON `fault_classes` object, keyed by to_string(MsgClass)).
+  std::array<std::uint64_t, kNumMsgClasses> class_sent{};
+  std::array<std::uint64_t, kNumMsgClasses> class_drops{};
+  std::array<std::uint64_t, kNumMsgClasses> class_dups{};
+  std::array<std::uint64_t, kNumMsgClasses> class_delays{};
+  std::array<std::uint64_t, kNumMsgClasses> class_retries{};
 
   std::vector<TraceEvent> events;
   std::uint64_t events_dropped = 0;
@@ -246,7 +254,11 @@ bool write_binary_trace(const Observer& obs, const std::string& path,
 /// v2: adds the `retry` cycle bucket and the fault-plane counters
 /// (fault_messages, fault_drops, ..., hiccup_cycles); see
 /// docs/ROBUSTNESS.md.
-inline constexpr int kStatsSchemaVersion = 2;
+/// v3: adds the coherence request/reply counters (coherence_requests,
+/// replies_ignored, fills_retried, invalidations_retried,
+/// ts_checks_retried) and the per-run `fault_classes` object splitting
+/// sent/drops/dups/delays/retries by message class.
+inline constexpr int kStatsSchemaVersion = 3;
 [[nodiscard]] std::string stats_json(const Observer& obs);
 bool write_stats_json(const Observer& obs, const std::string& path,
                       std::string* err = nullptr);

@@ -53,9 +53,21 @@ enum class EventKind : std::uint8_t {
   kRetransmit,       ///< arg0 = dst proc, arg1 = attempt number
   kDupSuppressed,    ///< arg0 = src proc, arg1 = channel sequence number
   kHiccup,           ///< arg0 = stall cycles injected on `proc`
+  // Coherence request/reply wire messages (fault plane only): under fault
+  // injection, cache fills, push invalidations and bilateral timestamp
+  // checks become explicit messages. Appended after the fault kinds so
+  // existing binary traces keep their encodings. Fault events attributing
+  // wire trouble to these messages encode the message class in arg0's
+  // upper bits (see fault_plane.cpp).
+  kFillRequest,      ///< arg0 = page id, arg1 = line index
+  kFillReply,        ///< arg0 = page id, arg1 = line index (at the home)
+  kInvalidatePush,   ///< arg0 = page id, arg1 = sharer proc (at the sender)
+  kInvalidateAck,    ///< arg0 = page id, arg1 = acking proc (at the sender)
+  kTsCheckRequest,   ///< arg0 = page id, arg1 = home proc
+  kTsCheckReply,     ///< arg0 = page id, arg1 = home version (at the home)
 };
 
-inline constexpr std::size_t kNumEventKinds = 21;
+inline constexpr std::size_t kNumEventKinds = 27;
 
 [[nodiscard]] constexpr const char* to_string(EventKind k) {
   switch (k) {
@@ -80,6 +92,12 @@ inline constexpr std::size_t kNumEventKinds = 21;
     case EventKind::kRetransmit: return "retransmit";
     case EventKind::kDupSuppressed: return "dup_suppressed";
     case EventKind::kHiccup: return "hiccup";
+    case EventKind::kFillRequest: return "fill_request";
+    case EventKind::kFillReply: return "fill_reply";
+    case EventKind::kInvalidatePush: return "invalidate_push";
+    case EventKind::kInvalidateAck: return "invalidate_ack";
+    case EventKind::kTsCheckRequest: return "ts_check_request";
+    case EventKind::kTsCheckReply: return "ts_check_reply";
   }
   return "?";
 }

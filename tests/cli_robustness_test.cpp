@@ -69,6 +69,41 @@ TEST(CliDeath, MalformedFaultSpecExits2) {
               ::testing::ExitedWithCode(2), "--faults");
 }
 
+TEST(CliDeath, FaultSpecErrorNamesTheTokenWithoutStutter) {
+  // The parser's own messages carry a "faults: " prefix; the flag handler
+  // must strip it so the user sees "--faults: duplicate key 'drop'", not
+  // "--faults: faults: duplicate key 'drop'". Anchoring the regex on the
+  // program name proves the prefix appears exactly once.
+  EXPECT_EXIT(parse_args({"--faults=drop=0.1,drop=0.2"}),
+              ::testing::ExitedWithCode(2),
+              "olden_tests: --faults: duplicate key 'drop'");
+}
+
+TEST(CliDeath, DuplicateFaultKeyExits2) {
+  EXPECT_EXIT(parse_args({"--faults=timeout=100,timeout=200"}),
+              ::testing::ExitedWithCode(2), "duplicate key 'timeout'");
+}
+
+TEST(CliDeath, OverflowingFaultTimeoutExits2) {
+  EXPECT_EXIT(parse_args({"--faults=timeout=99999999999999999999"}),
+              ::testing::ExitedWithCode(2), "positive integer");
+}
+
+TEST(CliDeath, EmptyFaultFieldExits2) {
+  EXPECT_EXIT(parse_args({"--faults=drop=0.1,,dup=0.1"}),
+              ::testing::ExitedWithCode(2), "expected key=value");
+}
+
+TEST(CliDeath, UnknownFaultClassExits2) {
+  EXPECT_EXIT(parse_args({"--faults=drop=0.1,classes=fill:bogus"}),
+              ::testing::ExitedWithCode(2), "unknown class 'bogus'");
+}
+
+TEST(CliDeath, DuplicateFaultClassExits2) {
+  EXPECT_EXIT(parse_args({"--faults=drop=0.1,classes=fill:fill"}),
+              ::testing::ExitedWithCode(2), "duplicate class 'fill'");
+}
+
 TEST(CliDeath, UnknownFlagExits2) {
   EXPECT_EXIT(parse_args({"--frobnicate"}), ::testing::ExitedWithCode(2),
               "unknown flag");
@@ -84,6 +119,17 @@ TEST(CliParse, WellFormedValuesLand) {
   EXPECT_DOUBLE_EQ(cli.faults()->drop, 0.25);
   EXPECT_EQ(cli.faults()->ack_timeout, 900u);
   EXPECT_EQ(cli.fault_seed(), 7u);
+}
+
+TEST(CliParse, FaultClassSelectorLands) {
+  Argv a({"--faults=drop=0.2,classes=fill:ts_check,timeout=900"});
+  ObsCli cli;
+  cli.parse(&a.argc, a.ptrs.data());
+  ASSERT_NE(cli.faults(), nullptr);
+  EXPECT_TRUE(cli.faults()->class_enabled(MsgClass::kFill));
+  EXPECT_TRUE(cli.faults()->class_enabled(MsgClass::kTsCheck));
+  EXPECT_FALSE(cli.faults()->class_enabled(MsgClass::kMigration));
+  EXPECT_FALSE(cli.faults()->class_enabled(MsgClass::kInvalidate));
 }
 
 TEST(CliParse, FaultsNoneStaysDisabled) {

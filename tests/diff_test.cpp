@@ -255,6 +255,43 @@ TEST(Diff, StreamingProfileMatchesInMemory) {
   }
 }
 
+/// A clean run diffed against a coherence-faulted run attributes the new
+/// retransmissions to the coherence classes — never to migration, never
+/// to "unknown" (the encoding is present in freshly produced traces).
+TEST(Diff, RetryAttributionSplitsByMessageClass) {
+  fault::FaultSpec spec;
+  std::string err;
+  ASSERT_TRUE(fault::parse_fault_spec(
+      "drop=0.3,dup=0.2,timeout=2500,classes=fill:invalidate:ts_check", &spec,
+      &err))
+      << err;
+  const analyze::DiffProfile clean =
+      profile_cell("EM3D", Coherence::kLocalKnowledge);
+  const analyze::DiffProfile faulty =
+      profile_cell("EM3D", Coherence::kLocalKnowledge, &spec);
+
+  const auto idx = [](MsgClass c) { return static_cast<std::size_t>(c); };
+  EXPECT_EQ(clean.retries_by_class, decltype(clean.retries_by_class){});
+  EXPECT_GT(faulty.retries_by_class[idx(MsgClass::kFill)], 0u);
+  EXPECT_EQ(faulty.retries_by_class[idx(MsgClass::kMigration)], 0u);
+  EXPECT_EQ(faulty.retries_by_class[kNumMsgClasses], 0u);  // no "unknown"
+
+  analyze::DiffReport rep;
+  ASSERT_TRUE(analyze::diff_runs(clean, faulty, 10, &rep, &err)) << err;
+  const analyze::DiffRow& fill = rep.retries_by_class[idx(MsgClass::kFill)];
+  EXPECT_EQ(fill.a, 0u);
+  EXPECT_EQ(fill.b, faulty.retries_by_class[idx(MsgClass::kFill)]);
+  EXPECT_EQ(fill.delta, static_cast<std::int64_t>(fill.b));
+
+  const std::string json = analyze::json_diff({rep});
+  EXPECT_NE(json.find("\"retries_by_class\""), std::string::npos);
+  EXPECT_NE(json.find("\"unknown\""), std::string::npos);
+  const std::string human = analyze::human_diff(rep);
+  EXPECT_NE(human.find("retransmits by message class"), std::string::npos)
+      << human;
+  EXPECT_NE(human.find("fill"), std::string::npos) << human;
+}
+
 /// Determinism: the same workload pair diffed twice — and diffed from
 /// traces produced by the host-parallel adopt_runs_from merge instead of
 /// serially — yields byte-identical documents.

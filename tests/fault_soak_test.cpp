@@ -63,5 +63,103 @@ INSTANTIATE_TEST_SUITE_P(
                                          Coherence::kEagerGlobal,
                                          Coherence::kBilateral)));
 
+// --- coherence-class soak --------------------------------------------------
+//
+// Same sweep, but the injector is restricted to the coherence message
+// classes (fill, invalidate, ts_check): migrations and return stubs ride
+// a perfect wire while every cache fill, invalidation push and timestamp
+// round trip can drop, duplicate or straggle. The contracts are the same
+// — fault-free checksums, and a clean drain (no pending protocol state
+// left behind) after every seed.
+
+class CoherenceFaultSoak : public ::testing::TestWithParam<
+                               std::tuple<const char*, Coherence>> {};
+
+TEST_P(CoherenceFaultSoak, ChecksumsInvariantAndProtocolDrainsClean) {
+  const auto [name, scheme] = GetParam();
+  const Benchmark* b = find_benchmark(name);
+  ASSERT_NE(b, nullptr);
+
+  fault::FaultSpec spec;
+  std::string err;
+  // The timeout must exceed the slowest fault-free round trip (a
+  // migration ack, ~1770 cycles), or classes riding the perfect wire
+  // would retransmit spuriously and trip the migration rows below.
+  ASSERT_TRUE(fault::parse_fault_spec(
+      "drop=0.15,dup=0.1,delay=0.25:700,timeout=2500,"
+      "classes=fill:invalidate:ts_check",
+      &spec, &err))
+      << err;
+
+  BenchConfig clean_cfg{.nprocs = 4, .scheme = scheme};
+  clean_cfg.tiny = true;
+  const BenchResult clean = b->run(clean_cfg);
+
+  for (std::uint64_t seed : kFaultSeeds) {
+    BenchConfig cfg = clean_cfg;
+    cfg.faults = &spec;
+    cfg.fault_seed = seed;
+    const BenchResult r = b->run(cfg);
+    EXPECT_EQ(r.checksum, clean.checksum) << name << " seed " << seed;
+    // A run that terminates drained its protocol state (the machine
+    // asserts this internally); the per-class ledger must agree that only
+    // coherence classes were ever touched.
+    const auto idx = [](MsgClass c) { return static_cast<std::size_t>(c); };
+    EXPECT_EQ(r.stats.class_drops[idx(MsgClass::kMigration)], 0u);
+    EXPECT_EQ(r.stats.class_dups[idx(MsgClass::kMigration)], 0u);
+    EXPECT_EQ(r.stats.class_retries[idx(MsgClass::kMigration)], 0u);
+    EXPECT_EQ(r.stats.class_drops[idx(MsgClass::kReturnStub)], 0u);
+    EXPECT_EQ(r.stats.class_retries[idx(MsgClass::kReturnStub)], 0u);
+    const std::uint64_t coherence_drops =
+        r.stats.class_drops[idx(MsgClass::kFill)] +
+        r.stats.class_drops[idx(MsgClass::kInvalidate)] +
+        r.stats.class_drops[idx(MsgClass::kTsCheck)];
+    EXPECT_EQ(r.stats.fault_drops, coherence_drops)
+        << name << " seed " << seed;
+    EXPECT_EQ(r.stats.class_retries[idx(MsgClass::kFill)] +
+                  r.stats.class_retries[idx(MsgClass::kInvalidate)] +
+                  r.stats.class_retries[idx(MsgClass::kTsCheck)],
+              r.stats.retransmissions)
+        << name << " seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TreeAddAndEm3d, CoherenceFaultSoak,
+    ::testing::Combine(::testing::Values("TreeAdd", "EM3D"),
+                       ::testing::Values(Coherence::kLocalKnowledge,
+                                         Coherence::kEagerGlobal,
+                                         Coherence::kBilateral)));
+
+// Breadth over depth: every benchmark in the suite, every scheme, one
+// coherence-fault schedule — each cell's checksum must match the
+// fault-free run and reproduce exactly on a rerun.
+TEST(CoherenceFaultSuite, AllBenchmarksAllSchemesStayCorrect) {
+  fault::FaultSpec spec;
+  std::string err;
+  ASSERT_TRUE(fault::parse_fault_spec(
+      "drop=0.1,dup=0.05,delay=0.2:500,timeout=1200,"
+      "classes=fill:invalidate:ts_check",
+      &spec, &err))
+      << err;
+  for (const Benchmark* b : suite()) {
+    for (Coherence scheme : {Coherence::kLocalKnowledge,
+                             Coherence::kEagerGlobal, Coherence::kBilateral}) {
+      BenchConfig cfg{.nprocs = 4, .scheme = scheme};
+      cfg.tiny = true;
+      const BenchResult clean = b->run(cfg);
+      cfg.faults = &spec;
+      cfg.fault_seed = 21;
+      const BenchResult faulty = b->run(cfg);
+      const BenchResult again = b->run(cfg);
+      EXPECT_EQ(faulty.checksum, clean.checksum)
+          << b->name() << " scheme " << static_cast<int>(scheme);
+      EXPECT_EQ(again.checksum, faulty.checksum) << b->name();
+      EXPECT_EQ(again.total_cycles, faulty.total_cycles)
+          << b->name() << " scheme " << static_cast<int>(scheme);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace olden::bench

@@ -9,6 +9,7 @@
 #include "olden/fault/fault_plane.hpp"
 #include "olden/fault/fault_spec.hpp"
 #include "olden/olden.hpp"
+#include "olden/profile/profile.hpp"
 #include "olden/trace/observer.hpp"
 
 namespace olden {
@@ -74,6 +75,13 @@ TEST(FaultSpecParse, RejectsMalformedSpecs) {
       "retries=100000",       // past the documented cap
       "frobnicate=1",         // unknown key
       "drop=0.1,,dup=0.1",    // empty field
+      "drop=0.1,drop=0.2",    // duplicate key (last-wins would hide typos)
+      "timeout=99999999999999999999",  // overflows uint64
+      "burst=100:50:inf",     // non-finite burst factor
+      "burst=100:50:nan",     // non-finite burst factor
+      "classes=",             // empty class mask
+      "classes=fill:fill",    // duplicate class
+      "classes=fill:frobs",   // unknown class
   };
   for (const char* text : bad) {
     FaultSpec s;
@@ -81,6 +89,52 @@ TEST(FaultSpecParse, RejectsMalformedSpecs) {
     EXPECT_FALSE(parse_fault_spec(text, &s, &err)) << text;
     EXPECT_FALSE(err.empty()) << text;
   }
+}
+
+TEST(FaultSpecParse, ErrorsNameTheOffendingToken) {
+  // A spec error in a long CI invocation is only actionable if the
+  // message points at the exact token that failed.
+  const struct {
+    const char* text;
+    const char* token;
+  } cases[] = {
+      {"drop=0.1,drop=0.2", "duplicate key 'drop'"},
+      {"timeout=99999999999999999999", "99999999999999999999"},
+      {"burst=100:50:inf", "burst factor"},
+      {"classes=fill:frobs", "unknown class 'frobs'"},
+      {"classes=fill:fill", "duplicate class 'fill'"},
+      {"classes=", "unknown class ''"},
+      {"drop=0.1,,dup=0.1", "expected key=value"},
+      {"warble=1", "unknown key 'warble'"},
+  };
+  for (const auto& c : cases) {
+    FaultSpec s;
+    std::string err;
+    ASSERT_FALSE(parse_fault_spec(c.text, &s, &err)) << c.text;
+    EXPECT_NE(err.find(c.token), std::string::npos)
+        << c.text << " -> " << err;
+  }
+}
+
+TEST(FaultSpecParse, ClassMaskRoundTripsAndGates) {
+  FaultSpec s;
+  std::string err;
+  ASSERT_TRUE(
+      parse_fault_spec("drop=0.5,classes=fill:ts_check,timeout=900", &s, &err))
+      << err;
+  EXPECT_TRUE(s.class_enabled(MsgClass::kFill));
+  EXPECT_TRUE(s.class_enabled(MsgClass::kTsCheck));
+  EXPECT_FALSE(s.class_enabled(MsgClass::kMigration));
+  EXPECT_FALSE(s.class_enabled(MsgClass::kInvalidate));
+
+  // The canonical rendering re-parses to the same mask; an omitted
+  // classes key means every class.
+  FaultSpec s2;
+  ASSERT_TRUE(parse_fault_spec(fault::to_string(s), &s2, &err)) << err;
+  EXPECT_EQ(s2.class_mask, s.class_mask);
+  FaultSpec all;
+  ASSERT_TRUE(parse_fault_spec("drop=0.1", &all, &err)) << err;
+  EXPECT_EQ(all.class_mask, FaultSpec::kAllClasses);
 }
 
 // --- protocol correctness --------------------------------------------------
@@ -195,20 +249,111 @@ TEST(FaultPlane, DisabledSpecIsByteIdenticalToNoSpec) {
   std::string err;
   ASSERT_TRUE(parse_fault_spec("none", &disabled, &err)) << err;
 
-  std::string bytes[2];
-  const FaultSpec* specs[2] = {nullptr, &disabled};
-  for (int i = 0; i < 2; ++i) {
-    trace::Observer obs;
-    obs.set_trace_enabled(true);
-    obs.begin_run("disabled-ab");
-    bench::BenchConfig cfg{.nprocs = 4};
-    cfg.tiny = true;
-    cfg.observer = &obs;
-    cfg.faults = specs[i];
-    (void)b->run(cfg);
-    bytes[i] = trace::binary_trace_bytes(obs);
+  // The A/B covers every observability artifact — trace, stats document,
+  // profile — under every coherence scheme: installing a disabled plane
+  // must not perturb a single byte anywhere.
+  for (Coherence scheme : {Coherence::kLocalKnowledge, Coherence::kEagerGlobal,
+                           Coherence::kBilateral}) {
+    std::string traces[2], stats[2], profiles[2];
+    const FaultSpec* specs[2] = {nullptr, &disabled};
+    for (int i = 0; i < 2; ++i) {
+      trace::Observer obs;
+      obs.set_trace_enabled(true);
+      obs.enable_profile();
+      obs.begin_run("disabled-ab");
+      bench::BenchConfig cfg{.nprocs = 4, .scheme = scheme};
+      cfg.tiny = true;
+      cfg.observer = &obs;
+      cfg.faults = specs[i];
+      (void)b->run(cfg);
+      traces[i] = trace::binary_trace_bytes(obs);
+      stats[i] = trace::stats_json(obs);
+      profiles[i] = profile::profile_json(obs);
+    }
+    EXPECT_EQ(traces[0], traces[1]) << static_cast<int>(scheme);
+    EXPECT_EQ(stats[0], stats[1]) << static_cast<int>(scheme);
+    EXPECT_EQ(profiles[0], profiles[1]) << static_cast<int>(scheme);
   }
-  EXPECT_EQ(bytes[0], bytes[1]);
+}
+
+// --- coherence traffic on the lossy wire -----------------------------------
+
+/// A spec that only faults coherence classes, aggressively enough that
+/// fills retransmit while late replies are still in flight (timeout well
+/// under the max injected delay), forcing duplicate replies.
+FaultSpec coherence_spec() {
+  FaultSpec s;
+  std::string err;
+  EXPECT_TRUE(parse_fault_spec(
+      "drop=0.25,dup=0.4,delay=0.3:900,timeout=600,"
+      "classes=fill:invalidate:ts_check",
+      &s, &err))
+      << err;
+  return s;
+}
+
+TEST(FaultPlane, CoherenceChecksumsSurviveFaultsAcrossSchemes) {
+  // EM3D is an "M+C" benchmark: the heuristic picks cached sites, so the
+  // kernel actually generates fill (and, per scheme, invalidate/ts-check)
+  // traffic for the injector to chew on.
+  const bench::Benchmark* b = bench::find_benchmark("EM3D");
+  ASSERT_NE(b, nullptr);
+  const FaultSpec spec = coherence_spec();
+  for (Coherence scheme : {Coherence::kLocalKnowledge, Coherence::kEagerGlobal,
+                           Coherence::kBilateral}) {
+    bench::BenchConfig cfg{.nprocs = 4, .scheme = scheme};
+    cfg.tiny = true;
+    const bench::BenchResult clean = b->run(cfg);
+
+    cfg.faults = &spec;
+    cfg.fault_seed = 9;
+    const bench::BenchResult faulty = b->run(cfg);
+
+    EXPECT_EQ(faulty.checksum, clean.checksum) << static_cast<int>(scheme);
+    // Coherence traffic actually rode the lossy wire...
+    EXPECT_GT(faulty.stats.coherence_requests, 0u);
+    EXPECT_GT(
+        faulty.stats.class_sent[static_cast<std::size_t>(MsgClass::kFill)],
+        0u);
+    // ...and the excluded migration class never lost a message.
+    EXPECT_EQ(
+        faulty.stats
+            .class_drops[static_cast<std::size_t>(MsgClass::kMigration)],
+        0u);
+    EXPECT_EQ(
+        faulty.stats
+            .class_dups[static_cast<std::size_t>(MsgClass::kMigration)],
+        0u);
+  }
+}
+
+TEST(FaultPlane, DuplicatedRepliesAreIdempotent) {
+  // Timeout far below the delay ceiling: requests retransmit while the
+  // original (delayed) reply is still in flight, so the requester sees
+  // surplus replies. They must be counted and discarded, never
+  // double-applied — the checksum is the witness.
+  const bench::Benchmark* b = bench::find_benchmark("EM3D");
+  ASSERT_NE(b, nullptr);
+  const FaultSpec spec = coherence_spec();
+  for (Coherence scheme :
+       {Coherence::kLocalKnowledge, Coherence::kBilateral}) {
+    bench::BenchConfig cfg{.nprocs = 4, .scheme = scheme};
+    cfg.tiny = true;
+    const bench::BenchResult clean = b->run(cfg);
+
+    bool saw_surplus = false;
+    for (std::uint64_t seed : {3u, 11u, 27u}) {
+      cfg.faults = &spec;
+      cfg.fault_seed = seed;
+      const bench::BenchResult faulty = b->run(cfg);
+      EXPECT_EQ(faulty.checksum, clean.checksum)
+          << static_cast<int>(scheme) << " seed " << seed;
+      saw_surplus = saw_surplus || faulty.stats.replies_ignored > 0;
+    }
+    // At least one schedule per scheme actually produced a surplus reply;
+    // otherwise this test proves nothing about idempotency.
+    EXPECT_TRUE(saw_surplus) << static_cast<int>(scheme);
+  }
 }
 
 // --- watchdog --------------------------------------------------------------
@@ -243,11 +388,57 @@ TEST(FaultWatchdog, TotalDropBecomesStructuredDiagnostic) {
     EXPECT_GT(d.sim_time, 0u);
     EXPECT_GE(d.pending_messages, 1u);
     EXPECT_STREQ(d.payload, "migration");
+    EXPECT_STREQ(d.msg_class, "migration");
     EXPECT_EQ(d.src, 0u);
     EXPECT_EQ(d.dst, 1u);
+    // The per-channel load map points at the congested wire.
+    ASSERT_FALSE(d.channels.empty());
+    bool saw_stuck_channel = false;
+    for (const auto& ch : d.channels) {
+      if (ch.src == 0u && ch.dst == 1u && ch.unacked >= 1u) {
+        saw_stuck_channel = true;
+      }
+    }
+    EXPECT_TRUE(saw_stuck_channel);
     const std::string what = e.what();
     EXPECT_NE(what.find("watchdog"), std::string::npos) << what;
     EXPECT_NE(what.find("retry-cap-exceeded"), std::string::npos) << what;
+    EXPECT_NE(what.find("class migration"), std::string::npos) << what;
+    EXPECT_NE(what.find("unacked per channel"), std::string::npos) << what;
+  }
+}
+
+Task<std::int64_t> cached_read_root(Machine& m) {
+  auto n = m.alloc<Node>(1);
+  co_return co_await rd(n, &Node::val, SiteId{0});
+}
+
+TEST(FaultWatchdog, CoherenceRetryStormNamesTheMessageClass) {
+  FaultSpec spec;
+  std::string err;
+  // Only fill traffic is lossy — and 100% lossy, so the very first cache
+  // miss retransmits its fill request into the cap. The diagnostic must
+  // say so in coherence terms, not just "a message got stuck".
+  ASSERT_TRUE(parse_fault_spec(
+      "drop=1.0,timeout=200,retries=3,classes=fill", &spec, &err))
+      << err;
+  Machine m({.nprocs = 2, .faults = &spec, .fault_seed = 1});
+  m.set_site_mechanisms({Mechanism::kCache});
+  try {
+    (void)run_program(m, cached_read_root(m));
+    FAIL() << "a 100%-drop fill schedule must not terminate normally";
+  } catch (const fault::WatchdogError& e) {
+    const fault::WatchdogDiagnostic& d = e.diagnostic();
+    EXPECT_EQ(d.reason, "retry-cap-exceeded");
+    EXPECT_EQ(d.retries, 3u);
+    EXPECT_STREQ(d.payload, "fill_request");
+    EXPECT_STREQ(d.msg_class, "fill");
+    ASSERT_FALSE(d.channels.empty());
+    std::uint64_t unacked = 0;
+    for (const auto& ch : d.channels) unacked += ch.unacked;
+    EXPECT_GE(unacked, 1u);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("class fill"), std::string::npos) << what;
   }
 }
 

@@ -77,6 +77,20 @@ TEST(StatsInvariantsDeath, MoreBlockedTouchesThanFutures) {
   EXPECT_DEATH(s.check_invariants(), "more blocked touches");
 }
 
+TEST(StatsInvariantsDeath, ClassLedgerMustSumToAggregates) {
+  MachineStats s = consistent_stats();
+  s.fault_messages = 5;
+  s.class_sent[static_cast<std::size_t>(MsgClass::kFill)] = 4;  // 4 != 5
+  EXPECT_DEATH(s.check_invariants(), "per-class sends do not sum");
+}
+
+TEST(StatsInvariantsDeath, ClassRetriesMustSumToRetransmissions) {
+  MachineStats s = consistent_stats();
+  s.retransmissions = 2;
+  s.class_retries[static_cast<std::size_t>(MsgClass::kTsCheck)] = 1;
+  EXPECT_DEATH(s.check_invariants(), "per-class retries do not sum");
+}
+
 // --- remote_miss_percent -------------------------------------------------
 
 TEST(StatsInvariants, RemoteMissPercentCountsStallsOnce) {

@@ -5,11 +5,13 @@ Usage: check_stats_schema.py STATS.json [STATS2.json ...]
        check_stats_schema.py --diff DIFF.json [DIFF2.json ...]
        check_stats_schema.py --profile PROFILE.json [PROFILE2.json ...]
 
-Default mode checks the structural schema (version 2, documented in
+Default mode checks the structural schema (version 3, documented in
 docs/OBSERVABILITY.md) and the arithmetic invariants the exporter
 promises: per-processor cycle buckets sum to the makespan, histogram
-bucket counts sum to the histogram count, and event retention arithmetic
-is consistent. Exits non-zero with a message on the first violation.
+bucket counts sum to the histogram count, event retention arithmetic is
+consistent, and the per-message-class fault decomposition sums exactly
+to the aggregate fault counters. Exits non-zero with a message on the
+first violation.
 
 --diff validates `olden-analyze --diff --json` documents instead
 (diff_schema_version 1, documented in docs/ANALYSIS.md) and
@@ -34,9 +36,14 @@ Stdlib only, so it can run in any CI image.
 import json
 import sys
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 DIFF_SCHEMA_VERSION = 1
 PROFILE_SCHEMA_VERSION = 1
+
+MSG_CLASSES = ["migration", "return_stub", "future_resolve", "fill",
+               "invalidate", "ts_check"]
+
+FAULT_CLASS_KEYS = ["sent", "drops", "dups", "delays", "retries"]
 
 COUNTER_KEYS = {
     "local_reads", "local_writes",
@@ -52,6 +59,8 @@ COUNTER_KEYS = {
     "fault_messages", "fault_drops", "fault_duplicates", "fault_delays",
     "retransmissions", "duplicates_suppressed", "acks_sent",
     "hiccups_injected", "hiccup_cycles",
+    "coherence_requests", "replies_ignored",
+    "fills_retried", "invalidations_retried", "ts_checks_retried",
     "threads_created", "makespan_cycles",
 }
 
@@ -139,6 +148,38 @@ def check_run(run, idx):
     require(counters["duplicates_suppressed"]
             <= counters["fault_duplicates"] + counters["retransmissions"],
             f"{ctx}: more duplicates suppressed than were ever created")
+    require(counters["coherence_requests"] <= counters["fault_messages"],
+            f"{ctx}: more coherence requests than wire messages")
+
+    classes = run.get("fault_classes")
+    require(isinstance(classes, dict), f"{ctx}: missing fault_classes")
+    require(list(classes.keys()) == MSG_CLASSES,
+            f"{ctx}: fault_classes keys must be exactly {MSG_CLASSES}, "
+            f"in order")
+    agg = {key: 0 for key in FAULT_CLASS_KEYS}
+    for cls, row in classes.items():
+        cctx = f"{ctx} fault_classes[{cls!r}]"
+        require(isinstance(row, dict), f"{cctx}: must be an object")
+        require(list(row.keys()) == FAULT_CLASS_KEYS,
+                f"{cctx}: keys must be exactly {FAULT_CLASS_KEYS}, in order")
+        for key in FAULT_CLASS_KEYS:
+            check_counter(row, key, cctx)
+            agg[key] += row[key]
+    # The per-class decomposition must sum exactly to the aggregates: a
+    # message the injector touched belongs to exactly one class.
+    for key, counter in (("sent", "fault_messages"), ("drops", "fault_drops"),
+                         ("dups", "fault_duplicates"),
+                         ("delays", "fault_delays"),
+                         ("retries", "retransmissions")):
+        require(agg[key] == counters[counter],
+                f"{ctx}: fault_classes {key} sum to {agg[key]}, "
+                f"{counter} says {counters[counter]}")
+    for counter, cls in (("fills_retried", "fill"),
+                         ("invalidations_retried", "invalidate"),
+                         ("ts_checks_retried", "ts_check")):
+        require(counters[counter] == classes[cls]["retries"],
+                f"{ctx}: {counter} is {counters[counter]}, fault_classes "
+                f"says {classes[cls]['retries']}")
 
     hists = run.get("histograms")
     require(isinstance(hists, dict), f"{ctx}: missing histograms")
@@ -174,9 +215,12 @@ def check_run(run, idx):
 
 def check_document(doc, path):
     require(isinstance(doc, dict), f"{path}: top level must be an object")
-    require(doc.get("schema_version") == SCHEMA_VERSION,
-            f"{path}: schema_version must be {SCHEMA_VERSION}, "
-            f"got {doc.get('schema_version')!r}")
+    version = doc.get("schema_version")
+    require(isinstance(version, int), f"{path}: missing schema_version")
+    if version != SCHEMA_VERSION:
+        raise VersionError(
+            f"{path}: unknown schema_version {version} (this checker "
+            f"speaks {SCHEMA_VERSION})")
     require(doc.get("generator") == "olden-trace",
             f"{path}: generator must be 'olden-trace'")
     require(isinstance(doc.get("trace_truncated"), bool),
@@ -287,6 +331,16 @@ def check_diff(diff, idx):
     check_partition(diff.get("sites"), "sites", delta, "site", ctx)
     check_partition(diff.get("pages"), "pages", delta, "page", ctx)
     check_partition(diff.get("edges"), "edges", delta, "edge", ctx)
+
+    retries = diff.get("retries_by_class")
+    require(isinstance(retries, dict), f"{ctx}: missing retries_by_class")
+    require(list(retries.keys()) == MSG_CLASSES + ["unknown"],
+            f"{ctx}: retries_by_class keys must be exactly "
+            f"{MSG_CLASSES + ['unknown']}, in order")
+    for cls, row in retries.items():
+        rctx = f"{ctx} retries_by_class[{cls!r}]"
+        require(isinstance(row, dict), f"{rctx}: must be an object")
+        check_delta_row(row, rctx)
 
     chains = diff.get("chains")
     require(isinstance(chains, dict), f"{ctx}: missing chains")
