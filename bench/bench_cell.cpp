@@ -35,10 +35,20 @@ namespace {
 using namespace olden;
 using namespace olden::bench;
 
-bool scheme_from_name(const std::string& name, Coherence* out) {
+/// Maps a --schemes token to its base coherence protocol. "adaptive" is
+/// the eager-global protocol plus the runtime decision table; *adaptive
+/// tells the caller to enable it on the cell's AdaptiveConfig.
+bool scheme_from_name(const std::string& name, Coherence* out,
+                      bool* adaptive) {
+  *adaptive = false;
   if (name == "local") { *out = Coherence::kLocalKnowledge; return true; }
   if (name == "global") { *out = Coherence::kEagerGlobal; return true; }
   if (name == "bilateral") { *out = Coherence::kBilateral; return true; }
+  if (name == "adaptive") {
+    *out = Coherence::kEagerGlobal;
+    *adaptive = true;
+    return true;
+  }
   return false;
 }
 
@@ -78,7 +88,10 @@ void usage(std::FILE* to) {
                "usage: bench_cell --benchmark=NAME[,NAME...] [options]\n"
                "  --benchmark=A,B    suite benchmarks to run (see --list)\n"
                "  --schemes=A,B      coherence schemes (default "
-               "local,global,bilateral)\n"
+               "local,global,bilateral;\n"
+               "                     'adaptive' = global + the runtime "
+               "decision table,\n"
+               "                     see --adapt-interval)\n"
                "  --nprocs=N         processors per cell (default 8)\n"
                "  --tiny             pinned tiny size (regression harness)\n"
                "  --paper-size       original paper problem size\n"
@@ -95,6 +108,7 @@ void usage(std::FILE* to) {
 struct Cell {
   const Benchmark* b = nullptr;
   Coherence scheme = Coherence::kLocalKnowledge;
+  bool adaptive = false;
   std::string sname;
 };
 
@@ -111,6 +125,12 @@ void run_cell(const Cell& c, const BenchConfig& base, ObsCli& cli,
               trace::Observer* rec, CellOutcome* out) {
   BenchConfig cfg = base;
   cfg.scheme = c.scheme;
+  if (c.adaptive) {
+    cfg.adapt.interval = cli.adapt_interval_set()
+                             ? cli.adapt_interval()
+                             : kDefaultAdaptInterval;
+    cfg.adapt.hysteresis = cli.adapt_hysteresis();
+  }
   cfg.observer = rec;
   const std::string label = "BENCH/" + c.b->name() + "/p=" +
                             std::to_string(cfg.nprocs) + "/" + c.sname;
@@ -211,10 +231,10 @@ int main(int argc, char** argv) {
     for (const std::string& sname : split_commas(schemes_str)) {
       Cell c;
       c.b = b;
-      if (!scheme_from_name(sname, &c.scheme)) {
+      if (!scheme_from_name(sname, &c.scheme, &c.adaptive)) {
         std::fprintf(stderr,
                      "bench_cell: unknown scheme '%s' (local, global, "
-                     "bilateral)\n",
+                     "bilateral, adaptive)\n",
                      sname.c_str());
         return 2;
       }

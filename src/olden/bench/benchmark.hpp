@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
@@ -53,6 +54,13 @@ struct BenchConfig {
   /// mechanism overrides learned from an earlier profiled run, applied
   /// between the static heuristic and the builder's site_overrides().
   const profile::FeedbackTable* feedback = nullptr;
+  /// Adaptive scheme (--scheme=adaptive): when adapt.interval > 0 the
+  /// machine re-grades every dereference site each interval and flips it
+  /// between caching and migration mid-run. Requires the eager-global
+  /// coherence scheme as its base protocol (Machine::validated enforces
+  /// this); interval == 0 leaves the run byte-identical to the static
+  /// scheme.
+  AdaptiveConfig adapt;
 };
 
 struct BenchResult {
@@ -123,6 +131,17 @@ class Benchmark {
     if (report != nullptr) *report = sel.report();
     std::vector<Mechanism> table = sel.site_table;
     if (cfg.feedback != nullptr) {
+      // A feedback row naming a site this build does not have is stale
+      // (generated against an older benchmark); warn with the exact uid
+      // so the user can regenerate the file, and otherwise ignore it.
+      for (const std::string& uid :
+           cfg.feedback->stale_uids(name(), num_sites())) {
+        std::fprintf(stderr,
+                     "warning: feedback row %s names a site outside this "
+                     "build's %zu-site table for %s -- ignored (stale "
+                     "feedback file?)\n",
+                     uid.c_str(), num_sites(), name().c_str());
+      }
       for (std::size_t s = 0; s < table.size(); ++s) {
         if (const auto m =
                 cfg.feedback->lookup(name(), static_cast<SiteId>(s))) {

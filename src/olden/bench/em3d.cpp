@@ -355,7 +355,8 @@ class Em3d final : public Benchmark {
                .costs = {.sequential_baseline = cfg.sequential_baseline},
                .observer = cfg.observer,
                .faults = cfg.faults,
-               .fault_seed = cfg.fault_seed});
+               .fault_seed = cfg.fault_seed,
+               .adapt = cfg.adapt});
     m.set_site_mechanisms(site_table(cfg, &res.heuristic_report));
     const RootOut out = run_program(m, root(m, spec, gp.steps));
     res.checksum = quantize(out.sum);

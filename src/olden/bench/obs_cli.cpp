@@ -53,6 +53,8 @@ void ObsCli::parse(int* argc, char** argv,
   std::string profile_interval_str;
   std::string faults_str;
   std::string fault_seed_str;
+  std::string adapt_interval_str;
+  std::string adapt_hysteresis_str;
   bool breakdown_env =
       std::getenv("OLDEN_BREAKDOWN") != nullptr;
   auto passes_through = [&](const char* arg) {
@@ -96,6 +98,18 @@ void ObsCli::parse(int* argc, char** argv,
         flag_error(argv[0],
                    "--fault-seed: empty value is not a non-negative integer");
       }
+    } else if (flag_value(argv[i], "--adapt-interval", &v)) {
+      adapt_interval_str = v;
+      if (adapt_interval_str.empty()) {
+        flag_error(argv[0],
+                   "--adapt-interval: empty value is not a positive integer");
+      }
+    } else if (flag_value(argv[i], "--adapt-hysteresis", &v)) {
+      adapt_hysteresis_str = v;
+      if (adapt_hysteresis_str.empty()) {
+        flag_error(argv[0],
+                   "--adapt-hysteresis: empty value is not a positive integer");
+      }
     } else if (std::strcmp(argv[i], "--breakdown") == 0) {
       breakdown_ = true;
     } else if (std::strcmp(argv[i], "--version") == 0) {
@@ -130,6 +144,8 @@ void ObsCli::parse(int* argc, char** argv,
   env_default(&limit_str, "OLDEN_TRACE_LIMIT");
   env_default(&faults_str, "OLDEN_FAULTS");
   env_default(&fault_seed_str, "OLDEN_FAULT_SEED");
+  env_default(&adapt_interval_str, "OLDEN_ADAPT_INTERVAL");
+  env_default(&adapt_hysteresis_str, "OLDEN_ADAPT_HYSTERESIS");
   if (!limit_str.empty()) {
     std::uint64_t limit = 0;
     if (!parse_u64_strict(limit_str, &limit)) {
@@ -144,6 +160,25 @@ void ObsCli::parse(int* argc, char** argv,
     flag_error(argv[0], ("--fault-seed: '" + fault_seed_str +
                          "' is not a non-negative integer")
                             .c_str());
+  }
+  if (!adapt_interval_str.empty()) {
+    if (!parse_u64_strict(adapt_interval_str, &adapt_interval_) ||
+        adapt_interval_ == 0) {
+      flag_error(argv[0], ("--adapt-interval: '" + adapt_interval_str +
+                           "' is not a positive integer")
+                              .c_str());
+    }
+    adapt_interval_set_ = true;
+  }
+  if (!adapt_hysteresis_str.empty()) {
+    std::uint64_t h = 0;
+    if (!parse_u64_strict(adapt_hysteresis_str, &h) || h == 0 ||
+        h > 0xffffffffull) {
+      flag_error(argv[0], ("--adapt-hysteresis: '" + adapt_hysteresis_str +
+                           "' is not a positive integer")
+                              .c_str());
+    }
+    adapt_hysteresis_ = static_cast<std::uint32_t>(h);
   }
   if (!faults_str.empty()) {
     std::string err;
@@ -281,11 +316,18 @@ const char* ObsCli::usage() {
          "see\n"
          "                     src/olden/fault/fault_spec.hpp)\n"
          "  --fault-seed=N     fault-plane RNG seed (default 1)\n"
+         "  --adapt-interval=N adaptive-scheme re-grading interval in "
+         "virtual cycles\n"
+         "                     (with --scheme=adaptive; must be positive)\n"
+         "  --adapt-hysteresis=K\n"
+         "                     consecutive flip votes required before a "
+         "site flips\n"
+         "                     (default 2; must be positive)\n"
          "  --version          print stats/trace schema versions and exit\n"
          "  (env: OLDEN_TRACE, OLDEN_TRACE_BIN, OLDEN_TRACE_STREAM, "
          "OLDEN_STATS_JSON, OLDEN_PROFILE, OLDEN_PROFILE_INTERVAL, "
          "OLDEN_TRACE_LIMIT, OLDEN_BREAKDOWN, OLDEN_FAULTS, "
-         "OLDEN_FAULT_SEED)\n";
+         "OLDEN_FAULT_SEED, OLDEN_ADAPT_INTERVAL, OLDEN_ADAPT_HYSTERESIS)\n";
 }
 
 }  // namespace olden::bench

@@ -12,12 +12,17 @@
 //   --breakdown          print per-processor cycle-breakdown tables
 //   --faults=SPEC        fault-injection plan (see fault_spec.hpp grammar)
 //   --fault-seed=N       RNG seed for the fault plane (default 1)
+//   --adapt-interval=N   adaptive-scheme re-grading interval in virtual
+//                        cycles (only meaningful with --scheme=adaptive)
+//   --adapt-hysteresis=K consecutive intervals a site must vote to flip
+//                        before it does (default 2)
 //
 // Environment variables OLDEN_TRACE, OLDEN_TRACE_BIN, OLDEN_TRACE_STREAM,
 // OLDEN_STATS_JSON, OLDEN_PROFILE, OLDEN_PROFILE_INTERVAL,
-// OLDEN_TRACE_LIMIT, OLDEN_FAULTS and OLDEN_FAULT_SEED supply defaults when
-// the corresponding flag is absent, so wrappers can enable collection
-// without editing command lines.
+// OLDEN_TRACE_LIMIT, OLDEN_FAULTS, OLDEN_FAULT_SEED, OLDEN_ADAPT_INTERVAL
+// and OLDEN_ADAPT_HYSTERESIS supply defaults when the corresponding flag
+// is absent, so wrappers can enable collection without editing command
+// lines.
 //
 // Malformed values (a non-numeric --trace-limit / --fault-seed, a zero or
 // non-numeric --profile-interval, an unparsable --faults spec) are rejected
@@ -66,6 +71,19 @@ class ObsCli {
   }
   [[nodiscard]] std::uint64_t fault_seed() const { return fault_seed_; }
 
+  /// Adaptive-scheme knobs (--scheme=adaptive). interval 0 means "use the
+  /// binary's default when the adaptive scheme is selected"; binaries that
+  /// do not offer --scheme simply never read these.
+  [[nodiscard]] std::uint64_t adapt_interval() const {
+    return adapt_interval_;
+  }
+  [[nodiscard]] bool adapt_interval_set() const {
+    return adapt_interval_set_;
+  }
+  [[nodiscard]] std::uint32_t adapt_hysteresis() const {
+    return adapt_hysteresis_;
+  }
+
   /// Label the next Machine run (no-op when inactive).
   void begin_run(std::string label,
                  std::map<std::string, std::string> meta = {});
@@ -90,6 +108,9 @@ class ObsCli {
   std::string profile_path_;
   fault::FaultSpec fault_spec_;
   std::uint64_t fault_seed_ = 1;
+  std::uint64_t adapt_interval_ = 0;
+  bool adapt_interval_set_ = false;
+  std::uint32_t adapt_hysteresis_ = 2;
 };
 
 }  // namespace olden::bench

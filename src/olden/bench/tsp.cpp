@@ -497,7 +497,8 @@ class Tsp final : public Benchmark {
                .costs = {.sequential_baseline = cfg.sequential_baseline},
                .observer = cfg.observer,
                .faults = cfg.faults,
-               .fault_seed = cfg.fault_seed});
+               .fault_seed = cfg.fault_seed,
+               .adapt = cfg.adapt});
     m.set_site_mechanisms(site_table(cfg, &res.heuristic_report));
     const RootOut out = run_program(m, root(m, in, n));
     res.checksum = quantize(out.len, 1e6);

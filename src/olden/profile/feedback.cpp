@@ -33,6 +33,9 @@ bool set_err(std::string* err, const std::string& msg) {
 
 bool FeedbackTable::parse(const std::string& text, std::string* err) {
   std::map<std::pair<std::string, SiteId>, Mechanism> rows;
+  // First line number each (benchmark, site) key appeared on, so a
+  // duplicate row can name both offending lines in its error.
+  std::map<std::pair<std::string, SiteId>, int> first_line;
   std::istringstream in(text);
   std::string line;
   int lineno = 0;
@@ -84,7 +87,19 @@ bool FeedbackTable::parse(const std::string& text, std::string* err) {
                               ": bad mechanism \"" + tok[2] +
                               "\" (want migrate|cache)");
     }
-    rows[{tok[0], static_cast<SiteId>(site)}] = m;
+    const std::pair<std::string, SiteId> key{tok[0],
+                                             static_cast<SiteId>(site)};
+    // Two rows for one site mean the file was merged or hand-edited
+    // badly; silently keeping either would apply a mechanism nobody
+    // reviewed, so duplicates are a structured error, not last-wins.
+    if (const auto dup = first_line.find(key); dup != first_line.end()) {
+      return set_err(err, "feedback line " + std::to_string(lineno) +
+                              ": duplicate row for " + tok[0] + "#" + tok[1] +
+                              " (first defined on line " +
+                              std::to_string(dup->second) + ")");
+    }
+    first_line[key] = lineno;
+    rows[key] = m;
   }
   if (!saw_header) return set_err(err, "feedback file is empty (no header)");
   rows_ = std::move(rows);

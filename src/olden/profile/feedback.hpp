@@ -16,15 +16,21 @@
 //
 // The first non-blank line must be the version header. Later '#' lines
 // are comments. Rows are whitespace-separated; a duplicate
-// (benchmark, site) row overrides the earlier one. Sites are joined by
-// the stable (benchmark, site-index) identifiers that heuristic dumps
-// and profile rows both carry (e.g. "TreeAdd#0").
+// (benchmark, site) row is a parse error naming both lines — two rows
+// for one site means the file was merged or hand-edited badly, and
+// silently keeping either one would apply a mechanism nobody reviewed.
+// Sites are joined by the stable (benchmark, site-index) identifiers
+// that heuristic dumps and profile rows both carry (e.g. "TreeAdd#0");
+// a row whose site index falls outside the benchmark's site table (a
+// stale file from an older build) is reported as a warning by the
+// consumer (Benchmark::site_table) and otherwise ignored.
 #pragma once
 
 #include <map>
 #include <optional>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "olden/support/types.hpp"
 
@@ -55,6 +61,23 @@ class FeedbackTable {
 
   [[nodiscard]] std::size_t size() const { return rows_.size(); }
   [[nodiscard]] bool empty() const { return rows_.empty(); }
+
+  /// "Benchmark#site" uids of rows for `benchmark` whose site index is
+  /// >= num_sites — stale entries from a file generated against an older
+  /// build of the benchmark. Consumers warn (naming the token) and skip
+  /// them; lookup() never returns such a row a mechanism table would use,
+  /// because callers only probe sites below num_sites.
+  [[nodiscard]] std::vector<std::string> stale_uids(
+      const std::string& benchmark, std::size_t num_sites) const {
+    std::vector<std::string> out;
+    for (const auto& [key, m] : rows_) {
+      (void)m;
+      if (key.first == benchmark && key.second >= num_sites) {
+        out.push_back(key.first + "#" + std::to_string(key.second));
+      }
+    }
+    return out;
+  }
 
   [[nodiscard]] const std::map<std::pair<std::string, SiteId>, Mechanism>&
   rows() const {

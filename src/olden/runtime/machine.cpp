@@ -29,6 +29,19 @@ RunConfig Machine::validated(RunConfig cfg) {
     throw ConfigError("nprocs must be in [1, " + std::to_string(kMaxProcs) +
                       "], got " + std::to_string(cfg.nprocs));
   }
+  if (cfg.adapt.interval > 0) {
+    // The flip drain walks the directory's per-page sharer sets, which
+    // only the eager-global protocol maintains (local knowledge never
+    // registers sharers; bilateral only version-stamps).
+    if (cfg.scheme != Coherence::kEagerGlobal) {
+      throw ConfigError(
+          "the adaptive scheme requires global (eager) coherence as its "
+          "base protocol");
+    }
+    // Hysteresis 0 and 1 are the same machine: a flip needs at least one
+    // window voting for it.
+    if (cfg.adapt.hysteresis == 0) cfg.adapt.hysteresis = 1;
+  }
   return cfg;
 }
 
@@ -43,6 +56,15 @@ Machine::Machine(RunConfig cfg)
   events_.reserve(256);
   if (cfg_.faults != nullptr && cfg_.faults->enabled) {
     fault_ = std::make_unique<fault::FaultPlane>(*cfg_.faults, cfg_.fault_seed);
+  }
+  if (cfg_.adapt.interval > 0) {
+    adapt_on_ = true;
+    // The first decision tick. Ticks self-schedule directly (never via
+    // send_message), so they neither enter the fault plane nor perturb
+    // its injection stream.
+    schedule(Event{.time = cfg_.adapt.interval,
+                   .seq = next_seq_++,
+                   .kind = MsgKind::kAdaptTick});
   }
   if (obs_ != nullptr) obs_->attach(cfg_);
 }
@@ -192,6 +214,7 @@ void Machine::cached_access(ProcId p, GlobalAddr a, void* buf,
     }
   } else if (any_miss) {
     ++stats_.cache_misses;
+    if (adapt_on_) adapt_note_read(site, /*hit=*/false);
     note_event(EventKind::kCacheMiss, p, cur_thread_, site, a.page_id(),
                lines_fetched);
     if (obs_ != nullptr) {
@@ -199,6 +222,7 @@ void Machine::cached_access(ProcId p, GlobalAddr a, void* buf,
     }
   } else {
     ++stats_.cache_hits;
+    if (adapt_on_) adapt_note_read(site, /*hit=*/true);
     if (any_check) ++stats_.timestamp_stalls;
     note_event(EventKind::kCacheHit, p, cur_thread_, site, a.page_id());
   }
@@ -356,6 +380,7 @@ void Machine::finish_coherence_op(CoherenceOp* op, Cycles now) {
     }
   } else if (op->any_miss) {
     ++stats_.cache_misses;
+    if (adapt_on_) adapt_note_read(op->site, /*hit=*/false);
     note_event(EventKind::kCacheMiss, p, op->thread, op->site, a.page_id(),
                op->lines_fetched);
     if (obs_ != nullptr) {
@@ -363,6 +388,7 @@ void Machine::finish_coherence_op(CoherenceOp* op, Cycles now) {
     }
   } else {
     ++stats_.cache_hits;
+    if (adapt_on_) adapt_note_read(op->site, /*hit=*/true);
     if (op->any_check) ++stats_.timestamp_stalls;
     note_event(EventKind::kCacheHit, p, op->thread, op->site, a.page_id());
   }
@@ -666,6 +692,165 @@ void Machine::on_acquire(ProcId p, const ProcSet* writers, ThreadState* t) {
                  procs_[p].cache.pages_live());
       break;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive scheme (--scheme=adaptive; see docs/ADAPTIVE.md)
+// ---------------------------------------------------------------------------
+
+void Machine::apply_adapt_tick(const Event& e) {
+  // Decision pass, in SiteId order (the only order that exists — flips
+  // must be deterministic and independent of host iteration artifacts).
+  // The bars are the integer-exact forms of the offline scoreboard's
+  // rules: local/total < 0.90 and hits/reads < 0.50.
+  for (SiteId s = 0; s < adapt_sites_.size(); ++s) {
+    AdaptSite& a = adapt_sites_[s];
+    bool vote = false;
+    if (a.total >= cfg_.adapt.min_samples) {
+      const bool low_affinity = a.local * 10 < a.total * 9;
+      if (mechanism(s) == Mechanism::kMigrate) {
+        // A bouncing migrate site: moving the thread on >10% of accesses
+        // is costlier than caching the data.
+        vote = low_affinity;
+      } else {
+        // A cache site flips only on positive evidence: mostly-remote
+        // traffic whose reads mostly miss. Write-only windows (no reads)
+        // carry no reuse signal and never vote.
+        vote = low_affinity && a.reads > 0 && a.hits * 2 < a.reads;
+      }
+    }
+    if (vote) {
+      if (++a.streak >= cfg_.adapt.hysteresis) {
+        a.streak = 0;
+        flip_site(s,
+                  mechanism(s) == Mechanism::kMigrate ? Mechanism::kCache
+                                                      : Mechanism::kMigrate,
+                  e.time);
+      }
+    } else {
+      a.streak = 0;
+    }
+    // A fresh window every tick; the page set persists until a drain.
+    a.total = a.local = a.reads = a.hits = 0;
+  }
+  if (!root_done_) {
+    // A thread that never suspends runs its processor far ahead of the
+    // event heap, so this tick may be dispatched "late" (e.time well
+    // behind the clocks). Rescheduling blindly at e.time + interval would
+    // then fire a burst of stale ticks over empty windows, resetting
+    // every hysteresis streak; instead skip forward on the interval grid
+    // past the fastest processor clock. Deterministic: processor clocks
+    // are simulation state, identical on every run.
+    Cycles horizon = 0;
+    for (const Proc& p : procs_) horizon = std::max(horizon, p.clock);
+    Cycles next = e.time + cfg_.adapt.interval;
+    if (next <= horizon) {
+      const Cycles k = (horizon - e.time) / cfg_.adapt.interval + 1;
+      next = e.time + k * cfg_.adapt.interval;
+    }
+    schedule(
+        Event{.time = next, .seq = next_seq_++, .kind = MsgKind::kAdaptTick});
+  }
+}
+
+void Machine::flip_site(SiteId site, Mechanism to, Cycles now) {
+  if (site >= site_mech_.size()) {
+    site_mech_.resize(site + 1, Mechanism::kCache);
+  }
+  site_mech_[site] = to;
+  ++stats_.scheme_flips;
+  const bool to_cache = to == Mechanism::kCache;
+  if (to_cache) {
+    ++stats_.flips_to_cache;
+  } else {
+    ++stats_.flips_to_migrate;
+  }
+
+  // The flip is a first-class trace event on the run's adaptation chain,
+  // parented on the previous flip so --diff and the analyzer can walk the
+  // whole adaptation history as one causal thread. arg1 (pages drained)
+  // is patched into the FlipRecord below; the event itself carries the
+  // page count at emission time via the drain's own child events.
+  std::uint64_t flip_ev = trace::kNoEvent;
+  AdaptSite& a = adapt_sites_[site];
+  if (obs_ != nullptr) {
+    if (adapt_chain_ == trace::kNoChain) adapt_chain_ = obs_->new_chain();
+    flip_ev = obs_->event(EventKind::kSchemeFlip, now, /*p=*/0,
+                          trace::kNoThread, site, to_cache ? 1 : 0,
+                          to_cache ? 0 : a.pages.size(), adapt_chain_,
+                          adapt_last_flip_);
+    adapt_last_flip_ = flip_ev;
+  }
+
+  std::uint64_t drained = 0;
+  if (to_cache) {
+    // Migration -> caching is a clean cold start: the site simply begins
+    // filling lines again; there is no state to reconcile.
+    a.pages.clear();
+    a.last_page = 0xffffffffu;
+  } else {
+    // Caching -> migration must not strand cached lines: every page the
+    // site pulled into a cache is invalidated through the directory,
+    // charged to the cost model like any other eager invalidation round.
+    drained = drain_site_pages(a, flip_ev);
+  }
+  adapt_flips_.push_back(FlipRecord{now, site, to, drained});
+}
+
+std::uint64_t Machine::drain_site_pages(AdaptSite& a, std::uint64_t flip_ev) {
+  std::uint64_t drained = 0;
+  for (const std::uint32_t page : a.pages) {
+    HomePageInfo& info = directory_.page(page);
+    if (info.sharers.empty()) continue;
+    const ProcId home = page_home(page);
+    ++drained;
+    // for_each iterates a snapshot of the set, so pruning mid-loop is
+    // safe (same contract as on_release).
+    info.sharers.for_each([&](ProcId s) {
+      ++stats_.invalidation_messages;
+      ++stats_.flip_drain_messages;
+      // No thread initiates this round: the home directory is the agent,
+      // so it pays the send (on_release charges the releasing writer).
+      charge_to(home, cfg_.costs.invalidate_send, CycleBucket::kCoherence);
+      const SoftwareCache::InvalidateResult inv =
+          procs_[s].cache.invalidate_lines(page, 0xffffffffu);
+      stats_.lines_invalidated += inv.dropped;
+      stats_.flip_drain_lines += inv.dropped;
+      if (inv.remaining == 0) info.sharers.remove(s);
+      if (fault_ == nullptr) {
+        charge_to(s, cfg_.costs.invalidate_recv, CycleBucket::kCoherence);
+        if (obs_ != nullptr) {
+          obs_->event(EventKind::kLineInvalidate, procs_[s].clock, s,
+                      trace::kNoThread, trace::kNoSite, page, inv.dropped,
+                      adapt_chain_, flip_ev);
+        }
+      } else {
+        // As at a release: the cache mutation above stays synchronous
+        // (checksums cannot move); timing, costs and the receive-side
+        // event ride the lossy wire as real invalidate-class traffic.
+        std::uint64_t push_ev = trace::kNoEvent;
+        if (obs_ != nullptr) {
+          push_ev = obs_->event(EventKind::kInvalidatePush,
+                                procs_[home].clock, home, trace::kNoThread,
+                                trace::kNoSite, page, s, adapt_chain_,
+                                flip_ev);
+        }
+        send_message(home, cfg_.costs.coherence_wire,
+                     Event{.time = procs_[home].clock +
+                                   cfg_.costs.coherence_wire,
+                           .seq = next_seq_++,
+                           .kind = MsgKind::kInvalidatePush,
+                           .target = s,
+                           .src = home,
+                           .parg0 = page,
+                           .parg1 = inv.dropped,
+                           .obs_parent = push_ev});
+      }
+    });
+  }
+  a.pages.clear();
+  a.last_page = 0xffffffffu;
+  return drained;
 }
 
 // ---------------------------------------------------------------------------
@@ -1006,6 +1191,10 @@ void Machine::apply(const Event& e) {
     }
     case MsgKind::kTsCheckReply: {
       apply_ts_check_reply(e);
+      break;
+    }
+    case MsgKind::kAdaptTick: {
+      apply_adapt_tick(e);
       break;
     }
   }

@@ -18,7 +18,11 @@ void Observer::attach(const RunConfig& cfg) {
     cur_.label = "run-" + std::to_string(runs_.size());
   }
   cur_.nprocs = cfg.nprocs;
-  cur_.scheme = to_string(cfg.scheme);
+  // The adaptive scheme is the eager-global protocol plus a live decision
+  // table; it only exists as a distinct scheme once ticks are scheduled
+  // (interval == 0 is exactly the seed scheme, byte for byte).
+  cur_.scheme =
+      cfg.adapt.interval > 0 ? "adaptive" : to_string(cfg.scheme);
   cur_.sequential_baseline = cfg.costs.sequential_baseline;
   acct_.assign(cfg.nprocs, BucketCycles{});
   cur_.profile = profile::RunProfile{};
@@ -106,6 +110,11 @@ void Observer::finish(const Machine& m) {
   c["hiccup_cycles"] = s.hiccup_cycles;
   c["coherence_requests"] = s.coherence_requests;
   c["replies_ignored"] = s.replies_ignored;
+  c["scheme_flips"] = s.scheme_flips;
+  c["flips_to_cache"] = s.flips_to_cache;
+  c["flips_to_migrate"] = s.flips_to_migrate;
+  c["flip_drain_lines"] = s.flip_drain_lines;
+  c["flip_drain_messages"] = s.flip_drain_messages;
   // Retry decomposition for the three coherence classes, by name — the
   // full per-class matrix lives in the `fault_classes` export object.
   c["fills_retried"] =

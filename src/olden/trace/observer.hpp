@@ -258,7 +258,11 @@ bool write_binary_trace(const Observer& obs, const std::string& path,
 /// replies_ignored, fills_retried, invalidations_retried,
 /// ts_checks_retried) and the per-run `fault_classes` object splitting
 /// sent/drops/dups/delays/retries by message class.
-inline constexpr int kStatsSchemaVersion = 3;
+/// v4: adds the adaptive-scheme flip counters (scheme_flips,
+/// flips_to_cache, flips_to_migrate, flip_drain_lines,
+/// flip_drain_messages; the per-direction counts provably sum to
+/// scheme_flips) and admits "adaptive" as a run scheme.
+inline constexpr int kStatsSchemaVersion = 4;
 [[nodiscard]] std::string stats_json(const Observer& obs);
 bool write_stats_json(const Observer& obs, const std::string& path,
                       std::string* err = nullptr);

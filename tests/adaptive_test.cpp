@@ -1,0 +1,213 @@
+// The adaptive scheme's runtime machinery (--scheme=adaptive).
+//
+// Covers the pieces the equivalence suite cannot see: that the decision
+// table actually flips a site whose windowed access mix fails the paper's
+// bars, that hysteresis delays a flip by the configured number of voting
+// windows, that every flip lands in the trace as a kSchemeFlip event whose
+// causal links chain the run's flips together and parent the drain's
+// invalidations, and that the flip counters exported to stats agree with
+// the event stream and with Machine::scheme_flip_log().
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "olden/bench/benchmark.hpp"
+#include "olden/olden.hpp"
+#include "olden/trace/observer.hpp"
+
+namespace olden {
+namespace {
+
+struct Node {
+  std::int64_t val;
+  GPtr<Node> next;
+  /// Pads each node past a cache line so consecutive list nodes never
+  /// share one: without this, four nodes pack per line and the walk's
+  /// line reuse keeps the hit rate above the 0.50 floor — no site votes.
+  std::int64_t pad[30];
+};
+enum Site : SiteId { kVal, kNext, kHop, kNumSites };
+
+/// Builds an n-node list striped round-robin over the processors, then
+/// walks it once. From the walker's seat on proc 0, 1/nprocs of the
+/// dereferences are local and (first walk) every cached read of a fresh
+/// line misses — exactly the mix the decision table must catch: low
+/// affinity and a hit rate below the 0.50 floor.
+Task<std::int64_t> cold_walk(Machine& m, int n) {
+  GPtr<Node> head, tail;
+  for (int i = 0; i < n; ++i) {
+    auto node = m.alloc<Node>(static_cast<ProcId>(i % m.nprocs()));
+    co_await wr(node, &Node::val, std::int64_t{i}, kVal);
+    if (tail) {
+      co_await wr(tail, &Node::next, node, kNext);
+    } else {
+      head = node;
+    }
+    tail = node;
+  }
+  std::int64_t acc = 0;
+  GPtr<Node> l = head;
+  while (l) {
+    acc += co_await rd(l, &Node::val, kVal);
+    l = co_await rd(l, &Node::next, kNext);
+    m.work(10);
+  }
+  co_return acc;
+}
+
+TEST(AdaptiveRuntime, ColdRemoteWalkFlipsACacheSiteToMigration) {
+  RunConfig cfg{.nprocs = 4, .scheme = Coherence::kEagerGlobal};
+  cfg.adapt.interval = 2048;
+  cfg.adapt.hysteresis = 1;
+  cfg.adapt.min_samples = 8;
+  Machine m(cfg);
+  m.set_site_mechanisms({Mechanism::kCache, Mechanism::kCache});
+  const int n = 256;
+  EXPECT_EQ(run_program(m, cold_walk(m, n)),
+            static_cast<std::int64_t>(n) * (n - 1) / 2);
+
+  const MachineStats& s = m.stats();
+  EXPECT_GT(s.flips_to_migrate, 0u);
+  EXPECT_EQ(s.flips_to_cache + s.flips_to_migrate, s.scheme_flips);
+  // The flip log mirrors the counters, in time order.
+  ASSERT_EQ(m.scheme_flip_log().size(), s.scheme_flips);
+  std::uint64_t to_migrate = 0;
+  Cycles prev = 0;
+  for (const Machine::FlipRecord& f : m.scheme_flip_log()) {
+    EXPECT_GE(f.time, prev);
+    prev = f.time;
+    if (f.to == Mechanism::kMigrate) ++to_migrate;
+    // A flipped site's mechanism table reflects its latest flip... unless
+    // a later flip reversed it, which the log replay would show; with
+    // hysteresis 1 and a one-way workload no site flips back here.
+    EXPECT_EQ(m.mechanism(f.site), f.to);
+  }
+  EXPECT_EQ(to_migrate, s.flips_to_migrate);
+}
+
+/// Like cold_walk, but the walker bounces between two anchor objects on
+/// distinct processors through a migrate-mechanism site before every list
+/// step. Each hop suspends the coroutine, so the event heap — and the
+/// adapt tick riding it — keeps pace with the processor clocks instead of
+/// the whole walk collapsing into one stale end-of-run window. (cold_walk
+/// never suspends: cache-site accesses complete synchronously fault-free,
+/// so exactly one tick ever fires there.)
+Task<std::int64_t> hop_walk(Machine& m, int n) {
+  auto a0 = m.alloc<Node>(0);
+  auto a1 = m.alloc<Node>(static_cast<ProcId>(1 % m.nprocs()));
+  co_await wr(a0, &Node::val, std::int64_t{0}, kHop);
+  co_await wr(a1, &Node::val, std::int64_t{0}, kHop);
+  GPtr<Node> head, tail;
+  for (int i = 0; i < n; ++i) {
+    auto node = m.alloc<Node>(static_cast<ProcId>(i % m.nprocs()));
+    co_await wr(node, &Node::val, std::int64_t{i}, kVal);
+    if (tail) {
+      co_await wr(tail, &Node::next, node, kNext);
+    } else {
+      head = node;
+    }
+    tail = node;
+  }
+  std::int64_t acc = 0;
+  GPtr<Node> l = head;
+  bool odd = false;
+  while (l) {
+    (void)co_await rd(odd ? a1 : a0, &Node::val, kHop);
+    odd = !odd;
+    acc += co_await rd(l, &Node::val, kVal);
+    l = co_await rd(l, &Node::next, kNext);
+    m.work(10);
+  }
+  co_return acc;
+}
+
+TEST(AdaptiveRuntime, HysteresisDelaysTheFlipByWholeWindows) {
+  // Same access mix, hysteresis 3: the earliest possible flip moves from
+  // the first voting window to the third. Compare first-flip times. The
+  // interval must be wide enough that every walk-phase window collects
+  // min_samples accesses of the missing site — each step costs a whole
+  // migration round trip (~2k cycles), so a 4096-cycle window would see
+  // only 2-3 samples, never vote, and reset the streak every tick.
+  constexpr Cycles kInterval = 32768;
+  Cycles first_flip[2] = {0, 0};
+  const std::uint32_t hysteresis[2] = {1, 3};
+  for (int i = 0; i < 2; ++i) {
+    RunConfig cfg{.nprocs = 4, .scheme = Coherence::kEagerGlobal};
+    cfg.adapt.interval = kInterval;
+    cfg.adapt.hysteresis = hysteresis[i];
+    cfg.adapt.min_samples = 4;
+    Machine m(cfg);
+    m.set_site_mechanisms(
+        {Mechanism::kCache, Mechanism::kCache, Mechanism::kMigrate});
+    (void)run_program(m, hop_walk(m, 512));
+    ASSERT_FALSE(m.scheme_flip_log().empty()) << "hysteresis " << hysteresis[i];
+    first_flip[i] = m.scheme_flip_log().front().time;
+  }
+  // Two extra voting windows = two extra intervals, at minimum.
+  EXPECT_GE(first_flip[1], first_flip[0] + 2 * kInterval);
+}
+
+TEST(AdaptiveRuntime, FlipEventsChainCausallyAndMatchCounters) {
+  const bench::Benchmark* b = bench::find_benchmark("EM3D");
+  ASSERT_NE(b, nullptr);
+  trace::Observer obs;
+  obs.set_trace_enabled(true);
+  obs.begin_run("adaptive/em3d");
+  bench::BenchConfig cfg{.nprocs = 8, .scheme = Coherence::kEagerGlobal};
+  cfg.tiny = true;
+  cfg.observer = &obs;
+  cfg.adapt.interval = 256;
+  cfg.adapt.hysteresis = 1;
+  cfg.adapt.min_samples = 1;
+  const bench::BenchResult r = b->run(cfg);
+  ASSERT_GT(r.stats.scheme_flips, 0u);
+
+  ASSERT_EQ(obs.runs().size(), 1u);
+  const trace::RunRecord& run = obs.runs()[0];
+  ASSERT_EQ(run.events_dropped, 0u);
+
+  std::uint64_t flips = 0, to_cache = 0, to_migrate = 0;
+  std::uint64_t drain_children = 0;
+  std::uint64_t prev_flip = trace::kNoEvent;
+  std::uint64_t flip_chain = trace::kNoChain;
+  for (const trace::TraceEvent& e : run.events) {
+    if (e.kind == trace::EventKind::kSchemeFlip) {
+      ++flips;
+      if (e.arg0 != 0) {
+        ++to_cache;
+      } else {
+        ++to_migrate;
+      }
+      EXPECT_NE(e.site, trace::kNoSite);
+      // Flips share one causal chain; each parents on its predecessor.
+      EXPECT_EQ(e.parent, prev_flip);
+      if (flip_chain == trace::kNoChain) {
+        flip_chain = e.chain;
+      } else {
+        EXPECT_EQ(e.chain, flip_chain);
+      }
+      prev_flip = e.id;
+    } else if (e.kind == trace::EventKind::kLineInvalidate &&
+               e.parent != trace::kNoEvent &&
+               run.events[e.parent].kind == trace::EventKind::kSchemeFlip) {
+      // A flip drain's invalidations parent on the flip that caused them.
+      ++drain_children;
+      EXPECT_EQ(e.chain, flip_chain);
+    }
+  }
+  EXPECT_EQ(flips, r.stats.scheme_flips);
+  EXPECT_EQ(to_cache, r.stats.flips_to_cache);
+  EXPECT_EQ(to_migrate, r.stats.flips_to_migrate);
+  // The fault-free drain emits one kLineInvalidate per (page, sharer)
+  // pair it invalidated, so the message counter bounds the child count.
+  EXPECT_EQ(drain_children, r.stats.flip_drain_messages);
+  if (r.stats.flip_drain_lines > 0) {
+    EXPECT_GT(drain_children, 0u);
+  }
+  // The run record names the scheme the cells actually ran.
+  EXPECT_EQ(run.scheme, "adaptive");
+}
+
+}  // namespace
+}  // namespace olden

@@ -17,6 +17,7 @@
 
 #include "olden/bench/benchmark.hpp"
 #include "olden/cache/software_cache.hpp"
+#include "olden/fault/fault_spec.hpp"
 #include "olden/support/rng.hpp"
 #include "olden/trace/observer.hpp"
 
@@ -154,6 +155,121 @@ TEST(CacheEquivalence, ChainAccountingMatchesPhysicalWalk) {
   EXPECT_EQ(opt.chain_lengths(), ref.chain_lengths());
   EXPECT_EQ(opt.pages_created(), ref.pages_created());
   EXPECT_EQ(opt.pages_live(), ref.pages_live());
+}
+
+// --- adaptive scheme equivalence ------------------------------------------
+//
+// --scheme=adaptive with flips disabled (adapt.interval == 0) must be the
+// seed scheme, byte for byte: no decision tick is ever scheduled, no
+// sequence number is consumed, no counter is bumped, and the run record
+// still reports the seed scheme's name. This is the contract that lets
+// the adaptive machinery ride in every binary without perturbing the
+// three static schemes.
+
+Golden run_with_adapt(const Benchmark& b, Coherence scheme,
+                      const AdaptiveConfig& adapt) {
+  trace::Observer obs;
+  obs.set_trace_enabled(true);
+  obs.begin_run(b.name() + "/equiv");
+  BenchConfig cfg{.nprocs = 8, .scheme = scheme};
+  cfg.tiny = true;
+  cfg.observer = &obs;
+  cfg.adapt = adapt;
+  const BenchResult r = b.run(cfg);
+  return {trace::binary_trace_bytes(obs), trace::stats_json(obs), r.checksum,
+          r.total_cycles};
+}
+
+TEST(AdaptiveEquivalence, IntervalZeroIsByteIdenticalToSeedScheme) {
+  // Non-default hysteresis / min_samples prove the gate is the interval
+  // alone — the other knobs must be inert while it is zero.
+  AdaptiveConfig off;
+  off.interval = 0;
+  off.hysteresis = 7;
+  off.min_samples = 1;
+  for (const Benchmark* b : suite()) {
+    const Golden plain = run_with_adapt(*b, Coherence::kEagerGlobal, {});
+    const Golden adapt = run_with_adapt(*b, Coherence::kEagerGlobal, off);
+    EXPECT_EQ(adapt.checksum, plain.checksum) << b->name();
+    EXPECT_EQ(adapt.cycles, plain.cycles) << b->name();
+    EXPECT_EQ(adapt.stats, plain.stats) << b->name();
+    ASSERT_EQ(adapt.trace_bytes.size(), plain.trace_bytes.size()) << b->name();
+    EXPECT_TRUE(adapt.trace_bytes == plain.trace_bytes)
+        << "binary traces differ for " << b->name();
+    // The run record must carry the seed scheme's name, not "adaptive".
+    EXPECT_EQ(adapt.stats.find("\"adaptive\""), std::string::npos)
+        << b->name();
+  }
+}
+
+TEST(AdaptiveEquivalence, IntervalZeroNeedsNoParticularBaseScheme) {
+  // The eager-global requirement only bites once ticks are scheduled;
+  // a disabled adaptive config must not constrain the static schemes.
+  const Benchmark* b = find_benchmark("TreeAdd");
+  ASSERT_NE(b, nullptr);
+  for (const Coherence scheme :
+       {Coherence::kLocalKnowledge, Coherence::kBilateral}) {
+    const Golden plain = run_with_adapt(*b, scheme, {});
+    AdaptiveConfig off;
+    off.interval = 0;
+    off.hysteresis = 9;
+    const Golden adapt = run_with_adapt(*b, scheme, off);
+    EXPECT_EQ(adapt.stats, plain.stats);
+    EXPECT_TRUE(adapt.trace_bytes == plain.trace_bytes);
+  }
+}
+
+TEST(AdaptiveEquivalence, AdaptiveRunsAreByteIdenticalAcrossRepeats) {
+  // Determinism with flips enabled: the decision ticks live on the same
+  // (time, seq) heap as everything else, so repeats reproduce the same
+  // flips at the same instants, byte for byte.
+  const Benchmark* b = find_benchmark("EM3D");
+  ASSERT_NE(b, nullptr);
+  AdaptiveConfig storm;
+  storm.interval = 256;
+  storm.hysteresis = 1;
+  storm.min_samples = 1;
+  const Golden a = run_with_adapt(*b, Coherence::kEagerGlobal, storm);
+  const Golden c = run_with_adapt(*b, Coherence::kEagerGlobal, storm);
+  EXPECT_EQ(a.stats, c.stats);
+  ASSERT_EQ(a.trace_bytes.size(), c.trace_bytes.size());
+  EXPECT_TRUE(a.trace_bytes == c.trace_bytes);
+}
+
+TEST(AdaptiveEquivalence, FlipStormKeepsChecksumsInvariant) {
+  // The soak: a tiny interval with hysteresis 1 flips sites as fast as
+  // the decision table allows, on a lossy wire, across 8 fault seeds x 2
+  // benchmarks. Whatever the flip storm does to performance, it must
+  // never change what the program computes.
+  fault::FaultSpec spec;
+  std::string err;
+  ASSERT_TRUE(
+      fault::parse_fault_spec("drop=0.05,dup=0.02,delay=0.1:200", &spec, &err))
+      << err;
+  std::uint64_t total_flips = 0;
+  for (const char* name : {"TreeAdd", "EM3D"}) {
+    const Benchmark* b = find_benchmark(name);
+    ASSERT_NE(b, nullptr);
+    BenchConfig cfg{.nprocs = 8, .scheme = Coherence::kEagerGlobal};
+    cfg.tiny = true;
+    cfg.adapt.interval = 256;
+    cfg.adapt.hysteresis = 1;
+    cfg.adapt.min_samples = 1;
+    const std::uint64_t want = b->reference_checksum(cfg);
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      cfg.faults = &spec;
+      cfg.fault_seed = seed;
+      const BenchResult r = b->run(cfg);
+      EXPECT_EQ(r.checksum, want) << name << " seed " << seed;
+      EXPECT_EQ(r.stats.flips_to_cache + r.stats.flips_to_migrate,
+                r.stats.scheme_flips)
+          << name << " seed " << seed;
+      total_flips += r.stats.scheme_flips;
+    }
+  }
+  // The storm must actually storm: if no site ever flips under these
+  // settings the soak is vacuously green and the knobs need retuning.
+  EXPECT_GT(total_flips, 0u);
 }
 
 }  // namespace

@@ -70,6 +70,58 @@ TEST(ProfileIntervals, LastCycleBeforeBoundaryStaysInItsInterval) {
   EXPECT_EQ(rp.intervals[0].cycles[bi], 1u);
 }
 
+TEST(ProfileIntervals, IntervalLargerThanSpanLandsEntirelyInIntervalZero) {
+  // --profile-interval larger than the whole makespan: everything the run
+  // did belongs to interval 0, and nothing is lost or double-counted.
+  profile::RunProfile rp;
+  rp.enabled = true;
+  rp.interval_cycles = 1ull << 40;
+  rp.add_cycles(0, 12345, trace::CycleBucket::kCompute);
+  rp.add_cycles(12345, 20000, trace::CycleBucket::kIdle);
+  const auto ci = static_cast<std::size_t>(trace::CycleBucket::kCompute);
+  const auto ii = static_cast<std::size_t>(trace::CycleBucket::kIdle);
+  ASSERT_EQ(rp.intervals.size(), 1u);
+  ASSERT_EQ(rp.intervals.count(0), 1u);
+  EXPECT_EQ(rp.intervals[0].cycles[ci], 12345u);
+  EXPECT_EQ(rp.intervals[0].cycles[ii], 20000u - 12345u);
+}
+
+TEST(ProfileIntervals, SpanEndingExactlyOnBoundaryCreatesNoEmptyTail) {
+  // A makespan that lands exactly on an interval boundary must not open
+  // an empty trailing interval: cycle [199] is the last cycle of interval
+  // 1, and interval 2 never exists.
+  profile::RunProfile rp;
+  rp.enabled = true;
+  rp.interval_cycles = 100;
+  rp.add_cycles(0, 200, trace::CycleBucket::kCompute);
+  const auto bi = static_cast<std::size_t>(trace::CycleBucket::kCompute);
+  ASSERT_EQ(rp.intervals.size(), 2u);
+  EXPECT_EQ(rp.intervals[0].cycles[bi], 100u);
+  EXPECT_EQ(rp.intervals[1].cycles[bi], 100u);
+  EXPECT_EQ(rp.intervals.count(2), 0u);
+}
+
+TEST(ProfileIntervals, ZeroCycleTailAtExactBoundaryConservesTotals) {
+  // Mirrors Observer::finish() when a processor's clock already equals
+  // the makespan and both sit exactly on an interval boundary: the
+  // trailing-idle add is a zero-cycle span, adds nothing, and the summed
+  // interval cycles still equal nprocs * makespan.
+  constexpr std::uint64_t kMakespan = 300;
+  profile::RunProfile rp;
+  rp.enabled = true;
+  rp.interval_cycles = 100;
+  rp.add_cycles(0, kMakespan, trace::CycleBucket::kCompute);  // proc A
+  rp.add_cycles(0, 250, trace::CycleBucket::kCompute);        // proc B...
+  rp.add_cycles(250, kMakespan, trace::CycleBucket::kIdle);   // ...then idle
+  rp.add_cycles(kMakespan, kMakespan, trace::CycleBucket::kIdle);  // zero tail
+  std::uint64_t sum = 0;
+  for (const auto& [idx, iv] : rp.intervals) {
+    for (std::size_t b = 0; b < trace::kNumBuckets; ++b) sum += iv.cycles[b];
+  }
+  EXPECT_EQ(sum, 2 * kMakespan);
+  EXPECT_EQ(rp.intervals.count(3), 0u);  // boundary opened no new interval
+}
+
 // --- zero perturbation -----------------------------------------------------
 
 TEST(ProfileZeroPerturbation, ProfilingChangesNoCycleOrTraceByte) {
@@ -225,24 +277,99 @@ TEST(ProfileConservation, IntervalCyclesSumToNprocsTimesMakespan) {
   EXPECT_EQ(timeline_sum, access_sum);
 }
 
+TEST(ProfileConservation, HoldsWhenIntervalExceedsMakespan) {
+  // End-to-end arm of the interval-larger-than-makespan case: one giant
+  // interval absorbs the whole run and the conservation identity holds.
+  const Benchmark* b = find_benchmark("TreeAdd");
+  ASSERT_NE(b, nullptr);
+  trace::Observer obs;
+  obs.enable_profile(1ull << 40);
+  obs.begin_run("one-interval", {{"benchmark", b->name()}});
+  BenchConfig cfg{.nprocs = 8};
+  cfg.tiny = true;
+  cfg.observer = &obs;
+  (void)b->run(cfg);
+
+  ASSERT_EQ(obs.runs().size(), 1u);
+  const trace::RunRecord& run = obs.runs()[0];
+  ASSERT_EQ(run.profile.intervals.size(), 1u);
+  ASSERT_EQ(run.profile.intervals.count(0), 1u);
+  std::uint64_t cycle_sum = 0;
+  for (const auto& [idx, iv] : run.profile.intervals) {
+    for (std::size_t bkt = 0; bkt < trace::kNumBuckets; ++bkt) {
+      cycle_sum += iv.cycles[bkt];
+    }
+  }
+  EXPECT_EQ(cycle_sum,
+            static_cast<std::uint64_t>(run.nprocs) * run.makespan);
+}
+
 // --- feedback file grammar -------------------------------------------------
 
-TEST(Feedback, ParsesRowsCommentsAndLastWinsDuplicates) {
+TEST(Feedback, ParsesRowsAndComments) {
   profile::FeedbackTable t;
   std::string err;
   ASSERT_TRUE(t.parse("# olden-profile-feedback v1\n"
                       "# a comment\n"
                       "\n"
                       "TreeAdd 0 migrate\n"
-                      "TreeAdd 1 cache\n"
-                      "TreeAdd 0 cache\n",
+                      "TreeAdd 1 cache\n",
                       &err))
       << err;
   EXPECT_EQ(t.size(), 2u);
-  EXPECT_EQ(t.lookup("TreeAdd", 0), Mechanism::kCache);  // last wins
+  EXPECT_EQ(t.lookup("TreeAdd", 0), Mechanism::kMigrate);
   EXPECT_EQ(t.lookup("TreeAdd", 1), Mechanism::kCache);
   EXPECT_EQ(t.lookup("TreeAdd", 2), std::nullopt);
   EXPECT_EQ(t.lookup("MST", 0), std::nullopt);
+}
+
+TEST(Feedback, DuplicateRowIsAStructuredParseError) {
+  // Two rows for one (benchmark, site) mean the file was merged or
+  // hand-edited badly; the old behavior (silent last-wins) applied a
+  // mechanism nobody reviewed. The error names both lines and the uid.
+  profile::FeedbackTable t;
+  std::string err;
+  EXPECT_FALSE(t.parse("# olden-profile-feedback v1\n"
+                       "TreeAdd 0 migrate\n"
+                       "TreeAdd 1 cache\n"
+                       "TreeAdd 0 cache\n",
+                       &err));
+  EXPECT_NE(err.find("line 4"), std::string::npos) << err;
+  EXPECT_NE(err.find("duplicate"), std::string::npos) << err;
+  EXPECT_NE(err.find("TreeAdd#0"), std::string::npos) << err;
+  EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+  EXPECT_TRUE(t.empty());  // failed parses leave the table unchanged
+
+  // Same site index under different benchmarks is not a duplicate.
+  ASSERT_TRUE(t.parse("# olden-profile-feedback v1\n"
+                      "TreeAdd 0 migrate\n"
+                      "MST 0 cache\n",
+                      &err))
+      << err;
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(Feedback, StaleSiteUidsAreReportedByName) {
+  // A row whose site index falls outside the benchmark's table is stale
+  // (written against an older build). stale_uids names the exact tokens
+  // so the consumer's warning tells the user what to regenerate.
+  profile::FeedbackTable t;
+  std::string err;
+  ASSERT_TRUE(t.parse("# olden-profile-feedback v1\n"
+                      "TreeAdd 0 migrate\n"
+                      "TreeAdd 9 cache\n"
+                      "MST 7 cache\n",
+                      &err))
+      << err;
+  const std::vector<std::string> stale = t.stale_uids("TreeAdd", 8);
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0], "TreeAdd#9");
+  // Site 9 would need a 10-site table; with one it is in range.
+  EXPECT_TRUE(t.stale_uids("TreeAdd", 10).empty());
+  // Other benchmarks' rows never leak into this benchmark's report.
+  const std::vector<std::string> mst = t.stale_uids("MST", 4);
+  ASSERT_EQ(mst.size(), 1u);
+  EXPECT_EQ(mst[0], "MST#7");
 }
 
 TEST(Feedback, RejectsMissingOrUnknownVersionHeader) {

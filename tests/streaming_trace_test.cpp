@@ -107,8 +107,13 @@ TEST_P(StreamingSinkEquivalence, SinkBytesMatchInMemoryExport) {
   const auto [name, scheme] = GetParam();
   const std::vector<std::pair<std::string, Coherence>> cells = {{name, scheme}};
   const Golden mem = run_in_memory(cells, 1'000'000);
-  const Golden str =
-      run_streamed(cells, 1'000'000, temp_path("sink_" + name + ".bin"));
+  // The sink path must be unique per (benchmark, scheme) cell: ctest -j
+  // runs the parameterized cells concurrently, and two cells sharing a
+  // file race each other's writes.
+  const Golden str = run_streamed(
+      cells, 1'000'000,
+      temp_path("sink_" + name + "_" +
+                std::to_string(static_cast<int>(scheme)) + ".bin"));
 
   EXPECT_EQ(mem.stats, str.stats);
   ASSERT_EQ(mem.trace_bytes.size(), str.trace_bytes.size());
