@@ -1,0 +1,139 @@
+#include "olden/sample/estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace olden::sample {
+
+namespace {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+// floor(s * makespan / measured) with 128-bit intermediates, plus the
+// remainder for largest-remainder apportionment. measured > 0.
+struct Scaled {
+  u64 quotient;
+  u64 remainder;  // of s * makespan mod measured, in [0, measured)
+};
+
+Scaled scale(u64 s, u64 makespan, u64 measured) {
+  const u128 num = static_cast<u128>(s) * makespan;
+  return {static_cast<u64>(num / measured), static_cast<u64>(num % measured)};
+}
+
+// 95% half-width for one tallied quantity. windows/lens give the n
+// per-window tallies and window lengths; total is the in-window sum,
+// measured/makespan define the sampled fraction. cap is the population
+// total the CI is clamped to (a CI wider than "anything possible" carries
+// no information). Summation order is fixed, so the result is
+// bit-deterministic for a given schedule.
+u64 ci95(const std::vector<double>& tallies, const std::vector<double>& lens,
+         u64 total, u64 measured, u64 makespan, u64 cap) {
+  if (measured == makespan) return 0;  // fully measured: no sampling error
+  const std::size_t n = tallies.size();
+  if (n < 2 || measured == 0) return cap;  // vacuous
+  const double rate = static_cast<double>(total) / static_cast<double>(measured);
+  double ss = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double e = tallies[k] - rate * lens[k];
+    ss += e * e;
+  }
+  const double s2 = ss / static_cast<double>(n - 1);
+  const double f =
+      static_cast<double>(measured) / static_cast<double>(makespan);
+  const double fpc = std::sqrt(std::max(0.0, 1.0 - f));
+  const double half =
+      1.96 * std::sqrt(static_cast<double>(n) * s2) * fpc / f;
+  if (!(half >= 0.0)) return cap;
+  if (half >= static_cast<double>(cap)) return cap;
+  return static_cast<u64>(std::ceil(half));
+}
+
+}  // namespace
+
+RunEstimates estimate(const RunSample& sample, std::uint32_t nprocs,
+                      Cycles makespan) {
+  RunEstimates out;
+  out.makespan = {makespan, 0};
+
+  const u64 measured = sample.measured_cycles;
+  const std::size_t n = sample.windows.size();
+
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t b = 0; b < trace::kNumBuckets; ++b)
+      out.measured_buckets[b] += sample.windows[k].buckets[b];
+    for (std::size_t e = 0; e < trace::kNumEventKinds; ++e)
+      out.measured_events[e] += sample.windows[k].events[e];
+  }
+
+  const u64 target = static_cast<u64>(nprocs) * makespan;
+  if (measured == 0) {
+    // Degenerate schedule (offset beyond the makespan): nothing was
+    // measured, so report idle-only apportionment with vacuous CIs.
+    for (std::size_t b = 0; b < trace::kNumBuckets; ++b)
+      out.buckets[b] = {0, target};
+    out.buckets[static_cast<std::size_t>(trace::CycleBucket::kIdle)].value =
+        target;
+    for (std::size_t e = 0; e < trace::kNumEventKinds; ++e)
+      out.event_counts[e] = {0, 0};
+    return out;
+  }
+
+  // Bucket estimates: floor-scale each sum, then hand out the shortfall
+  // against target = nprocs * makespan by largest remainder (ties to the
+  // lower bucket index). Since the in-window bucket sums tile measured
+  // time (sum_b S_b == nprocs * measured after idle padding), the
+  // shortfall is at most kNumBuckets - 1 cycles.
+  std::array<Scaled, trace::kNumBuckets> scaled{};
+  u64 floor_sum = 0;
+  for (std::size_t b = 0; b < trace::kNumBuckets; ++b) {
+    scaled[b] = scale(out.measured_buckets[b], makespan, measured);
+    floor_sum += scaled[b].quotient;
+  }
+  u64 shortfall = target > floor_sum ? target - floor_sum : 0;
+  std::array<std::size_t, trace::kNumBuckets> order{};
+  for (std::size_t b = 0; b < trace::kNumBuckets; ++b) order[b] = b;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t x, std::size_t y) {
+                     return scaled[x].remainder > scaled[y].remainder;
+                   });
+  for (std::size_t i = 0; i < order.size() && shortfall > 0; ++i) {
+    if (scaled[order[i]].remainder == 0) break;  // exact multiples stay put
+    ++scaled[order[i]].quotient;
+    --shortfall;
+  }
+
+  // Per-window tallies for the CI formula, in fixed window order.
+  std::vector<double> lens(n);
+  for (std::size_t k = 0; k < n; ++k)
+    lens[k] = static_cast<double>(sample.window_len(k));
+  std::vector<double> tallies(n);
+
+  for (std::size_t b = 0; b < trace::kNumBuckets; ++b) {
+    for (std::size_t k = 0; k < n; ++k)
+      tallies[k] = static_cast<double>(sample.windows[k].buckets[b]);
+    out.buckets[b] = {scaled[b].quotient,
+                      ci95(tallies, lens, out.measured_buckets[b], measured,
+                           makespan, target)};
+  }
+
+  for (std::size_t e = 0; e < trace::kNumEventKinds; ++e) {
+    const u64 est = scale(out.measured_events[e], makespan, measured).quotient;
+    if (out.measured_events[e] == 0) {
+      out.event_counts[e] = {0, 0};
+      continue;
+    }
+    for (std::size_t k = 0; k < n; ++k)
+      tallies[k] = static_cast<double>(sample.windows[k].events[e]);
+    // Unlike cycle buckets, event counts have no conserved population
+    // total to clamp against, so the cap is vacuous.
+    out.event_counts[e] = {est, ci95(tallies, lens, out.measured_events[e],
+                                     measured, makespan, UINT64_MAX)};
+  }
+
+  return out;
+}
+
+}  // namespace olden::sample

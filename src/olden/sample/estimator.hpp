@@ -1,0 +1,57 @@
+// Extrapolation from measured windows to whole-run population estimates.
+//
+// For each cycle bucket b the windows hold an integer-exact sum S_b of
+// bucket cycles inside the measured fraction of the run; the estimator
+// scales it to the full run by the exact rational makespan/measured using
+// 128-bit intermediates, then applies largest-remainder apportionment so
+// the six bucket estimates sum to exactly nprocs x makespan — the same
+// conservation law exact runs obey (check_stats_schema.py enforces it on
+// both). Event-kind counts are scaled the same way, unapportioned.
+//
+// The makespan itself is NOT estimated: unlike hardware SMARTS, the
+// functional-warming fast-forward still advances full virtual time, so
+// the population total is known exactly. Its "estimate" is the exact
+// value with a zero-width CI; the sampling uncertainty lives entirely in
+// the bucket and event-kind estimates.
+//
+// CIs are classic systematic-sampling standard errors with finite-
+// population correction: with n windows of length L_k, tallies x_k,
+// overall rate r = S/measured and sampled fraction f = measured/makespan,
+//   s^2   = sum((x_k - r*L_k)^2) / (n - 1)
+//   ci95  = 1.96 * sqrt(n * s^2) * sqrt(1 - f) / f
+// A fully measured run has f == 1 and therefore ci95 == 0 exactly; n < 2
+// or measured == 0 yields the maximal (vacuous) CI. Double math uses a
+// fixed summation order, so CIs are bit-deterministic.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "olden/sample/sample.hpp"
+#include "olden/trace/trace.hpp"
+
+namespace olden::sample {
+
+/// A population estimate with a symmetric 95% confidence half-width.
+/// ci95 is ceil'd to an integer so JSON stays float-free.
+struct Estimate {
+  std::uint64_t value = 0;
+  std::uint64_t ci95 = 0;
+};
+
+/// Everything the v5 stats JSON reports for one sampled run.
+struct RunEstimates {
+  Estimate makespan;  ///< exact value, ci95 == 0 (see file comment)
+  std::array<Estimate, trace::kNumBuckets> buckets{};
+  std::array<Estimate, trace::kNumEventKinds> event_counts{};
+  /// Integer-exact in-window sums the estimates were scaled from.
+  trace::BucketCycles measured_buckets{};
+  std::array<std::uint64_t, trace::kNumEventKinds> measured_events{};
+};
+
+/// Compute estimates for a finalized RunSample. nprocs and makespan come
+/// from the run record; sample.finalize() must have run already.
+[[nodiscard]] RunEstimates estimate(const RunSample& sample,
+                                    std::uint32_t nprocs, Cycles makespan);
+
+}  // namespace olden::sample

@@ -1,0 +1,90 @@
+#include "olden/sample/sample.hpp"
+
+#include <cstdio>
+
+namespace olden::sample {
+
+namespace {
+
+// Strict non-negative decimal parse, same grammar as ObsCli's numeric
+// flags: digits only, no sign, no leading '+', value must fit uint64.
+bool parse_field(const std::string& s, std::size_t begin, std::size_t end,
+                 Cycles* out) {
+  if (begin >= end) return false;
+  Cycles v = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const char c = s[i];
+    if (c < '0' || c > '9') return false;
+    if (v > (UINT64_MAX - static_cast<Cycles>(c - '0')) / 10) return false;
+    v = v * 10 + static_cast<Cycles>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+bool parse_spec(const std::string& s, Spec* out, std::string* err) {
+  const std::size_t c1 = s.find(':');
+  if (c1 == std::string::npos) {
+    if (err) *err = "expected W:D[:offset], got '" + s + "'";
+    return false;
+  }
+  const std::size_t c2 = s.find(':', c1 + 1);
+  Spec spec;
+  const bool ok =
+      parse_field(s, 0, c1, &spec.window) &&
+      parse_field(s, c1 + 1, c2 == std::string::npos ? s.size() : c2,
+                  &spec.detail) &&
+      (c2 == std::string::npos ||
+       parse_field(s, c2 + 1, s.size(), &spec.offset));
+  if (!ok) {
+    if (err) *err = "expected W:D[:offset] as decimal cycles, got '" + s + "'";
+    return false;
+  }
+  if (spec.window == 0 || spec.detail == 0) {
+    if (err) *err = "sample window and detail must be positive";
+    return false;
+  }
+  if (spec.detail > spec.window) {
+    if (err) *err = "sample detail D must not exceed window W";
+    return false;
+  }
+  *out = spec;
+  return true;
+}
+
+std::string to_string(const Spec& spec) {
+  char buf[72];
+  std::snprintf(buf, sizeof buf, "%llu:%llu:%llu",
+                static_cast<unsigned long long>(spec.window),
+                static_cast<unsigned long long>(spec.detail),
+                static_cast<unsigned long long>(spec.offset));
+  return buf;
+}
+
+void RunSample::finalize(Cycles run_makespan) {
+  makespan = run_makespan;
+  measured_cycles = measured_before(spec, makespan);
+  // Number of windows that genuinely overlap [0, makespan): windows start
+  // at offset + kW, so k ranges over [0, ceil((makespan - offset) / W)).
+  std::size_t n = 0;
+  if (makespan > spec.offset) {
+    const Cycles x = makespan - spec.offset;
+    n = static_cast<std::size_t>((x + spec.window - 1) / spec.window);
+  }
+  // An event stamped exactly at the makespan can land in window n (which
+  // starts at the makespan and has zero measured length). Fold any such
+  // trailing tallies into the last real window so event counts over a
+  // fully-measured schedule (W == D) match the exact run; spans can never
+  // land there (overlap needs window start < span end <= makespan).
+  while (windows.size() > n && n > 0) {
+    const WindowCounts& extra = windows.back();
+    for (std::size_t k = 0; k < extra.events.size(); ++k)
+      windows[n - 1].events[k] += extra.events[k];
+    windows.pop_back();
+  }
+  windows.resize(n);
+}
+
+}  // namespace olden::sample

@@ -1,0 +1,155 @@
+// SMARTS-style systematic sampling: the schedule grammar and the per-run
+// window accumulator.
+//
+// A sampled run alternates between *functional warming* — the Machine
+// advances with full logical fidelity (threads, futures, cache/directory/
+// write-log state, the fault plane), but per-event and per-cycle
+// observability bookkeeping is suppressed — and *detailed measurement
+// windows* of D virtual cycles every W cycles, where cycle-bucket
+// attribution and event-kind counting run in full. The schedule is a pure
+// function of (W, D, offset) and virtual time, so it is deterministic and
+// reproducible by construction: the same spec always measures exactly the
+// same virtual-time windows, regardless of host parallelism or repeats.
+//
+// Sampling lives entirely on the observer side of the Machine/Observer
+// boundary. The runtime has no warming/detail mode switch — processors
+// advance their clocks independently (one can be millions of cycles ahead
+// of another), so a global mode flip is not even well defined; instead
+// every hook checks the *timestamp it was called with* against the
+// periodic schedule. Because hooks never touch virtual time, a sampled
+// run's checksums, makespan and machine counters are identical to an
+// exact run's by construction (tests/sample_validation_test.cpp holds the
+// runtime to that).
+//
+// What stays exact under sampling: every MachineStats counter (the
+// machine maintains them itself), the makespan, per-proc final clocks,
+// and the fault-class ledger. What is window-measured and extrapolated
+// (src/olden/sample/estimator.hpp): cycle buckets and event-kind counts.
+// Histograms, page heat, traces and profiles are suppressed entirely —
+// --sample excludes --trace*/--profile at the CLI.
+//
+// See docs/SAMPLING.md for schedule semantics and how to choose W:D.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "olden/support/types.hpp"
+#include "olden/trace/trace.hpp"
+
+namespace olden::sample {
+
+/// A sampling schedule "W:D[:offset]": detail windows of `detail` cycles
+/// start at offset, offset+W, offset+2W, ...; everything else is warming.
+struct Spec {
+  Cycles window = 0;  ///< W, the schedule period; 0 disables sampling
+  Cycles detail = 0;  ///< D, measured cycles per period (0 < D <= W)
+  Cycles offset = 0;  ///< virtual-cycle phase of the first window
+
+  [[nodiscard]] bool enabled() const { return window > 0; }
+};
+
+/// Parse "W:D[:offset]" (strict non-negative decimal integers; W > 0,
+/// 0 < D <= W). Returns false with a one-line message in *err.
+bool parse_spec(const std::string& s, Spec* out, std::string* err);
+
+/// Canonical "W:D:offset" rendering (always three fields, so the schedule
+/// pinned in the stats JSON is unambiguous).
+[[nodiscard]] std::string to_string(const Spec& spec);
+
+/// Measured virtual time in [0, t) under the schedule: the total overlap
+/// of [0, t) with the detail windows. Integer-exact.
+[[nodiscard]] inline Cycles measured_before(const Spec& s, Cycles t) {
+  if (t <= s.offset) return 0;
+  const Cycles x = t - s.offset;
+  return (x / s.window) * s.detail +
+         (x % s.window < s.detail ? x % s.window : s.detail);
+}
+
+/// True when virtual time t falls inside a detail window.
+[[nodiscard]] inline bool in_detail(const Spec& s, Cycles t) {
+  return t >= s.offset && (t - s.offset) % s.window < s.detail;
+}
+
+/// In-window tallies for one detail window.
+struct WindowCounts {
+  trace::BucketCycles buckets{};
+  std::array<std::uint64_t, trace::kNumEventKinds> events{};
+};
+
+/// The per-run accumulator. Rides in trace::RunRecord so that
+/// Observer::adopt_runs_from merges host-parallel worker records
+/// byte-identically to a serial run — the same trick RunProfile uses.
+///
+/// Memory is one WindowCounts (~272 bytes) per detail window, i.e.
+/// ~makespan/W entries; choose W so makespan/W stays in the thousands.
+struct RunSample {
+  bool enabled = false;
+  Spec spec;
+  std::vector<WindowCounts> windows;  ///< indexed by window number k
+  /// Set by finalize():
+  Cycles makespan = 0;
+  Cycles measured_cycles = 0;  ///< measured_before(spec, makespan)
+
+  void reset(const Spec& s) {
+    enabled = s.enabled();
+    spec = s;
+    windows.clear();
+    makespan = 0;
+    measured_cycles = 0;
+  }
+
+  /// Count one event stamped at virtual time t. Warming-phase events are
+  /// dropped (their ids were still assigned by the observer, so causal id
+  /// stability is unaffected).
+  void add_event(Cycles t, trace::EventKind k) {
+    if (t < spec.offset) return;
+    const Cycles x = t - spec.offset;
+    if (x % spec.window >= spec.detail) return;
+    const std::size_t w = static_cast<std::size_t>(x / spec.window);
+    if (w >= windows.size()) windows.resize(w + 1);
+    ++windows[w].events[static_cast<std::size_t>(k)];
+  }
+
+  /// Attribute the cycle span [a, b) on one processor to bucket `bkt`,
+  /// split integer-exactly across every detail window it overlaps. A span
+  /// entirely inside a warming gap adds nothing.
+  void add_span(Cycles a, Cycles b, trace::CycleBucket bkt) {
+    if (b <= spec.offset || b <= a) return;
+    if (a < spec.offset) a = spec.offset;
+    for (Cycles k = (a - spec.offset) / spec.window;; ++k) {
+      const Cycles ws = spec.offset + k * spec.window;
+      if (ws >= b) break;
+      const Cycles we = ws + spec.detail;
+      const Cycles lo = a > ws ? a : ws;
+      const Cycles hi = b < we ? b : we;
+      if (hi > lo) {
+        const std::size_t w = static_cast<std::size_t>(k);
+        if (w >= windows.size()) windows.resize(w + 1);
+        windows[w].buckets[static_cast<std::size_t>(bkt)] += hi - lo;
+      }
+    }
+  }
+
+  /// Close the run: record the makespan, clamp the window list to the
+  /// windows that start before it (an event stamped exactly at the
+  /// makespan can open a zero-length trailing window; its counts are
+  /// folded into the last real window), and compute measured_cycles.
+  /// Callers must already have padded every processor's trailing idle
+  /// span [final clock, makespan) via add_span, so that each window's
+  /// bucket cycles sum to nprocs x its length (the conservation rule
+  /// check_stats_schema.py re-verifies).
+  void finalize(Cycles run_makespan);
+
+  /// Length of window k under the finalized makespan (the last window may
+  /// be truncated).
+  [[nodiscard]] Cycles window_len(std::size_t k) const {
+    const Cycles ws = spec.offset + static_cast<Cycles>(k) * spec.window;
+    const Cycles we = ws + spec.detail;
+    return (we < makespan ? we : makespan) - ws;
+  }
+};
+
+}  // namespace olden::sample

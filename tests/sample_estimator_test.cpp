@@ -1,0 +1,294 @@
+// Satellite unit tests for the sampling plane's arithmetic, in isolation
+// from the runtime: the W:D[:offset] grammar, integer-exact window
+// splitting, the estimator's conservation laws, and the degenerate
+// schedules (W == D fully measured, offset past the makespan).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "olden/bench/benchmark.hpp"
+#include "olden/sample/estimator.hpp"
+#include "olden/sample/sample.hpp"
+#include "olden/trace/observer.hpp"
+
+namespace olden::sample {
+namespace {
+
+TEST(SampleSpec, ParsesTwoAndThreeFieldForms) {
+  Spec s;
+  std::string err;
+  ASSERT_TRUE(parse_spec("1000:100", &s, &err)) << err;
+  EXPECT_EQ(s.window, 1000u);
+  EXPECT_EQ(s.detail, 100u);
+  EXPECT_EQ(s.offset, 0u);
+  ASSERT_TRUE(parse_spec("1000:100:37", &s, &err)) << err;
+  EXPECT_EQ(s.offset, 37u);
+  ASSERT_TRUE(parse_spec("1:1", &s, &err)) << err;  // W == D is legal
+  EXPECT_EQ(to_string(s), "1:1:0");
+}
+
+TEST(SampleSpec, RejectsMalformedSchedules) {
+  Spec s;
+  std::string err;
+  for (const char* bad : {"", "100", "abc", "100:", ":100", "100:0", "0:0",
+                          "0:100", "100:200", "1e3:100", "100:50:",
+                          "100:50:-1", "-100:50", "100:50:1:2"}) {
+    EXPECT_FALSE(parse_spec(bad, &s, &err)) << bad;
+    EXPECT_FALSE(err.empty()) << bad;
+  }
+}
+
+TEST(SampleSchedule, MeasuredBeforeCountsWindowOverlap) {
+  const Spec s{.window = 100, .detail = 30, .offset = 5};
+  EXPECT_EQ(measured_before(s, 0), 0u);
+  EXPECT_EQ(measured_before(s, 5), 0u);    // window 0 starts at 5
+  EXPECT_EQ(measured_before(s, 6), 1u);
+  EXPECT_EQ(measured_before(s, 35), 30u);  // window 0 fully measured
+  EXPECT_EQ(measured_before(s, 104), 30u); // warming gap
+  EXPECT_EQ(measured_before(s, 105), 30u);
+  EXPECT_EQ(measured_before(s, 106), 31u); // window 1 opened
+  EXPECT_EQ(measured_before(s, 1005), 300u);
+}
+
+TEST(SampleSchedule, InDetailMatchesMeasuredBeforeDerivative) {
+  const Spec s{.window = 64, .detail = 17, .offset = 3};
+  for (Cycles t = 0; t < 1000; ++t) {
+    EXPECT_EQ(in_detail(s, t), measured_before(s, t + 1) != measured_before(s, t))
+        << t;
+  }
+}
+
+// The accumulator splits any span integer-exactly: the cycles a span
+// deposits across all windows equal its schedule overlap F(b) - F(a).
+TEST(SampleAccumulator, SpanSplittingIsIntegerExact) {
+  const Spec s{.window = 100, .detail = 30, .offset = 5};
+  const struct { Cycles a, b; } spans[] = {
+      {0, 4},      // entirely before the first window
+      {0, 5},      // touches the boundary, zero overlap
+      {0, 50},     // crosses into window 0
+      {10, 20},    // inside window 0
+      {20, 140},   // window 0 tail + warming gap + window 1 head
+      {35, 105},   // exactly one warming gap
+      {0, 1000},   // many windows
+      {777, 778},  // single cycle
+  };
+  for (const auto& sp : spans) {
+    RunSample rs;
+    rs.reset(s);
+    rs.add_span(sp.a, sp.b, trace::CycleBucket::kCompute);
+    std::uint64_t total = 0;
+    for (const WindowCounts& w : rs.windows) {
+      total += w.buckets[static_cast<std::size_t>(trace::CycleBucket::kCompute)];
+    }
+    EXPECT_EQ(total, measured_before(s, sp.b) - measured_before(s, sp.a))
+        << sp.a << ".." << sp.b;
+  }
+}
+
+// Many adjacent spans deposit exactly what one covering span would:
+// window attribution is additive with no boundary double-count.
+TEST(SampleAccumulator, AdjacentSpansTileWithoutDoubleCounting) {
+  const Spec s{.window = 97, .detail = 31, .offset = 11};
+  RunSample pieces;
+  pieces.reset(s);
+  Cycles t = 0;
+  int step = 1;
+  while (t < 2000) {
+    const Cycles next = t + static_cast<Cycles>(step);
+    pieces.add_span(t, next, trace::CycleBucket::kMigration);
+    t = next;
+    step = step % 7 + 1;
+  }
+  RunSample whole;
+  whole.reset(s);
+  whole.add_span(0, t, trace::CycleBucket::kMigration);
+  ASSERT_EQ(pieces.windows.size(), whole.windows.size());
+  for (std::size_t k = 0; k < whole.windows.size(); ++k) {
+    EXPECT_EQ(pieces.windows[k].buckets, whole.windows[k].buckets) << k;
+  }
+}
+
+TEST(SampleAccumulator, FinalizeFoldsMakespanStampedEvents) {
+  // With (makespan - offset) divisible by W, an event at t == makespan
+  // would open a zero-length trailing window; finalize folds it back.
+  const Spec s{.window = 100, .detail = 100, .offset = 0};
+  RunSample rs;
+  rs.reset(s);
+  rs.add_event(200, trace::EventKind::kCacheHit);  // t == makespan
+  rs.add_event(42, trace::EventKind::kCacheHit);
+  rs.finalize(200);
+  ASSERT_EQ(rs.windows.size(), 2u);
+  EXPECT_EQ(rs.windows[0].events[static_cast<std::size_t>(
+                trace::EventKind::kCacheHit)],
+            1u);
+  EXPECT_EQ(rs.windows[1].events[static_cast<std::size_t>(
+                trace::EventKind::kCacheHit)],
+            1u);
+  EXPECT_EQ(rs.measured_cycles, 200u);
+}
+
+// A fully-measured schedule (W == D) is exact simulation with extra
+// steps: estimates equal the in-window sums and every CI is zero.
+TEST(SampleEstimator, FullyMeasuredScheduleHasZeroWidthCIs) {
+  const Spec s{.window = 1000, .detail = 1000, .offset = 0};
+  RunSample rs;
+  rs.reset(s);
+  const std::uint32_t nprocs = 2;
+  // Two procs, makespan 2500: proc 0 computes throughout, proc 1 idles.
+  rs.add_span(0, 2500, trace::CycleBucket::kCompute);
+  rs.add_span(0, 2500, trace::CycleBucket::kIdle);
+  rs.add_event(0, trace::EventKind::kMigrationDepart);
+  rs.add_event(2499, trace::EventKind::kCacheHit);
+  rs.finalize(2500);
+  EXPECT_EQ(rs.measured_cycles, 2500u);
+  const RunEstimates est = estimate(rs, nprocs, 2500);
+  EXPECT_EQ(est.makespan.value, 2500u);
+  EXPECT_EQ(est.makespan.ci95, 0u);
+  const auto compute = static_cast<std::size_t>(trace::CycleBucket::kCompute);
+  const auto idle = static_cast<std::size_t>(trace::CycleBucket::kIdle);
+  EXPECT_EQ(est.buckets[compute].value, 2500u);
+  EXPECT_EQ(est.buckets[idle].value, 2500u);
+  for (const Estimate& e : est.buckets) EXPECT_EQ(e.ci95, 0u);
+  for (const Estimate& e : est.event_counts) EXPECT_EQ(e.ci95, 0u);
+  EXPECT_EQ(
+      est.event_counts[static_cast<std::size_t>(trace::EventKind::kMigrationDepart)]
+          .value,
+      1u);
+}
+
+// Bucket estimates are apportioned so their sum is exactly
+// nprocs * makespan, whatever the schedule measured.
+TEST(SampleEstimator, BucketEstimatesConserveTotalCycles) {
+  const Spec s{.window = 1000, .detail = 137, .offset = 41};
+  RunSample rs;
+  rs.reset(s);
+  const std::uint32_t nprocs = 3;
+  const Cycles makespan = 12345;
+  // Three procs with interleaved bucket stripes, then idle-padding, so
+  // the windows tile measured time exactly as Observer::finish arranges.
+  for (std::uint32_t p = 0; p < nprocs; ++p) {
+    Cycles t = 0;
+    int b = static_cast<int>(p);
+    while (t < makespan) {
+      Cycles len = 200 + 37 * static_cast<Cycles>(b);
+      if (t + len > makespan) len = makespan - t;
+      rs.add_span(t, t + len, static_cast<trace::CycleBucket>(b % 5));
+      t += len;
+      b = (b + 1) % 5;
+    }
+  }
+  rs.finalize(makespan);
+  // Windows must tile: sum of all bucket cycles == nprocs * measured.
+  std::uint64_t in_window = 0;
+  for (const WindowCounts& w : rs.windows) {
+    for (std::uint64_t c : w.buckets) in_window += c;
+  }
+  EXPECT_EQ(in_window, nprocs * rs.measured_cycles);
+  const RunEstimates est = estimate(rs, nprocs, makespan);
+  std::uint64_t est_sum = 0;
+  for (const Estimate& e : est.buckets) est_sum += e.value;
+  EXPECT_EQ(est_sum, static_cast<std::uint64_t>(nprocs) * makespan);
+}
+
+TEST(SampleEstimator, OffsetPastMakespanYieldsIdleOnlyVacuousEstimates) {
+  const Spec s{.window = 100, .detail = 10, .offset = 1 << 20};
+  RunSample rs;
+  rs.reset(s);
+  rs.add_span(0, 500, trace::CycleBucket::kCompute);
+  rs.finalize(500);
+  EXPECT_EQ(rs.measured_cycles, 0u);
+  EXPECT_TRUE(rs.windows.empty());
+  const RunEstimates est = estimate(rs, 1, 500);
+  const auto idle = static_cast<std::size_t>(trace::CycleBucket::kIdle);
+  EXPECT_EQ(est.buckets[idle].value, 500u);
+  EXPECT_EQ(est.buckets[idle].ci95, 500u);  // vacuous
+}
+
+// --- the W == D contract against a real run -------------------------------
+
+bench::BenchResult run_sampled(const bench::Benchmark* b, const Spec& spec,
+                               trace::Observer* obs) {
+  obs->set_sample(spec);
+  obs->begin_run("sample-test");
+  bench::BenchConfig cfg{.nprocs = 4};
+  cfg.tiny = true;
+  cfg.observer = obs;
+  return b->run(cfg);
+}
+
+TEST(SampleEstimator, FullyMeasuredRealRunReproducesExactCounters) {
+  const bench::Benchmark* b = bench::find_benchmark("TreeAdd");
+  ASSERT_NE(b, nullptr);
+
+  trace::Observer exact;
+  exact.begin_run("sample-test");
+  bench::BenchConfig cfg{.nprocs = 4};
+  cfg.tiny = true;
+  cfg.observer = &exact;
+  const bench::BenchResult r_exact = b->run(cfg);
+  ASSERT_EQ(exact.runs().size(), 1u);
+  const trace::RunRecord& re = exact.runs()[0];
+
+  trace::Observer sampled;
+  const bench::BenchResult r_sampled =
+      run_sampled(b, Spec{.window = 4096, .detail = 4096, .offset = 0},
+                  &sampled);
+  ASSERT_EQ(sampled.runs().size(), 1u);
+  const trace::RunRecord& rs = sampled.runs()[0];
+
+  // Sampling never perturbs the simulation.
+  EXPECT_EQ(r_sampled.checksum, r_exact.checksum);
+  EXPECT_EQ(r_sampled.total_cycles, r_exact.total_cycles);
+  EXPECT_EQ(rs.makespan, re.makespan);
+  EXPECT_EQ(rs.counters, re.counters);  // machine counters stay exact
+
+  // W == D: estimates reproduce the exact run, CIs are all zero.
+  const RunEstimates est = estimate(rs.sample, rs.nprocs, rs.makespan);
+  const trace::BucketCycles exact_buckets = re.bucket_totals();
+  for (std::size_t i = 0; i < trace::kNumBuckets; ++i) {
+    EXPECT_EQ(est.buckets[i].value, exact_buckets[i]) << i;
+    EXPECT_EQ(est.buckets[i].ci95, 0u) << i;
+  }
+  for (std::size_t k = 0; k < trace::kNumEventKinds; ++k) {
+    EXPECT_EQ(est.event_counts[k].value, re.event_counts[k]) << k;
+    EXPECT_EQ(est.event_counts[k].ci95, 0u) << k;
+  }
+}
+
+// --- schedule/byte determinism --------------------------------------------
+
+TEST(SampleDeterminism, RepeatedSampledRunsProduceByteIdenticalStats) {
+  const bench::Benchmark* b = bench::find_benchmark("MST");
+  ASSERT_NE(b, nullptr);
+  std::string bytes[2];
+  for (int i = 0; i < 2; ++i) {
+    trace::Observer obs;
+    run_sampled(b, Spec{.window = 8192, .detail = 1024, .offset = 0}, &obs);
+    bytes[i] = trace::stats_json(obs);
+  }
+  EXPECT_EQ(bytes[0], bytes[1]);
+  EXPECT_NE(bytes[0].find("\"sampled\":true"), std::string::npos);
+}
+
+// adopt_runs_from (the --jobs merge path) must reproduce the serial
+// record byte for byte, sample windows included.
+TEST(SampleDeterminism, WorkerMergeMatchesSerialByteForByte) {
+  const bench::Benchmark* b = bench::find_benchmark("TreeAdd");
+  ASSERT_NE(b, nullptr);
+  const Spec spec{.window = 8192, .detail = 1024, .offset = 16};
+
+  trace::Observer serial;
+  run_sampled(b, spec, &serial);
+
+  trace::Observer worker;
+  run_sampled(b, spec, &worker);
+  trace::Observer main_obs;
+  main_obs.set_sample(spec);
+  main_obs.adopt_runs_from(worker);
+
+  EXPECT_EQ(trace::stats_json(main_obs), trace::stats_json(serial));
+}
+
+}  // namespace
+}  // namespace olden::sample

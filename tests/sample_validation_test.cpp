@@ -1,0 +1,148 @@
+// Satellite validation sweep: sampled TreeAdd and MST at --tiny across
+// three (W, D) settings, for the three static schemes plus adaptive.
+// Holds the sampling plane to its contract against the exact run:
+//
+//   * functional warming never perturbs the simulation (checksums,
+//     makespans and every machine counter identical),
+//   * the makespan estimate is the exact value with a zero-width CI
+//     (virtual time is fully known even between windows), so the exact
+//     makespan trivially falls inside the reported 95% CI with relative
+//     error 0 < 5%,
+//   * bucket estimates conserve total cycles (sum == nprocs * makespan)
+//     and the in-window sums tile measured time,
+//   * the dominant cycle bucket's estimate lands within 5% of the exact
+//     value — the substantive accuracy check, deterministic per schedule.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <tuple>
+
+#include "olden/bench/benchmark.hpp"
+#include "olden/sample/estimator.hpp"
+#include "olden/sample/sample.hpp"
+#include "olden/trace/observer.hpp"
+
+namespace olden::bench {
+namespace {
+
+struct SchemeUnderTest {
+  const char* name;
+  Coherence scheme;
+  bool adaptive;
+};
+
+const SchemeUnderTest kSchemes[] = {
+    {"local", Coherence::kLocalKnowledge, false},
+    {"global", Coherence::kEagerGlobal, false},
+    {"bilateral", Coherence::kBilateral, false},
+    {"adaptive", Coherence::kEagerGlobal, true},
+};
+
+// Schedules are scaled to the --tiny makespans (TreeAdd ~140k cycles,
+// MST ~8M): even the sparsest setting leaves TreeAdd with dozens of
+// windows, which systematic sampling needs for the accuracy gate below.
+const sample::Spec kSettings[] = {
+    {.window = 1024, .detail = 256, .offset = 0},   // 25% duty
+    {.window = 4096, .detail = 512, .offset = 128}, // 12.5%, phase-shifted
+    {.window = 2048, .detail = 256, .offset = 0},   // 12.5%, denser windows
+};
+
+BenchConfig make_config(const SchemeUnderTest& s, trace::Observer* obs) {
+  BenchConfig cfg{.nprocs = 8, .scheme = s.scheme};
+  cfg.tiny = true;
+  cfg.observer = obs;
+  if (s.adaptive) {
+    cfg.adapt.interval = 2048;
+    cfg.adapt.hysteresis = 1;
+    cfg.adapt.min_samples = 8;
+  }
+  return cfg;
+}
+
+class SampleValidation
+    : public ::testing::TestWithParam<std::tuple<const char*, int>> {};
+
+TEST_P(SampleValidation, SampledRunMatchesExactWithinCI) {
+  const auto [bench_name, setting] = GetParam();
+  const sample::Spec spec = kSettings[setting];
+  const Benchmark* b = find_benchmark(bench_name);
+  ASSERT_NE(b, nullptr);
+
+  for (const SchemeUnderTest& s : kSchemes) {
+    SCOPED_TRACE(s.name);
+
+    trace::Observer exact;
+    exact.begin_run("validate/exact");
+    BenchConfig cfg = make_config(s, &exact);
+    const BenchResult r_exact = b->run(cfg);
+    ASSERT_EQ(exact.runs().size(), 1u);
+    const trace::RunRecord& re = exact.runs()[0];
+
+    trace::Observer sampled;
+    sampled.set_sample(spec);
+    sampled.begin_run("validate/sampled");
+    cfg = make_config(s, &sampled);
+    const BenchResult r_sampled = b->run(cfg);
+    ASSERT_EQ(sampled.runs().size(), 1u);
+    const trace::RunRecord& rs = sampled.runs()[0];
+
+    // Functional warming never perturbs logical state.
+    EXPECT_EQ(r_sampled.checksum, r_exact.checksum);
+    EXPECT_EQ(r_sampled.total_cycles, r_exact.total_cycles);
+    EXPECT_EQ(rs.makespan, re.makespan);
+    EXPECT_EQ(rs.counters, re.counters);
+
+    const sample::RunEstimates est =
+        sample::estimate(rs.sample, rs.nprocs, rs.makespan);
+
+    // The exact makespan falls inside the reported 95% CI, with relative
+    // error under 5% (both hold exactly: virtual time is fully known).
+    EXPECT_GE(re.makespan, est.makespan.value - est.makespan.ci95);
+    EXPECT_LE(re.makespan, est.makespan.value + est.makespan.ci95);
+    const double makespan_rel_err =
+        re.makespan == 0
+            ? 0.0
+            : std::abs(static_cast<double>(est.makespan.value) -
+                       static_cast<double>(re.makespan)) /
+                  static_cast<double>(re.makespan);
+    EXPECT_LT(makespan_rel_err, 0.05);
+
+    // Conservation: in-window sums tile measured time; estimates tile
+    // the whole run.
+    std::uint64_t in_window = 0;
+    for (const sample::WindowCounts& w : rs.sample.windows) {
+      for (std::uint64_t c : w.buckets) in_window += c;
+    }
+    EXPECT_EQ(in_window, rs.nprocs * rs.sample.measured_cycles);
+    std::uint64_t est_sum = 0;
+    for (const sample::Estimate& e : est.buckets) est_sum += e.value;
+    EXPECT_EQ(est_sum, static_cast<std::uint64_t>(rs.nprocs) * rs.makespan);
+
+    // Accuracy on the dominant bucket: systematic sampling across many
+    // windows must land within 5% of the exact value (deterministic for
+    // a pinned schedule, so this is a regression gate, not a coin flip).
+    const trace::BucketCycles exact_buckets = re.bucket_totals();
+    std::size_t dominant = 0;
+    for (std::size_t i = 1; i < trace::kNumBuckets; ++i) {
+      if (exact_buckets[i] > exact_buckets[dominant]) dominant = i;
+    }
+    ASSERT_GT(exact_buckets[dominant], 0u);
+    const double rel_err =
+        std::abs(static_cast<double>(est.buckets[dominant].value) -
+                 static_cast<double>(exact_buckets[dominant])) /
+        static_cast<double>(exact_buckets[dominant]);
+    EXPECT_LT(rel_err, 0.05)
+        << to_string(static_cast<trace::CycleBucket>(dominant)) << " exact "
+        << exact_buckets[dominant] << " est " << est.buckets[dominant].value;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TreeAddAndMst, SampleValidation,
+    ::testing::Combine(::testing::Values("TreeAdd", "MST"),
+                       ::testing::Values(0, 1, 2)));
+
+}  // namespace
+}  // namespace olden::bench

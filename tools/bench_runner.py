@@ -4,7 +4,7 @@
 Usage: bench_runner.py [--build-dir DIR] [--out FILE] [--tiny | --paper]
                        [--nprocs N] [--revision REV] [--benchmarks A,B,...]
                        [--jobs N] [--timeout SECS] [--keep-traces DIR]
-                       [--keep-profiles DIR]
+                       [--keep-profiles DIR] [--sample W:D[:OFFSET]]
 
 For every benchmark in the suite (or the --benchmarks subset) this runs
 `bench_cell` across the three coherence schemes with --stats-json and
@@ -36,6 +36,18 @@ document is identical with or without this flag.
 hundreds of MB, so this tier streams them to disk (--trace-stream) and
 analyzes them in bounded memory (olden-analyze --stream); the documents
 produced are byte-identical to what the in-memory paths would emit.
+
+--sample W:D[:OFFSET] runs every cell under SMARTS-style systematic
+sampling (docs/SAMPLING.md): D detailed cycles measured out of every W,
+with full functional warming in between. Sampled cells carry no trace
+and no critical path (per-event emission is suppressed outside the
+windows), so --keep-traces and --keep-profiles are rejected; their
+bucket totals are the estimator's population estimates, marked with
+"sampled": true and a makespan_ci95 field, and the document records the
+schedule in a top-level "sample" key. Checksums and makespans are exact
+regardless (warming never perturbs logical state), so a sampled tier is
+directly comparable against an exact baseline with
+bench_compare.py --ci-gate.
 
 bench_cell validates every cell's checksum against the host-side
 sequential reference, so a nonzero exit here means a *correctness*
@@ -139,7 +151,7 @@ def run_child(cmd, what, timeout):
 
 
 def run_benchmark(bench_cell, analyze, name, nprocs, mode, timeout, tmpdir,
-                  keep_traces=None, keep_profiles=None):
+                  keep_traces=None, keep_profiles=None, sample=None):
     """Run one benchmark across all schemes; return its cells.
 
     Thread-safe: all paths under tmpdir are keyed by benchmark name and
@@ -151,33 +163,43 @@ def run_benchmark(bench_cell, analyze, name, nprocs, mode, timeout, tmpdir,
     trace_flag = "--trace-stream" if paper else "--trace-bin"
     cmd = [bench_cell, f"--benchmark={name}", f"--nprocs={nprocs}",
            f"--schemes={','.join(SCHEMES)}",
-           f"--stats-json={stats_path}", f"{trace_flag}={trace_path}"]
+           f"--stats-json={stats_path}"]
+    if sample is not None:
+        # Sampling suppresses per-event emission outside the measurement
+        # windows, so there is no trace to collect or analyze.
+        cmd.append(f"--sample={sample}")
+    else:
+        cmd.append(f"{trace_flag}={trace_path}")
     profile_path = os.path.join(tmpdir, f"{name}.profile.json")
     if keep_profiles is not None:
         cmd.append(f"--profile={profile_path}")
     if mode == "tiny":
         cmd.append("--tiny")
     elif paper:
-        cmd += ["--paper-size", f"--trace-limit={PAPER_TRACE_LIMIT}"]
+        cmd.append("--paper-size")
+        if sample is None:
+            cmd.append(f"--trace-limit={PAPER_TRACE_LIMIT}")
     run_child(cmd, f"bench_cell for {name}", timeout)
     if keep_profiles is not None:
         shutil.move(profile_path,
                     os.path.join(keep_profiles, f"{name}.profile.json"))
 
-    analyze_cmd = [analyze, "--trace-bin", trace_path, "--json"]
-    if paper:
-        analyze_cmd.append("--stream")
-    proc = run_child(analyze_cmd, f"olden-analyze for {name}", timeout)
-    analysis = json.loads(proc.stdout)
-    if keep_traces is not None:
-        # Archive for later cross-run diffing (bench_compare.py
-        # --traces-old/--traces-new); shutil.move survives tmpdir living
-        # on a different filesystem than the archive.
-        shutil.move(trace_path,
-                    os.path.join(keep_traces, f"{name}.trace.bin"))
-    else:
-        os.unlink(trace_path)  # paper traces are large; drop them eagerly
-    paths_by_label = {run["label"]: run for run in analysis["runs"]}
+    paths_by_label = {}
+    if sample is None:
+        analyze_cmd = [analyze, "--trace-bin", trace_path, "--json"]
+        if paper:
+            analyze_cmd.append("--stream")
+        proc = run_child(analyze_cmd, f"olden-analyze for {name}", timeout)
+        analysis = json.loads(proc.stdout)
+        if keep_traces is not None:
+            # Archive for later cross-run diffing (bench_compare.py
+            # --traces-old/--traces-new); shutil.move survives tmpdir living
+            # on a different filesystem than the archive.
+            shutil.move(trace_path,
+                        os.path.join(keep_traces, f"{name}.trace.bin"))
+        else:
+            os.unlink(trace_path)  # paper traces are large; drop eagerly
+        paths_by_label = {run["label"]: run for run in analysis["runs"]}
 
     with open(stats_path, "r", encoding="utf-8") as f:
         stats = json.load(f)
@@ -186,8 +208,21 @@ def run_benchmark(bench_cell, analyze, name, nprocs, mode, timeout, tmpdir,
     for run in stats["runs"]:
         cfg = run["config"]
         counters = run["counters"]
-        buckets = {key: sum(row[key] for row in run["breakdown"])
-                   for key in BUCKET_KEYS}
+        if sample is not None:
+            est = run["estimates"]["buckets"]
+            # Fault-free cells never measure retry cycles, and the
+            # estimator apportions remainders only to buckets with
+            # nonzero remainders, so dropping "retry" keeps the 5-key
+            # conservation invariant (sum == nprocs * makespan) intact.
+            if est["retry"]["estimate"] != 0:
+                raise CellError(
+                    f"{run['label']}: sampled cell has nonzero retry-cycle "
+                    f"estimate {est['retry']['estimate']} — the 5-bucket "
+                    f"BENCH schema cannot represent it", 1)
+            buckets = {key: est[key]["estimate"] for key in BUCKET_KEYS}
+        else:
+            buckets = {key: sum(row[key] for row in run["breakdown"])
+                       for key in BUCKET_KEYS}
         cell = {
             "benchmark": cfg["benchmark"],
             "scheme": cfg["scheme"],
@@ -198,6 +233,9 @@ def run_benchmark(bench_cell, analyze, name, nprocs, mode, timeout, tmpdir,
             "miss_rate_percent": round(miss_rate_percent(counters), 4),
             "critical_path": None,
         }
+        if sample is not None:
+            cell["sampled"] = True
+            cell["makespan_ci95"] = run["estimates"]["makespan"]["ci95"]
         arun = paths_by_label.get(run["label"])
         if arun is not None and not arun["truncated"]:
             path = arun["critical_path"]
@@ -221,7 +259,7 @@ def run_matrix(bench_cell, analyze, names, args, mode, cells):
                 cells.extend(run_benchmark(bench_cell, analyze, name,
                                            args.nprocs, mode, args.timeout,
                                            tmpdir, args.keep_traces,
-                                           args.keep_profiles))
+                                           args.keep_profiles, args.sample))
                 print(f"  {name}: {len(SCHEMES)} cells ok")
             return
         # Completion order is nondeterministic; assembly order is not:
@@ -231,7 +269,8 @@ def run_matrix(bench_cell, analyze, names, args, mode, cells):
             futures = {
                 name: pool.submit(run_benchmark, bench_cell, analyze, name,
                                   args.nprocs, mode, args.timeout, tmpdir,
-                                  args.keep_traces, args.keep_profiles)
+                                  args.keep_traces, args.keep_profiles,
+                                  args.sample)
                 for name in names}
             for name in names:
                 cells.extend(futures[name].result())
@@ -267,6 +306,11 @@ def main(argv):
                     help="run every cell with --profile and archive the "
                     "profile JSON as DIR/<benchmark>.profile.json "
                     "(default: no profiling)")
+    ap.add_argument("--sample", default=None, metavar="W:D[:OFFSET]",
+                    help="run every cell under SMARTS-style sampling: D "
+                    "detailed cycles measured out of every W (see "
+                    "docs/SAMPLING.md); cells carry bucket estimates, no "
+                    "trace and no critical path")
     ap.add_argument("--revision", default=None,
                     help="revision label (default: git rev-parse --short)")
     ap.add_argument("--benchmarks", default=None,
@@ -276,6 +320,14 @@ def main(argv):
         ap.error("--jobs must be >= 1")
     if args.timeout is not None and args.timeout <= 0:
         ap.error("--timeout must be > 0")
+    if args.sample is not None:
+        if args.keep_traces is not None or args.keep_profiles is not None:
+            ap.error("--sample suppresses per-event emission; it cannot be "
+                     "combined with --keep-traces or --keep-profiles")
+        fields = args.sample.split(":")
+        if not (2 <= len(fields) <= 3 and all(f.isdigit() for f in fields)):
+            ap.error(f"bad --sample {args.sample!r} (want W:D[:OFFSET], "
+                     "decimal cycle counts); bench_cell validates the rest")
 
     bench_cell = os.path.join(args.build_dir, "bench", "bench_cell")
     analyze = os.path.join(args.build_dir, "tools", "olden-analyze")
@@ -312,13 +364,16 @@ def main(argv):
         "nprocs": args.nprocs,
         "cells": cells,
     }
+    if args.sample is not None:
+        doc["sample"] = args.sample
     out_path = args.out or f"BENCH_{revision}.json"
     with open(out_path, "w", encoding="utf-8") as f:
         json.dump(doc, f, indent=1, sort_keys=True)
         f.write("\n")
+    sampled = f", sampled {args.sample}" if args.sample is not None else ""
     print(f"wrote {out_path}: {len(cells)} cells "
           f"({len(names)} benchmarks x {len(SCHEMES)} schemes, "
-          f"p={args.nprocs}, {doc['mode']} size)")
+          f"p={args.nprocs}, {doc['mode']} size{sampled})")
     return 0
 
 
